@@ -1,0 +1,462 @@
+(* mjoin — command-line front end for the multijoin library.
+
+   Subcommands:
+     examples    print a paper scenario and every claim checked live
+     conditions  condition summary and violation witnesses of a scenario
+     verify      theorem report for a scenario or a generated database
+     enumerate   count / list the strategy subspaces of a query shape
+     optimize    generate a database and compare optimizers on it
+     space       search-space size table for a query shape *)
+
+open Mj_relation
+open Mj_hypergraph
+open Multijoin
+open Mj_optimizer
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_conv =
+  let parse name =
+    match List.assoc_opt name Mj_workload.Scenarios.all with
+    | Some db -> Ok (name, db)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown scenario %s (expected one of %s)" name
+               (String.concat ", " (List.map fst Mj_workload.Scenarios.all))))
+  in
+  Arg.conv (parse, fun fmt (name, _) -> Format.pp_print_string fmt name)
+
+let shape_conv =
+  let parse = function
+    | "chain" -> Ok ("chain", fun ~rng:_ n -> Querygraph.chain n)
+    | "cycle" -> Ok ("cycle", fun ~rng:_ n -> Querygraph.cycle n)
+    | "star" -> Ok ("star", fun ~rng:_ n -> Querygraph.star n)
+    | "clique" -> Ok ("clique", fun ~rng:_ n -> Querygraph.clique n)
+    | "random" ->
+        Ok ("random", fun ~rng n -> Querygraph.random ~extra_edge_prob:0.3 ~rng n)
+    | s -> Error (`Msg (Printf.sprintf "unknown shape %s" s))
+  in
+  Arg.conv (parse, fun fmt (name, _) -> Format.pp_print_string fmt name)
+
+let shape_arg =
+  Arg.(
+    value
+    & opt shape_conv ("chain", fun ~rng:_ n -> Querygraph.chain n)
+    & info [ "shape" ] ~doc:"Query shape: chain, cycle, star, clique, random.")
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n"; "size" ] ~doc:"Number of relations.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let rows_arg =
+  Arg.(value & opt int 6 & info [ "rows" ] ~doc:"Rows per base relation.")
+
+let domain_arg =
+  Arg.(value & opt int 8 & info [ "domain" ] ~doc:"Attribute domain size.")
+
+let regime_conv =
+  let parse = function
+    | ("superkey" | "uniform" | "skewed" | "consistent") as r -> Ok r
+    | s -> Error (`Msg (Printf.sprintf "unknown regime %s" s))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let regime_arg =
+  Arg.(
+    value
+    & opt regime_conv "uniform"
+    & info [ "regime" ]
+        ~doc:"Data regime: superkey (C3 holds), uniform, skewed, consistent.")
+
+let make_db ~regime ~rng ~rows ~domain d =
+  match regime with
+  | "superkey" -> Mj_workload.Dbgen.superkey_db ~rng ~rows ~domain d
+  | "skewed" -> Mj_workload.Dbgen.skewed_db ~rng ~rows ~domain ~skew:1.2 d
+  | "consistent" -> Mj_workload.Dbgen.consistent_acyclic_db ~rng ~rows ~domain d
+  | _ -> Mj_workload.Dbgen.uniform_db ~rng ~rows ~domain d
+
+(* ------------------------------------------------------------------ *)
+(* examples                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_examples (name, db) =
+  Format.printf "Scenario %s:@.%a@.@." name Database.pp db;
+  let d = Database.schemes db in
+  Format.printf "Scheme: %a (connected: %b)@." Scheme.Set.pp d
+    (Hypergraph.connected d);
+  let all =
+    Enumerate.all d
+    |> List.map (fun s -> (Cost.tau db s, s))
+    |> List.sort compare
+  in
+  Format.printf "@.Strategies by tau (%d total):@." (List.length all);
+  List.iter
+    (fun (c, s) ->
+      Format.printf "  %-5d %s%s%s@." c (Strategy.to_string s)
+        (if Strategy.is_linear s then "  [linear]" else "")
+        (if Strategy.uses_cartesian s then "  [CP]" else ""))
+    all;
+  Format.printf "@.%a@." Theorems.pp_report (Theorems.verify db)
+
+let examples_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some scenario_conv) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario name (ex1, ex2a, ex2b, ex3, ex4, ex5, supply).")
+  in
+  Cmd.v
+    (Cmd.info "examples" ~doc:"Print a paper scenario with all strategies costed")
+    Term.(const run_examples $ scenario)
+
+(* ------------------------------------------------------------------ *)
+(* conditions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_conditions (name, db) =
+  Format.printf "Scenario %s: %a@.@." name Conditions.pp_summary
+    (Conditions.summarize db);
+  let show_triples title ws =
+    if ws <> [] then begin
+      Format.printf "%s:@." title;
+      List.iter (fun w -> Format.printf "  %a@." Conditions.pp_triple_witness w) ws
+    end
+  in
+  let show_pairs title ws =
+    if ws <> [] then begin
+      Format.printf "%s:@." title;
+      List.iter (fun w -> Format.printf "  %a@." Conditions.pp_pair_witness w) ws
+    end
+  in
+  show_triples "C1 violations" (Conditions.violations_c1 ~limit:5 db);
+  show_triples "C1' violations" (Conditions.violations_c1_strict ~limit:5 db);
+  show_pairs "C2 violations" (Conditions.violations_c2 ~limit:5 db);
+  show_pairs "C3 violations" (Conditions.violations_c3 ~limit:5 db);
+  show_pairs "C4 violations" (Conditions.violations_c4 ~limit:5 db)
+
+let conditions_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some scenario_conv) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario name.")
+  in
+  Cmd.v
+    (Cmd.info "conditions" ~doc:"Check C1/C1'/C2/C3/C4 with witnesses")
+    Term.(const run_conditions $ scenario)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_verify scenario (shape_name, shape) n seed rows domain regime =
+  let db =
+    match scenario with
+    | Some (name, db) ->
+        Format.printf "Scenario %s@." name;
+        db
+    | None ->
+        let rng = Random.State.make [| seed |] in
+        let d = shape ~rng n in
+        Format.printf "%s query of %d relations, %s data, seed %d@." shape_name
+          n regime seed;
+        make_db ~regime ~rng ~rows ~domain d
+  in
+  Format.printf "%a@." Theorems.pp_report (Theorems.verify db)
+
+let verify_cmd =
+  let scenario =
+    Arg.(
+      value
+      & opt (some scenario_conv) None
+      & info [ "scenario" ] ~doc:"Verify a paper scenario instead of generating.")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run the theorem validators on a database")
+    Term.(
+      const run_verify $ scenario $ shape_arg $ n_arg $ seed_arg $ rows_arg
+      $ domain_arg $ regime_arg)
+
+(* ------------------------------------------------------------------ *)
+(* enumerate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_enumerate (shape_name, shape) n seed list_them =
+  let rng = Random.State.make [| seed |] in
+  let d = shape ~rng n in
+  Format.printf "%s of %d relations: %a@.@." shape_name n Scheme.Set.pp d;
+  Format.printf "  %-18s %d@." "all strategies"
+    (Enumerate.count Enumerate.All d);
+  Format.printf "  %-18s %d@." "linear" (Enumerate.count Enumerate.Linear d);
+  Format.printf "  %-18s %d@." "cp-free" (Enumerate.count Enumerate.Cp_free d);
+  Format.printf "  %-18s %d@." "linear cp-free"
+    (Enumerate.count Enumerate.Linear_cp_free d);
+  Format.printf "  %-18s %d@." "csg-cmp pairs" (Dpccp.count_csg_cmp_pairs d);
+  if list_them then begin
+    Format.printf "@.Strategies avoiding Cartesian products:@.";
+    List.iter
+      (fun s -> Format.printf "  %s@." (Strategy.to_string s))
+      (Enumerate.cp_free d)
+  end
+
+let enumerate_cmd =
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"Also list the cp-free strategies.")
+  in
+  Cmd.v
+    (Cmd.info "enumerate" ~doc:"Count the strategy subspaces of a query shape")
+    Term.(const run_enumerate $ shape_arg $ n_arg $ seed_arg $ list_arg)
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_optimize (shape_name, shape) n seed rows domain regime =
+  let rng = Random.State.make [| seed |] in
+  let d = shape ~rng n in
+  let db = make_db ~regime ~rng ~rows ~domain d in
+  Format.printf "%s query of %d relations, %s data: %a@.@." shape_name n regime
+    Database.pp_brief db;
+  let est = Estimate.of_catalog (Catalog.of_database db) in
+  let show name = function
+    | Some (r : Optimal.result) ->
+        Format.printf "  %-26s est %-7d actual tau %-7d %s@." name r.cost
+          (Cost.tau db r.strategy)
+          (Strategy.to_string r.strategy)
+    | None -> Format.printf "  %-26s -@." name
+  in
+  show "DPsize (bushy, with CP)" (Dpsize.plan ~allow_cp:true ~oracle:est d);
+  show "DPccp (bushy, no CP)" (Dpccp.plan ~oracle:est d);
+  show "Selinger (linear, no CP)" (Selinger.plan ~cp:`Never ~oracle:est d);
+  show "Selinger (linear, CP ok)" (Selinger.plan ~cp:`Always ~oracle:est d);
+  show "greedy GOO" (Some (Greedy.goo ~oracle:est d));
+  show "smallest-first" (Some (Greedy.smallest_first ~oracle:est d));
+  if n <= 9 then begin
+    match Optimal.optimum db with
+    | Some r ->
+        Format.printf "@.  exact tau optimum: %d with %s@." r.cost
+          (Strategy.to_string r.strategy)
+    | None -> ()
+  end
+
+let optimize_cmd =
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Compare optimizers on a generated database")
+    Term.(
+      const run_optimize $ shape_arg $ n_arg $ seed_arg $ rows_arg $ domain_arg
+      $ regime_arg)
+
+(* ------------------------------------------------------------------ *)
+(* space                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_space (shape_name, shape) max_n =
+  let rng = Random.State.make [| 0 |] in
+  let sizes = List.init (max 0 (max_n - 1)) (fun i -> i + 2) in
+  let sizes = List.filter (fun n -> shape_name <> "cycle" || n >= 3) sizes in
+  Format.printf "%-4s %-14s %-10s %-10s %-14s %-10s@." "n" "all" "linear"
+    "cp-free" "linear-cp-free" "ccp-pairs";
+  List.iter
+    (fun n ->
+      let d = shape ~rng n in
+      Format.printf "%-4d %-14d %-10d %-10d %-14d %-10d@." n
+        (Enumerate.count_all n) (Enumerate.count_linear n)
+        (Enumerate.count_cp_free d)
+        (Enumerate.count_linear_cp_free d)
+        (Dpccp.count_csg_cmp_pairs d))
+    sizes
+
+let space_cmd =
+  let max_arg =
+    Arg.(value & opt int 10 & info [ "max" ] ~doc:"Largest query size.")
+  in
+  Cmd.v
+    (Cmd.info "space" ~doc:"Search-space size table for a query shape")
+    Term.(const run_space $ shape_arg $ max_arg)
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_plan (name, db) strategy_text =
+  let s =
+    try Strategy.of_string strategy_text
+    with Invalid_argument msg -> failwith msg
+  in
+  Format.printf "Scenario %s, strategy %a@.@." name Strategy.pp s;
+  Format.printf "linear: %b, uses Cartesian products: %b, avoids them: %b@."
+    (Strategy.is_linear s) (Strategy.uses_cartesian s)
+    (Strategy.avoids_cartesian s);
+  let rows = Cost.step_costs db s in
+  Format.printf "@.step costs:@.";
+  List.iter
+    (fun (d', c) -> Format.printf "  %-24s %d@." (Format.asprintf "%a" Scheme.Set.pp d') c)
+    rows;
+  Format.printf "tau = %d@." (Cost.tau db s);
+  (match Optimal.optimum db with
+  | Some best ->
+      Format.printf "tau-optimum for this database: %d (%s)@." best.cost
+        (Strategy.to_string best.strategy)
+  | None -> ());
+  (* Execute it physically, hash joins everywhere. *)
+  let module Exec = Mj_engine.Exec in
+  let module Physical = Mj_engine.Physical in
+  let result, stats = Exec.execute db (Physical.of_strategy s) in
+  Format.printf
+    "@.execution (hash joins): %d result tuples, %d generated, %d probes, \
+     peak %d@."
+    (Relation.cardinality result)
+    stats.Exec.tuples_generated stats.Exec.hash_probes
+    stats.Exec.max_materialized;
+  if Strategy.is_linear s then begin
+    let _, p = Exec.execute_pipelined db s in
+    Format.printf "pipelined: stage outputs %s, peak buffer %d@."
+      (String.concat "+" (List.map string_of_int p.Exec.emitted_per_stage))
+      p.Exec.peak_buffer
+  end
+
+let graceful f x =
+  try f x with Failure msg -> prerr_endline ("mjoin: " ^ msg); exit 1
+
+let plan_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some scenario_conv) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario name.")
+  in
+  let strategy =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"STRATEGY"
+          ~doc:"Strategy in the paper's notation with * for joins, e.g. \
+                '(AB * BC) * DE'.")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Cost and execute one strategy on a scenario")
+    Term.(const (fun sc st -> graceful (run_plan sc) st) $ scenario $ strategy)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  contents
+
+let run_analyze path =
+  let db =
+    try Csv.parse_database (read_file path)
+    with
+    | Sys_error msg -> failwith msg
+    | Invalid_argument msg -> failwith msg
+  in
+  Format.printf "Loaded %a@.@." Database.pp_brief db;
+  let d = Database.schemes db in
+  Format.printf "Scheme %a — connected: %b, alpha-acyclic: %b@." Scheme.Set.pp
+    d (Hypergraph.connected d)
+    (Gyo.is_alpha_acyclic d);
+  if Database.size db <= 8 then begin
+    Format.printf "@.%a@.@." Theorems.pp_report (Theorems.verify db);
+    match Optimal.optimum db with
+    | Some r ->
+        Format.printf "Exact tau-optimum: %d with %s@." r.cost
+          (Strategy.to_string r.strategy)
+    | None -> ()
+  end
+  else begin
+    (* Too large for exact tau: optimize against catalog estimates. *)
+    let est = Estimate.of_catalog (Catalog.of_database db) in
+    (match Dpccp.plan ~oracle:est d with
+    | Some r ->
+        Format.printf "DPccp plan (estimated cost %d): %s@." r.cost
+          (Strategy.to_string r.strategy)
+    | None -> ());
+    let goo = Greedy.goo ~oracle:est d in
+    Format.printf "Greedy plan (estimated cost %d): %s@." goo.cost
+      (Strategy.to_string goo.strategy)
+  end
+
+let analyze_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Database text file: sections '= name' followed by a CSV block \
+             (header of attribute names, then rows).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Load a database from a text file; verify and optimize it")
+    Term.(const (graceful run_analyze) $ file)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_query path query_text show_dot =
+  let named =
+    try Csv.parse_named_database (read_file path)
+    with Sys_error msg | Invalid_argument msg -> failwith msg
+  in
+  let q = try Mj_query.Cq.parse query_text with Invalid_argument m -> failwith m in
+  let lookup pred =
+    match List.assoc_opt pred named with
+    | Some r -> r
+    | None -> failwith (Printf.sprintf "no relation named %s in %s" pred path)
+  in
+  Format.printf "%s@.@." (Mj_query.Cq.to_string q);
+  let db = Mj_query.Cq.instantiate q lookup in
+  Format.printf "Instantiated body: %a@." Database.pp_brief db;
+  let plan = Mj_query.Cq.optimize q lookup in
+  Format.printf "Plan (product-free DP over estimates): %s, est. cost %d@."
+    (Strategy.to_string plan.strategy)
+    plan.cost;
+  let result = Mj_query.Cq.evaluate ~strategy:plan.strategy q lookup in
+  Format.printf "@.%d answers:@.%a@." (Relation.cardinality result) Relation.pp
+    result;
+  if show_dot then
+    print_string (Strategy.to_dot ~costs:(Cost.cardinality_oracle db) plan.strategy)
+
+let query_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Database text file ('= name' + CSV sections).")
+  in
+  let q =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"Conjunctive query, e.g. 'Q(x,y) :- r(x,z), s(z,y).'")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Also print the plan as Graphviz.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a conjunctive query against a database file")
+    Term.(const (fun f qq d -> graceful (run_query f qq) d) $ file $ q $ dot)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "strategies for multiple joins — reproduction toolbox" in
+  let info = Cmd.info "mjoin" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ examples_cmd; conditions_cmd; verify_cmd; enumerate_cmd;
+            optimize_cmd; space_cmd; analyze_cmd; plan_cmd; query_cmd ]))

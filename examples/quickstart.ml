@@ -1,0 +1,47 @@
+(* Quickstart: build a database, write strategies, cost them, and let the
+   library find the optimum.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Mj_relation
+open Multijoin
+
+let () =
+  (* A database is a set of relations; [of_rows] uses one character per
+     attribute, mirroring the paper's notation. *)
+  let db =
+    Database.of_rows
+      [
+        ( "AB",
+          [ [ Value.int 1; Value.int 10 ]; [ Value.int 2; Value.int 10 ];
+            [ Value.int 3; Value.int 20 ] ] );
+        ("BC", [ [ Value.int 10; Value.int 7 ]; [ Value.int 20; Value.int 8 ] ]);
+        ("CD", [ [ Value.int 7; Value.int 0 ]; [ Value.int 9; Value.int 1 ] ]);
+      ]
+  in
+  Format.printf "The database:@.%a@.@." Database.pp db;
+
+  (* Strategies are binary join trees, written with [*] for the join. *)
+  let s1 = Strategy.of_string "(AB * BC) * CD" in
+  let s2 = Strategy.of_string "AB * (BC * CD)" in
+  let s3 = Strategy.of_string "(AB * CD) * BC" in
+  List.iter
+    (fun s ->
+      Format.printf "tau(%a) = %d   linear: %b   uses Cartesian product: %b@."
+        Strategy.pp s (Cost.tau db s) (Strategy.is_linear s)
+        (Strategy.uses_cartesian s))
+    [ s1; s2; s3 ];
+
+  (* The exact tau-optimum, by dynamic programming over sub-databases. *)
+  let best = Optimal.optimum_exn db in
+  Format.printf "@.Optimal strategy: %a with tau = %d@." Strategy.pp
+    best.strategy best.cost;
+
+  (* Which of the paper's conditions does this database satisfy? *)
+  let summary = Conditions.summarize db in
+  Format.printf "Conditions: %a@." Conditions.pp_summary summary;
+
+  (* The theorem validators tie it together: when C3 holds, a linear
+     strategy without Cartesian products is globally optimal. *)
+  let report = Theorems.verify db in
+  Format.printf "@.%a@." Theorems.pp_report report

@@ -1,0 +1,71 @@
+(** The paper's conditions C1, C1', C2, C3 and C4.
+
+    Each condition quantifies over connected disjoint subsets of the
+    database scheme and compares the sizes of joined sub-results.  The
+    checkers here are the definitions, executed literally: they enumerate
+    the relevant subset pairs/triples and test the inequality with exact
+    (materialized) cardinalities.  They are exponential in [|D|] and
+    intended for the small databases of the examples, tests and
+    statistical experiments; for large databases the conditions are
+    {e established} semantically instead (see {!Semantic}).
+
+    Throughout, [τ(R_E ⋈ R_E')] is the cardinality of the join of all
+    base states of [E ∪ E'], memoized across the whole check. *)
+
+open Mj_relation
+
+type triple_witness = {
+  e : Scheme.Set.t;
+  e1 : Scheme.Set.t;  (** linked to [e] *)
+  e2 : Scheme.Set.t;  (** not linked to [e] *)
+  tau_e_e1 : int;     (** [τ(R_E ⋈ R_E1)] *)
+  tau_e_e2 : int;     (** [τ(R_E ⋈ R_E2)] *)
+}
+(** A configuration quantified over by C1/C1'; it is a {e violation} of
+    C1 when [tau_e_e1 > tau_e_e2], and of C1' when [>=]. *)
+
+type pair_witness = {
+  p1 : Scheme.Set.t;
+  p2 : Scheme.Set.t;  (** linked to [p1] *)
+  tau_join : int;     (** [τ(R_E1 ⋈ R_E2)] *)
+  tau_1 : int;        (** [τ(R_E1)] *)
+  tau_2 : int;        (** [τ(R_E2)] *)
+}
+(** A configuration quantified over by C2/C3/C4. *)
+
+val violations_c1 : ?limit:int -> Database.t -> triple_witness list
+(** Witnesses violating C1 ([τ(R_E ⋈ R_E1) > τ(R_E ⋈ R_E2)]), at most
+    [limit] of them (default: unbounded). *)
+
+val violations_c1_strict : ?limit:int -> Database.t -> triple_witness list
+(** Witnesses violating C1' ([>=] instead of [>]). *)
+
+val violations_c2 : ?limit:int -> Database.t -> pair_witness list
+(** C2 fails on a pair when the join is larger than {e both} sides. *)
+
+val violations_c3 : ?limit:int -> Database.t -> pair_witness list
+(** C3 fails when the join is larger than {e some} side. *)
+
+val violations_c4 : ?limit:int -> Database.t -> pair_witness list
+(** C4 (Section 5) fails when the join is smaller than some side. *)
+
+val holds_c1 : Database.t -> bool
+val holds_c1_strict : Database.t -> bool
+val holds_c2 : Database.t -> bool
+val holds_c3 : Database.t -> bool
+val holds_c4 : Database.t -> bool
+
+type summary = {
+  c1 : bool;
+  c1_strict : bool;
+  c2 : bool;
+  c3 : bool;
+  c4 : bool;
+}
+
+val summarize : Database.t -> summary
+(** All five conditions in one pass (sharing the cardinality memo). *)
+
+val pp_summary : Format.formatter -> summary -> unit
+val pp_triple_witness : Format.formatter -> triple_witness -> unit
+val pp_pair_witness : Format.formatter -> pair_witness -> unit

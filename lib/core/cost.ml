@@ -1,0 +1,48 @@
+open Mj_relation
+
+let base db scheme =
+  match Database.find db scheme with
+  | r -> r
+  | exception Not_found ->
+      invalid_arg
+        (Printf.sprintf "Cost: scheme %s not in the database"
+           (Scheme.to_string scheme))
+
+let rec eval db = function
+  | Strategy.Leaf s -> base db s
+  | Strategy.Join n -> Relation.natural_join (eval db n.left) (eval db n.right)
+
+(* Evaluate bottom-up, accumulating the cost of every step. *)
+let rec eval_with_cost db = function
+  | Strategy.Leaf s -> (base db s, 0, [])
+  | Strategy.Join n ->
+      let r1, c1, rows1 = eval_with_cost db n.left in
+      let r2, c2, rows2 = eval_with_cost db n.right in
+      let r = Relation.natural_join r1 r2 in
+      let here = Relation.cardinality r in
+      (r, c1 + c2 + here, rows1 @ rows2 @ [ (n.schemes, here) ])
+
+let tau db s =
+  let _, cost, _ = eval_with_cost db s in
+  cost
+
+let step_costs db s =
+  let _, _, rows = eval_with_cost db s in
+  rows
+
+let rec tau_oracle card = function
+  | Strategy.Leaf _ -> 0
+  | Strategy.Join n ->
+      tau_oracle card n.left + tau_oracle card n.right + card n.schemes
+
+let cardinality_oracle db =
+  let memo = Hashtbl.create 64 in
+  fun schemes ->
+    let key = List.map Scheme.to_string (Scheme.Set.elements schemes) in
+    match Hashtbl.find_opt memo key with
+    | Some c -> c
+    | None ->
+        let sub = Database.restrict db schemes in
+        let c = Relation.cardinality (Database.join_all sub) in
+        Hashtbl.add memo key c;
+        c

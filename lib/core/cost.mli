@@ -1,0 +1,36 @@
+(** The cost measure τ.
+
+    The paper measures a strategy by the number of tuples generated: for
+    a step [s] producing the relation state [R], [τ(s) = τ(R)], and
+    [τ(S)] is the sum over all [|D| - 1] steps (intermediate {e and}
+    final results).  Leaves are free: base relations are not generated.
+
+    [tau] materializes every intermediate state against an actual
+    database — the ground truth the theorems speak about.  [tau_oracle]
+    accepts any cardinality function instead, which is how estimated
+    costs (see [Mj_optimizer]) plug into the same formula. *)
+
+open Mj_relation
+
+val eval : Database.t -> Strategy.t -> Relation.t
+(** [eval db s] is [R_{D'}] for the strategy's scheme set: the join of
+    the base states, evaluated in the strategy's order (the result is
+    order-independent; the cost is not).
+    @raise Invalid_argument if the strategy mentions a scheme missing
+    from [db]. *)
+
+val tau : Database.t -> Strategy.t -> int
+(** The paper's [τ(S)] with actual tuple counts. *)
+
+val step_costs : Database.t -> Strategy.t -> (Scheme.Set.t * int) list
+(** Post-order list of [(D', τ(R_{D'}))] for each step — the rows of the
+    worked examples' cost tables.  The last entry is the final result. *)
+
+val tau_oracle : (Scheme.Set.t -> int) -> Strategy.t -> int
+(** [tau_oracle card s] sums [card] over the scheme set of every step.
+    [tau db s = tau_oracle (fun d -> cardinality of the joined states) s]. *)
+
+val cardinality_oracle : Database.t -> Scheme.Set.t -> int
+(** The exact oracle: materializes the join of the sub-database.  Results
+    are memoized per returned closure, so sharing one oracle across many
+    strategies for the same database avoids recomputation. *)

@@ -1,0 +1,253 @@
+open Mj_relation
+open Mj_hypergraph
+
+type subspace =
+  | All
+  | Linear
+  | Cp_free
+  | Linear_cp_free
+
+let pp_subspace fmt = function
+  | All -> Format.pp_print_string fmt "all"
+  | Linear -> Format.pp_print_string fmt "linear"
+  | Cp_free -> Format.pp_print_string fmt "cp-free"
+  | Linear_cp_free -> Format.pp_print_string fmt "linear-cp-free"
+
+let key d = String.concat "|" (List.map Scheme.to_string (Scheme.Set.elements d))
+
+(* ------------------------------------------------------------------ *)
+(* Full space                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let all d =
+  if Scheme.Set.is_empty d then invalid_arg "Enumerate.all: empty scheme";
+  let memo = Hashtbl.create 64 in
+  let rec go d =
+    match Hashtbl.find_opt memo (key d) with
+    | Some r -> r
+    | None ->
+        let result =
+          match Scheme.Set.elements d with
+          | [ s ] -> [ Strategy.leaf s ]
+          | _ ->
+              List.concat_map
+                (fun (d1, d2) ->
+                  List.concat_map
+                    (fun s1 -> List.map (Strategy.join s1) (go d2))
+                    (go d1))
+                (Hypergraph.binary_partitions d)
+        in
+        Hashtbl.add memo (key d) result;
+        result
+  in
+  go d
+
+let fold_all d ~init ~f = List.fold_left f init (all d)
+
+(* ------------------------------------------------------------------ *)
+(* Linear strategies                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let linear d =
+  if Scheme.Set.is_empty d then invalid_arg "Enumerate.linear: empty scheme";
+  (* Build orders recursively; the innermost pair is unordered, which we
+     canonicalize by requiring the first relation to precede the second. *)
+  let rec orders chosen remaining =
+    if Scheme.Set.is_empty remaining then [ List.rev chosen ]
+    else
+      let candidates = Scheme.Set.elements remaining in
+      let candidates =
+        match chosen with
+        | [ first ] ->
+            (* Second position: canonicalize the unordered bottom pair. *)
+            List.filter (fun s -> Scheme.compare first s < 0) candidates
+        | _ -> candidates
+      in
+      List.concat_map
+        (fun s -> orders (s :: chosen) (Scheme.Set.remove s remaining))
+        candidates
+  in
+  List.map Strategy.left_deep (orders [] d)
+
+(* ------------------------------------------------------------------ *)
+(* Strategies avoiding Cartesian products                               *)
+(* ------------------------------------------------------------------ *)
+
+(* CP-free strategies for a connected scheme: both halves of every step
+   must be connected (two connected halves of a connected whole are
+   automatically linked). *)
+let connected_strategies d =
+  let memo = Hashtbl.create 64 in
+  let rec go d =
+    match Hashtbl.find_opt memo (key d) with
+    | Some r -> r
+    | None ->
+        let result =
+          match Scheme.Set.elements d with
+          | [ s ] -> [ Strategy.leaf s ]
+          | _ ->
+              Hypergraph.binary_partitions d
+              |> List.filter (fun (d1, d2) ->
+                     Hypergraph.connected d1 && Hypergraph.connected d2)
+              |> List.concat_map (fun (d1, d2) ->
+                     List.concat_map
+                       (fun s1 -> List.map (Strategy.join s1) (go d2))
+                       (go d1))
+        in
+        Hashtbl.add memo (key d) result;
+        result
+  in
+  go d
+
+(* All binary combination trees over a list of already-built strategies
+   (used to combine the components with Cartesian products). *)
+let rec combination_trees = function
+  | [] -> []
+  | [ s ] -> [ s ]
+  | parts ->
+      (* Split the component list into two non-empty halves, anchored on
+         the first element to generate each unordered split once. *)
+      let rec splits anchor = function
+        | [] -> [ ([ anchor ], []) ]
+        | x :: rest ->
+            List.concat_map
+              (fun (l, r) -> [ (x :: l, r); (l, x :: r) ])
+              (splits anchor rest)
+      in
+      (match parts with
+      | [] -> assert false
+      | anchor :: rest ->
+          splits anchor rest
+          |> List.filter (fun (_, r) -> r <> [])
+          |> List.concat_map (fun (l, r) ->
+                 List.concat_map
+                   (fun s1 ->
+                     List.map (Strategy.join s1) (combination_trees r))
+                   (combination_trees l)))
+
+let cp_free d =
+  if Scheme.Set.is_empty d then invalid_arg "Enumerate.cp_free: empty scheme";
+  let comps = Hypergraph.components d in
+  let per_component = List.map connected_strategies comps in
+  (* Cartesian product of the per-component choices, then every
+     combination tree over each choice. *)
+  let rec choices = function
+    | [] -> [ [] ]
+    | options :: rest ->
+        List.concat_map
+          (fun s -> List.map (fun tail -> s :: tail) (choices rest))
+          options
+  in
+  List.concat_map combination_trees (choices per_component)
+
+let linear_cp_free d =
+  List.filter Strategy.avoids_cartesian (linear d)
+
+let enumerate = function
+  | All -> all
+  | Linear -> linear
+  | Cp_free -> cp_free
+  | Linear_cp_free -> linear_cp_free
+
+(* ------------------------------------------------------------------ *)
+(* Counting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let count_all k =
+  if k < 1 then invalid_arg "Enumerate.count_all: need k >= 1";
+  (* (2k-3)!! *)
+  let rec go i acc = if i > 2 * k - 3 then acc else go (i + 2) (acc * i) in
+  go 1 1
+
+let count_linear k =
+  if k < 1 then invalid_arg "Enumerate.count_linear: need k >= 1";
+  if k = 1 then 1
+  else begin
+    let rec fact n = if n <= 1 then 1 else n * fact (n - 1) in
+    fact k / 2
+  end
+
+let count_connected_strategies d =
+  let memo = Hashtbl.create 64 in
+  let rec go d =
+    match Hashtbl.find_opt memo (key d) with
+    | Some r -> r
+    | None ->
+        let result =
+          if Scheme.Set.cardinal d = 1 then 1
+          else
+            Hypergraph.binary_partitions d
+            |> List.fold_left
+                 (fun acc (d1, d2) ->
+                   if Hypergraph.connected d1 && Hypergraph.connected d2 then
+                     acc + (go d1 * go d2)
+                   else acc)
+                 0
+        in
+        Hashtbl.add memo (key d) result;
+        result
+  in
+  go d
+
+let count_cp_free d =
+  let comps = Hypergraph.components d in
+  let inner = List.fold_left (fun acc c -> acc * count_connected_strategies c) 1 comps in
+  inner * count_all (List.length comps)
+
+let count_linear_connected d =
+  (* Left-deep orders whose every prefix is connected; the bottom pair is
+     unordered. *)
+  let memo = Hashtbl.create 64 in
+  let rec go d =
+    match Hashtbl.find_opt memo (key d) with
+    | Some r -> r
+    | None ->
+        let result =
+          let k = Scheme.Set.cardinal d in
+          if k = 1 then 1
+          else if k = 2 then 1
+          else
+            Scheme.Set.fold
+              (fun s acc ->
+                let rest = Scheme.Set.remove s d in
+                if
+                  Hypergraph.connected rest
+                  && Hypergraph.linked rest (Scheme.Set.singleton s)
+                then acc + go rest
+                else acc)
+              d 0
+        in
+        Hashtbl.add memo (key d) result;
+        result
+  in
+  go d
+
+let count_linear_cp_free d =
+  if Hypergraph.connected d then count_linear_connected d
+  else List.length (linear_cp_free d)
+
+let count subspace d =
+  match subspace with
+  | All -> count_all (Scheme.Set.cardinal d)
+  | Linear -> count_linear (Scheme.Set.cardinal d)
+  | Cp_free -> count_cp_free d
+  | Linear_cp_free -> count_linear_cp_free d
+
+let random_strategy ~rng d =
+  if Scheme.Set.is_empty d then
+    invalid_arg "Enumerate.random_strategy: empty scheme";
+  let forest = ref (List.map Strategy.leaf (Scheme.Set.elements d)) in
+  while List.length !forest > 1 do
+    let n = List.length !forest in
+    let i = Random.State.int rng n in
+    let j =
+      let j = Random.State.int rng (n - 1) in
+      if j >= i then j + 1 else j
+    in
+    let s1 = List.nth !forest i and s2 = List.nth !forest j in
+    let rest =
+      List.filteri (fun idx _ -> idx <> i && idx <> j) !forest
+    in
+    forest := Strategy.join s1 s2 :: rest
+  done;
+  List.hd !forest

@@ -1,0 +1,52 @@
+open Mj_relation
+
+let superkey_step fds u1 u2 =
+  let shared = Attr.Set.inter u1 u2 in
+  (not (Attr.Set.is_empty shared))
+  && (Fd.is_superkey fds u1 shared || Fd.is_superkey fds u2 shared)
+
+let extension_step fds u1 u2 =
+  let shared = Attr.Set.inter u1 u2 in
+  (not (Attr.Set.is_empty shared))
+  &&
+  let closure = Fd.closure fds shared in
+  (not (Attr.Set.is_empty (Attr.Set.inter closure (Attr.Set.diff u1 u2))))
+  || (not (Attr.Set.is_empty (Attr.Set.inter closure (Attr.Set.diff u2 u1))))
+  || superkey_step fds u1 u2
+
+let strategy_all_steps pred fds s =
+  List.for_all
+    (fun (d1, d2) ->
+      pred fds (Scheme.Set.universe d1) (Scheme.Set.universe d2))
+    (Strategy.steps s)
+
+let strategy_all_superkey_steps fds s = strategy_all_steps superkey_step fds s
+let strategy_all_extension_steps fds s = strategy_all_steps extension_step fds s
+
+(* Backtracking over linear join orders: extend the accumulated prefix by
+   any relation whose step qualifies. *)
+let find_linear pred fds d =
+  let exception Found of Strategy.t in
+  let rec extend prefix prefix_universe remaining =
+    if Scheme.Set.is_empty remaining then raise (Found prefix)
+    else
+      Scheme.Set.iter
+        (fun s ->
+          if pred fds prefix_universe s then
+            extend (Strategy.join prefix (Strategy.leaf s))
+              (Attr.Set.union prefix_universe s)
+              (Scheme.Set.remove s remaining))
+        remaining
+  in
+  try
+    Scheme.Set.iter
+      (fun start ->
+        extend (Strategy.leaf start) start (Scheme.Set.remove start d))
+      d;
+    (match Scheme.Set.elements d with
+    | [ only ] -> Some (Strategy.leaf only)
+    | _ -> None)
+  with Found s -> Some s
+
+let find_osborn_strategy fds d = find_linear superkey_step fds d
+let find_extension_strategy fds d = find_linear extension_step fds d

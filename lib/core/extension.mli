@@ -1,0 +1,39 @@
+(** Lossless strategies via superkey and extension joins (Section 5).
+
+    Osborn [15] builds strategies whose every step
+    [E1 ⋈ E2] joins on a superkey of one side — so (by the Section 4
+    argument) every step satisfies the C2 inequality
+    [τ(R_E1 ⋈ R_E2) ≤ τ(R_E1) or ≤ τ(R_E2)].  Honeyman [10] generalizes
+    to {e extension joins}, where the shared attributes determine some
+    non-empty part of the other side's private attributes.  Sagiv [19]
+    uses sequences of extension joins for representative-instance query
+    answering.
+
+    This module decides the step predicates from declared functional
+    dependencies (schema-level, no data needed) and searches for linear
+    strategies all of whose steps qualify. *)
+
+open Mj_relation
+open Mj_hypergraph
+
+val superkey_step : Fd.t -> Attr.Set.t -> Attr.Set.t -> bool
+(** [superkey_step fds u1 u2]: the shared attributes [u1 ∩ u2] form a
+    superkey of [u1] or of [u2] (Osborn's condition, with [u_i] the
+    universe of a sub-database). *)
+
+val extension_step : Fd.t -> Attr.Set.t -> Attr.Set.t -> bool
+(** Honeyman's weaker condition: the shared attributes functionally
+    determine at least one private attribute of one side (or the step is
+    already a superkey step). *)
+
+val strategy_all_superkey_steps : Fd.t -> Strategy.t -> bool
+val strategy_all_extension_steps : Fd.t -> Strategy.t -> bool
+
+val find_osborn_strategy : Fd.t -> Hypergraph.t -> Strategy.t option
+(** A linear strategy every step of which is a superkey step, found by
+    backtracking over join orders; [None] when none exists.  Exponential
+    in the worst case, fast on schemas where keys guide the order. *)
+
+val find_extension_strategy : Fd.t -> Hypergraph.t -> Strategy.t option
+(** Same search under the weaker extension-join condition (Honeyman's
+    algorithm, as a search). *)

@@ -1,0 +1,210 @@
+open Mj_relation
+open Mj_hypergraph
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 1 / 1'                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lemma1_general ~strict db =
+  let d = Database.schemes db in
+  let oracle = Cost.cardinality_oracle db in
+  let subsets = Hypergraph.subsets d in
+  let connected = List.filter Hypergraph.connected subsets in
+  let ok = ref true in
+  List.iter
+    (fun e ->
+      if !ok then
+        List.iter
+          (fun e1 ->
+            if
+              !ok
+              && Scheme.Set.disjoint e e1
+              && Hypergraph.linked e e1
+            then
+              List.iter
+                (fun e2 ->
+                  if
+                    !ok
+                    && Scheme.Set.disjoint e e2
+                    && Scheme.Set.disjoint e1 e2
+                    && not (Hypergraph.linked e e2)
+                  then begin
+                    let lhs = oracle (Scheme.Set.union e e1) in
+                    let rhs = oracle (Scheme.Set.union e e2) in
+                    if (strict && lhs >= rhs) || ((not strict) && lhs > rhs)
+                    then ok := false
+                  end)
+                subsets)
+          connected)
+    subsets;
+  !ok
+
+let lemma1_holds db = lemma1_general ~strict:false db
+let lemma1_strict_holds db = lemma1_general ~strict:true db
+
+(* ------------------------------------------------------------------ *)
+(* Lemmas 2 and 3: the root moves                                       *)
+(* ------------------------------------------------------------------ *)
+
+type move = {
+  before : Strategy.t;
+  after : Strategy.t;
+  tau_before : int;
+  tau_after : int;
+  comp_sum_before : int;
+  comp_sum_after : int;
+}
+
+let root_children = function
+  | Strategy.Leaf _ -> None
+  | Strategy.Join n -> Some (n.left, n.right)
+
+let comp_sum s1 s2 =
+  Hypergraph.comp (Strategy.schemes s1) + Hypergraph.comp (Strategy.schemes s2)
+
+let make_move db before after d1' d2' =
+  {
+    before;
+    after;
+    tau_before = Cost.tau db before;
+    tau_after = Cost.tau db after;
+    comp_sum_before =
+      (match root_children before with
+      | Some (l, r) -> comp_sum l r
+      | None -> 0);
+    comp_sum_after = Hypergraph.comp d1' + Hypergraph.comp d2';
+  }
+
+(* Lemma 2's configuration check and transfer: move a component [e] of
+   the unconnected child next to the connected child. *)
+let lemma2_at db s s_conn s_unconn =
+  let d1 = Strategy.schemes s_conn and d2 = Strategy.schemes s_unconn in
+  if
+    Hypergraph.connected d1
+    && (not (Hypergraph.connected d2))
+    && Hypergraph.linked d1 d2
+    && Strategy.evaluates_components_individually s_unconn
+  then
+    let components = Hypergraph.components d2 in
+    match List.find_opt (fun e -> Hypergraph.linked d1 e) components with
+    | None -> None
+    | Some e ->
+        let after = Transform.transfer s ~subtree:e ~above:d1 in
+        Some
+          (make_move db s after
+             (Scheme.Set.union d1 e)
+             (Scheme.Set.diff d2 e))
+  else None
+
+let lemma2_transform db s =
+  match root_children s with
+  | None -> None
+  | Some (l, r) -> (
+      match lemma2_at db s l r with
+      | Some m -> Some m
+      | None -> lemma2_at db s r l)
+
+(* Lemma 3: both children unconnected; move a component of one next to a
+   linked component of the other, oriented by C2's inequality (1). *)
+let lemma3_transform db s =
+  match root_children s with
+  | None -> None
+  | Some (l, r) ->
+      let d1 = Strategy.schemes l and d2 = Strategy.schemes r in
+      if
+        (not (Hypergraph.connected d1))
+        && (not (Hypergraph.connected d2))
+        && Hypergraph.linked d1 d2
+        && Strategy.evaluates_components_individually l
+        && Strategy.evaluates_components_individually r
+      then begin
+        let oracle = Cost.cardinality_oracle db in
+        (* Linked component pairs across the two children, both
+           orientations: (host, moved) meaning the moved component is
+           grafted above the host. *)
+        let pairs =
+          List.concat_map
+            (fun e1 ->
+              List.filter_map
+                (fun e2 ->
+                  if Hypergraph.linked e1 e2 then Some (e1, e2) else None)
+                (Hypergraph.components d2))
+            (Hypergraph.components d1)
+        in
+        let oriented =
+          List.concat_map
+            (fun (e1, e2) ->
+              (* Prefer the orientation with tau(host ⋈ moved) <= tau(host):
+                 the proof's assumption (1). *)
+              let tau_join = oracle (Scheme.Set.union e1 e2) in
+              let first =
+                if tau_join <= oracle e1 then [ (e1, e2) ] else []
+              in
+              let second =
+                if tau_join <= oracle e2 then [ (e2, e1) ] else []
+              in
+              first @ second @ [ (e1, e2) ])
+            pairs
+        in
+        match oriented with
+        | [] -> None
+        | (host, moved) :: _ ->
+            let after = Transform.transfer s ~subtree:moved ~above:host in
+            let host_side, other_side =
+              if Scheme.Set.subset host d1 then (d1, d2) else (d2, d1)
+            in
+            Some
+              (make_move db s after
+                 (Scheme.Set.union host_side moved)
+                 (Scheme.Set.diff other_side moved))
+      end
+      else None
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 4 and Theorem 2, constructively                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec evaluate_components_individually db s =
+  match s with
+  | Strategy.Leaf _ -> s
+  | Strategy.Join n ->
+      let l = evaluate_components_individually db n.left in
+      let r = evaluate_components_individually db n.right in
+      let s = Strategy.join l r in
+      if Strategy.evaluates_components_individually s then s
+      else begin
+        (* The root joins linked children, at least one unconnected
+           (otherwise the rebuilt strategy would already qualify).
+           Apply the applicable lemma move; the component sum strictly
+           decreases, so the recursion terminates. *)
+        match lemma2_transform db s with
+        | Some m -> evaluate_components_individually db m.after
+        | None -> (
+            match lemma3_transform db s with
+            | Some m -> evaluate_components_individually db m.after
+            | None -> s)
+      end
+
+let rec to_cp_free db s =
+  match s with
+  | Strategy.Leaf _ -> s
+  | Strategy.Join n ->
+      let l = to_cp_free db n.left in
+      let r = to_cp_free db n.right in
+      let s = Strategy.join l r in
+      let d1 = Strategy.schemes l and d2 = Strategy.schemes r in
+      if not (Hypergraph.linked d1 d2) then s
+      else if Hypergraph.connected d1 && Hypergraph.connected d2 then s
+      else begin
+        (* Prepare the lemma preconditions, then move a component across
+           the root and renormalize. *)
+        let l = evaluate_components_individually db l in
+        let r = evaluate_components_individually db r in
+        let s = Strategy.join l r in
+        match lemma2_transform db s with
+        | Some m -> to_cp_free db m.after
+        | None -> (
+            match lemma3_transform db s with
+            | Some m -> to_cp_free db m.after
+            | None -> s)
+      end

@@ -1,0 +1,66 @@
+(** The paper's lemmas as executable transformations.
+
+    Theorems 1–3 rest on Lemmas 1–6; this module runs them:
+
+    - {!lemma1_holds} checks Lemma 1's {e conclusion} — the extension of
+      C1 to unconnected [E] and [E2] — directly against the data (it
+      must hold whenever C1 does and [R_D ≠ ∅]);
+    - {!lemma2_transform} and {!lemma3_transform} perform the
+      pluck-and-graft moves of Figures 4–5 on a strategy whose root
+      matches the respective lemma's configuration, returning the
+      before/after record whose inequality the lemma asserts;
+    - {!evaluate_components_individually} is Lemma 4's induction made
+      constructive: it rewrites a strategy, never increasing τ when
+      C1 ∧ C2 hold, into one that evaluates components individually;
+    - {!to_cp_free} is Theorem 2's proof as a procedure: it rewrites any
+      strategy into one avoiding Cartesian products, never increasing τ
+      under C1 ∧ C2 — applied to a τ-optimum it {e constructs} the
+      CP-free optimum the theorem promises.
+
+    None of these functions check the conditions themselves: they apply
+    the moves unconditionally, and the lemmas say what happens to τ when
+    the conditions hold.  The test suite and the bench harness assert
+    exactly that. *)
+
+open Mj_relation
+
+val lemma1_holds : Database.t -> bool
+(** For all disjoint [E, E1, E2] with [E1] connected, [E] linked to [E1]
+    and not to [E2] (no connectedness required of [E] or [E2]):
+    [τ(R_E ⋈ R_E1) ≤ τ(R_E ⋈ R_E2)].  Must hold whenever C1 does. *)
+
+val lemma1_strict_holds : Database.t -> bool
+(** The strict variant (Lemma 1'): must hold whenever C1' does. *)
+
+type move = {
+  before : Strategy.t;
+  after : Strategy.t;
+  tau_before : int;
+  tau_after : int;
+  comp_sum_before : int;  (** [comp(D1) + comp(D2)] at the root *)
+  comp_sum_after : int;
+}
+
+val lemma2_transform : Database.t -> Strategy.t -> move option
+(** Applies when the root joins a connected child with an unconnected
+    one (in either order) that is linked to it and whose substrategy
+    evaluates its components individually: plucks a component of the
+    unconnected child linked to the connected child and grafts it above
+    the latter (Figure 4).  Lemma 2: under C1, [tau_after ≤ tau_before]
+    and the component sum strictly decreases. *)
+
+val lemma3_transform : Database.t -> Strategy.t -> move option
+(** Applies when both root children are unconnected, linked, and both
+    substrategies evaluate their components individually (Figure 5).
+    Lemma 3: under C1 ∧ C2, [tau_after ≤ tau_before] with a strict
+    component-sum decrease.  The orientation is chosen by C2's
+    disjunction: the component pair [(E1, E2)] is taken with
+    [τ(R_E1 ⋈ R_E2) ≤ τ(R_E1)] if possible. *)
+
+val evaluate_components_individually : Database.t -> Strategy.t -> Strategy.t
+(** Lemma 4's construction: a strategy for the same database evaluating
+    its components individually; never τ-worse when C1 ∧ C2 hold. *)
+
+val to_cp_free : Database.t -> Strategy.t -> Strategy.t
+(** Theorem 2's construction: a strategy for the same database that
+    avoids Cartesian products; never τ-worse when C1 ∧ C2 hold. *)

@@ -1,0 +1,29 @@
+open Mj_relation
+
+let step_is_lossless fds d1 d2 =
+  let u1 = Scheme.Set.universe d1 and u2 = Scheme.Set.universe d2 in
+  let universe = Attr.Set.union u1 u2 in
+  let local = Fd.project fds universe in
+  Chase.is_lossless local [ u1; u2 ]
+
+let strategy_is_lossless fds s =
+  List.for_all (fun (d1, d2) -> step_is_lossless fds d1 d2) (Strategy.steps s)
+
+let lossless_strategies fds d =
+  List.filter (strategy_is_lossless fds) (Enumerate.all d)
+
+let best_lossless fds db =
+  let d = Database.schemes db in
+  let oracle = Cost.cardinality_oracle db in
+  List.fold_left
+    (fun acc s ->
+      let cost = Cost.tau_oracle oracle s in
+      match acc with
+      | Some (r : Optimal.result) when r.cost <= cost -> acc
+      | _ -> Some { Optimal.strategy = s; cost })
+    None (lossless_strategies fds d)
+
+let gap_to_optimum fds db =
+  match best_lossless fds db, Optimal.optimum db with
+  | Some best, Some opt -> Some (best.Optimal.cost, opt.Optimal.cost)
+  | _ -> None

@@ -1,0 +1,28 @@
+(** Lossless strategies (Section 5).
+
+    "If we define a {e lossless} strategy to be one whose every step is a
+    lossless join, then under what conditions would a lossless strategy
+    be τ-optimal?" — the paper's open question, made executable.  A step
+    [D1 ⋈ D2] is a lossless join when the decomposition
+    [{∪D1, ∪D2}] of [∪(D1 ∪ D2)] is lossless under the functional
+    dependencies projected onto that universe (tested by the chase). *)
+
+open Mj_relation
+open Mj_hypergraph
+
+val step_is_lossless : Fd.t -> Scheme.Set.t -> Scheme.Set.t -> bool
+
+val strategy_is_lossless : Fd.t -> Strategy.t -> bool
+(** Every step lossless.  Exponential in scheme widths (FD projection). *)
+
+val lossless_strategies : Fd.t -> Hypergraph.t -> Strategy.t list
+(** All lossless strategies, filtered from the full space — small
+    databases only. *)
+
+val best_lossless : Fd.t -> Database.t -> Optimal.result option
+(** The cheapest lossless strategy by exhaustive search, [None] when the
+    space is empty (e.g. with no dependencies). *)
+
+val gap_to_optimum : Fd.t -> Database.t -> (int * int) option
+(** [(best lossless τ, τ-optimum)] — the measurement behind the LOSS
+    experiment. *)

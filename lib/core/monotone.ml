@@ -1,0 +1,41 @@
+open Mj_relation
+
+let step_cards db s =
+  let oracle = Cost.cardinality_oracle db in
+  List.map
+    (fun (d1, d2) ->
+      (oracle (Scheme.Set.union d1 d2), oracle d1, oracle d2))
+    (Strategy.steps s)
+
+let is_monotone_decreasing db s =
+  List.for_all
+    (fun (joined, t1, t2) -> joined <= t1 && joined <= t2)
+    (step_cards db s)
+
+let is_monotone_increasing db s =
+  List.for_all
+    (fun (joined, t1, t2) -> joined >= t1 && joined >= t2)
+    (step_cards db s)
+
+let decreasing_possible db =
+  let final = Relation.cardinality (Database.join_all db) in
+  List.for_all
+    (fun r -> final <= Relation.cardinality r)
+    (Database.relations db)
+
+let exists_optimal_monotone_decreasing db =
+  List.exists
+    (fun (r : Optimal.result) -> is_monotone_decreasing db r.strategy)
+    (Optimal.all_optima ~subspace:Enumerate.All db)
+
+let exists_optimal_linear_monotone_decreasing db =
+  List.exists
+    (fun (r : Optimal.result) ->
+      Strategy.is_linear r.strategy
+      && (not (Strategy.uses_cartesian r.strategy))
+      && is_monotone_decreasing db r.strategy)
+    (Optimal.all_optima ~subspace:Enumerate.All db)
+
+let all_cp_free_strategies_monotone_increasing db =
+  let d = Database.schemes db in
+  List.for_all (is_monotone_increasing db) (Enumerate.cp_free d)

@@ -1,0 +1,39 @@
+(** Monotone strategies (Section 5).
+
+    A strategy is {e monotone decreasing} iff every step's result is no
+    larger than either child, and {e monotone increasing} iff it is no
+    smaller.  Section 5 observes: under C3 there is a linear τ-optimal
+    strategy that is monotone decreasing (by Theorem 3), and a strategy
+    that generates no spurious tuples is monotone increasing; γ-acyclic,
+    pairwise-consistent databases satisfy C4, which makes every strategy
+    whose steps stay within the definition monotone increasing. *)
+
+open Mj_relation
+
+val is_monotone_decreasing : Database.t -> Strategy.t -> bool
+(** Every step [D1 ⋈ D2] has [τ(R_{D1 ⋈ D2}) ≤ τ(R_{D1})] and
+    [≤ τ(R_{D2})]. *)
+
+val is_monotone_increasing : Database.t -> Strategy.t -> bool
+
+val decreasing_possible : Database.t -> bool
+(** The necessary condition from Section 5: a monotone decreasing
+    strategy can only exist when the final result is no larger than any
+    base relation state.  (The paper notes this "should usually be the
+    case in practice".) *)
+
+val exists_optimal_monotone_decreasing : Database.t -> bool
+(** Some τ-optimum strategy (full space) is monotone decreasing.
+    Exhaustive — small databases only. *)
+
+val exists_optimal_linear_monotone_decreasing : Database.t -> bool
+(** Some τ-optimum strategy is simultaneously linear, Cartesian-free and
+    monotone decreasing — the Section 5 consequence of C3. *)
+
+val all_cp_free_strategies_monotone_increasing : Database.t -> bool
+(** Every strategy avoiding Cartesian products is monotone increasing —
+    what C4 delivers for γ-acyclic pairwise-consistent databases: in a
+    CP-free strategy of a connected scheme every step joins linked
+    connected subsets, exactly the configurations C4 bounds.  (The full
+    space does {e not} satisfy this: a step joining a relation onto an
+    earlier Cartesian product can shrink it.)  Exhaustive. *)

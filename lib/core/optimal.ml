@@ -1,0 +1,191 @@
+open Mj_relation
+open Mj_hypergraph
+
+type result = {
+  strategy : Strategy.t;
+  cost : int;
+}
+
+let key d = String.concat "|" (List.map Scheme.to_string (Scheme.Set.elements d))
+
+let better a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some r1, Some r2 -> if r1.cost <= r2.cost then a else b
+
+(* Generic subset DP.  [partitions d'] yields the allowed root steps of a
+   sub-database; a singleton is always a (free) leaf. *)
+let subset_dp ~oracle ~partitions d =
+  let memo = Hashtbl.create 64 in
+  let rec best d' =
+    match Hashtbl.find_opt memo (key d') with
+    | Some r -> r
+    | None ->
+        let r =
+          match Scheme.Set.elements d' with
+          | [] -> invalid_arg "Optimal: empty sub-database"
+          | [ s ] -> Some { strategy = Strategy.leaf s; cost = 0 }
+          | _ ->
+              let here = oracle d' in
+              List.fold_left
+                (fun acc (d1, d2) ->
+                  match best d1, best d2 with
+                  | Some r1, Some r2 ->
+                      better acc
+                        (Some
+                           {
+                             strategy = Strategy.join r1.strategy r2.strategy;
+                             cost = r1.cost + r2.cost + here;
+                           })
+                  | _ -> acc)
+                None (partitions d')
+        in
+        Hashtbl.add memo (key d') r;
+        r
+  in
+  best d
+
+let all_partitions d' = Hypergraph.binary_partitions d'
+
+let linear_partitions d' =
+  (* One side must be a single relation. *)
+  Scheme.Set.fold
+    (fun s acc ->
+      (Scheme.Set.remove s d', Scheme.Set.singleton s) :: acc)
+    d' []
+
+let connected_partitions d' =
+  List.filter
+    (fun (d1, d2) -> Hypergraph.connected d1 && Hypergraph.connected d2)
+    (Hypergraph.binary_partitions d')
+
+let linear_connected_partitions d' =
+  List.filter
+    (fun (rest, _) -> Hypergraph.connected rest)
+    (linear_partitions d')
+
+(* Avoid-CP optimum for an arbitrary (possibly unconnected) scheme:
+   optimum connected strategy per component, then the best Cartesian
+   combination tree over complete components.  We run a second DP whose
+   "units" are the components. *)
+let optimum_cp_free ~oracle d =
+  let comps = Hypergraph.components d in
+  let comp_best =
+    List.map
+      (fun c -> subset_dp ~oracle ~partitions:connected_partitions c)
+      comps
+  in
+  if List.exists (fun r -> r = None) comp_best then None
+  else begin
+    let comp_best =
+      List.map (function Some r -> r | None -> assert false) comp_best
+    in
+    match comps, comp_best with
+    | [ _ ], [ r ] -> Some r
+    | _ ->
+        (* DP over subsets of components.  A subset is encoded by its
+           bitmask; cost of a combination node is the oracle on the union
+           of its components' schemes. *)
+        let comps = Array.of_list comps in
+        let base = Array.of_list comp_best in
+        let m = Array.length comps in
+        let union_of mask =
+          let acc = ref Scheme.Set.empty in
+          for i = 0 to m - 1 do
+            if mask land (1 lsl i) <> 0 then acc := Scheme.Set.union !acc comps.(i)
+          done;
+          !acc
+        in
+        let memo = Hashtbl.create 64 in
+        let rec best mask =
+          match Hashtbl.find_opt memo mask with
+          | Some r -> r
+          | None ->
+              let r =
+                let bits = List.filter (fun i -> mask land (1 lsl i) <> 0)
+                    (List.init m Fun.id)
+                in
+                match bits with
+                | [ i ] -> base.(i)
+                | _ ->
+                    let here = oracle (union_of mask) in
+                    (* Split the mask anchored on its lowest bit. *)
+                    let anchor = List.hd bits in
+                    let others = List.tl bits in
+                    let rec splits = function
+                      | [] -> [ (1 lsl anchor, 0) ]
+                      | i :: rest ->
+                          List.concat_map
+                            (fun (l, r) ->
+                              [ (l lor (1 lsl i), r); (l, r lor (1 lsl i)) ])
+                            (splits rest)
+                    in
+                    List.fold_left
+                      (fun acc (l, r) ->
+                        if r = 0 then acc
+                        else
+                          let rl = best l and rr = best r in
+                          better acc
+                            (Some
+                               {
+                                 strategy = Strategy.join rl.strategy rr.strategy;
+                                 cost = rl.cost + rr.cost + here;
+                               }))
+                      None (splits others)
+                    |> Option.get
+              in
+              Hashtbl.add memo mask r;
+              r
+        in
+        Some (best ((1 lsl m) - 1))
+  end
+
+let optimum_with_oracle ?(subspace = Enumerate.All) ~oracle d =
+  if Scheme.Set.is_empty d then invalid_arg "Optimal: empty database scheme";
+  match subspace with
+  | Enumerate.All -> subset_dp ~oracle ~partitions:all_partitions d
+  | Enumerate.Linear -> subset_dp ~oracle ~partitions:linear_partitions d
+  | Enumerate.Cp_free -> optimum_cp_free ~oracle d
+  | Enumerate.Linear_cp_free ->
+      if Hypergraph.connected d then
+        subset_dp ~oracle ~partitions:linear_connected_partitions d
+      else begin
+        (* Rare case: enumerate and take the minimum (the subspace may be
+           empty when a non-first component has two or more relations). *)
+        match Enumerate.linear_cp_free d with
+        | [] -> None
+        | strategies ->
+            let cost s = Cost.tau_oracle oracle s in
+            let best =
+              List.fold_left
+                (fun acc s ->
+                  let c = cost s in
+                  better acc (Some { strategy = s; cost = c }))
+                None strategies
+            in
+            best
+      end
+
+let optimum ?subspace db =
+  optimum_with_oracle ?subspace
+    ~oracle:(Cost.cardinality_oracle db)
+    (Database.schemes db)
+
+let optimum_exn ?subspace db =
+  match optimum ?subspace db with
+  | Some r -> r
+  | None -> invalid_arg "Optimal.optimum_exn: empty strategy subspace"
+
+let all_optima ?(subspace = Enumerate.All) db =
+  let d = Database.schemes db in
+  let oracle = Cost.cardinality_oracle db in
+  let strategies = Enumerate.enumerate subspace d in
+  match strategies with
+  | [] -> []
+  | _ ->
+      let with_costs =
+        List.map (fun s -> { strategy = s; cost = Cost.tau_oracle oracle s })
+          strategies
+      in
+      let best = List.fold_left (fun m r -> min m r.cost) max_int with_costs in
+      List.filter (fun r -> r.cost = best) with_costs

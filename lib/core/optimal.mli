@@ -1,0 +1,41 @@
+(** Exact τ-optimum strategies by dynamic programming.
+
+    For every subspace of {!Enumerate.subspace}, finds a strategy of
+    minimum τ together with its cost, by DP over sub-databases: the cost
+    of a step depends only on the scheme set it produces, so
+    [best(D') = τ(R_{D'}) + min over allowed partitions (best(D1) + best(D2))].
+
+    The DP runs against a cardinality oracle; pass
+    {!Cost.cardinality_oracle} for exact (materialized) τ — the ground
+    truth used by the theorem validators — or an estimator from
+    [Mj_optimizer] to model a real optimizer. *)
+
+open Mj_relation
+open Mj_hypergraph
+
+type result = {
+  strategy : Strategy.t;
+  cost : int;
+}
+
+val optimum_with_oracle :
+  ?subspace:Enumerate.subspace ->
+  oracle:(Scheme.Set.t -> int) ->
+  Hypergraph.t ->
+  result option
+(** [optimum_with_oracle ~oracle d] is a cheapest strategy for [d] in
+    the subspace (default [All]), or [None] when the subspace is empty
+    (only possible for [Linear_cp_free] on unconnected schemes).  Ties
+    are broken arbitrarily but deterministically. *)
+
+val optimum : ?subspace:Enumerate.subspace -> Database.t -> result option
+(** Exact τ-optimum against the materialized cardinalities of the
+    database. *)
+
+val optimum_exn : ?subspace:Enumerate.subspace -> Database.t -> result
+(** @raise Invalid_argument when the subspace is empty. *)
+
+val all_optima : ?subspace:Enumerate.subspace -> Database.t -> result list
+(** {e Every} cheapest strategy of the subspace (by full enumeration —
+    small databases only).  Used by Theorem 1's validator, which
+    quantifies over all optimal linear strategies. *)

@@ -1,0 +1,37 @@
+(** Semantic sufficient conditions (Section 4 and Section 5).
+
+    The exhaustive checkers in {!Conditions} test the inequalities on a
+    concrete state.  Section 4 shows the conditions can instead be
+    {e guaranteed} by integrity constraints:
+
+    - if the database has no nontrivial lossy joins (under its functional
+      dependencies), it satisfies C2;
+    - if all joins are on superkeys, it satisfies C3 (hence C1 and C2);
+    - (Section 5) if it is γ-acyclic and pairwise consistent, it
+      satisfies C4.
+
+    These tests look only at schemes and constraints, so they apply to
+    databases far too large for the exhaustive checkers. *)
+
+open Mj_relation
+open Mj_hypergraph
+
+val all_joins_on_superkeys : Fd.t -> Hypergraph.t -> bool
+(** For every pair of schemes with a non-empty intersection, the
+    intersection is a superkey of both (the hypothesis of the Section 4
+    argument for C3). *)
+
+val no_nontrivial_lossy_joins : Fd.t -> Hypergraph.t -> bool
+(** Every connected subset of at least two schemes has a lossless join
+    (tested by the chase on the dependencies projected onto the subset's
+    universe).  This is the hypothesis of the Section 4 argument for C2.
+    Exponential in [|D|]. *)
+
+val gamma_acyclic_consistent : Database.t -> bool
+(** γ-acyclic scheme and pairwise-consistent state — the Section 5
+    hypothesis for C4. *)
+
+val key_join_graph : Fd.t -> Hypergraph.t -> (Scheme.t * Scheme.t * [ `Both | `Left | `Right | `Neither ]) list
+(** For each linked pair of schemes, which sides the shared attributes
+    form a superkey of — a diagnostic for explaining why C3 (or only C2)
+    holds. *)

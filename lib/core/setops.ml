@@ -1,0 +1,185 @@
+open Mj_relation
+
+module Vset = Stdlib.Set.Make (Value)
+
+type family = (string * Vset.t) list
+
+type tree =
+  | Leaf of string
+  | Node of tree * tree
+
+type op = Inter | Union
+
+let of_ints named =
+  List.map
+    (fun (name, xs) -> (name, Vset.of_list (List.map Value.int xs)))
+    named
+
+let lookup family name =
+  match List.assoc_opt name family with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Setops: unknown set %s" name)
+
+let apply = function Inter -> Vset.inter | Union -> Vset.union
+
+let rec leaves = function
+  | Leaf n -> [ n ]
+  | Node (l, r) -> leaves l @ leaves r
+
+let check_tree family t =
+  let ls = leaves t in
+  let sorted = List.sort_uniq String.compare ls in
+  if List.length sorted <> List.length ls then
+    invalid_arg "Setops: a set appears twice in the tree";
+  List.iter (fun n -> ignore (lookup family n)) ls
+
+let rec eval_raw op family = function
+  | Leaf n -> lookup family n
+  | Node (l, r) -> apply op (eval_raw op family l) (eval_raw op family r)
+
+let eval op family t =
+  check_tree family t;
+  eval_raw op family t
+
+let tau op family t =
+  check_tree family t;
+  let rec go = function
+    | Leaf n -> (lookup family n, 0)
+    | Node (l, r) ->
+        let sl, cl = go l in
+        let sr, cr = go r in
+        let s = apply op sl sr in
+        (s, cl + cr + Vset.cardinal s)
+  in
+  snd (go t)
+
+let left_deep = function
+  | [] -> invalid_arg "Setops.left_deep: empty family"
+  | n :: rest -> List.fold_left (fun acc m -> Node (acc, Leaf m)) (Leaf n) rest
+
+let ascending_linear family =
+  let names =
+    family
+    |> List.sort (fun (_, s1) (_, s2) ->
+           Int.compare (Vset.cardinal s1) (Vset.cardinal s2))
+    |> List.map fst
+  in
+  left_deep names
+
+let rec all_trees = function
+  | [] -> invalid_arg "Setops.all_trees: empty family"
+  | [ n ] -> [ Leaf n ]
+  | anchor :: rest ->
+      (* Anchored splits generate every unordered partition once. *)
+      let rec splits = function
+        | [] -> [ ([ anchor ], []) ]
+        | x :: tail ->
+            List.concat_map
+              (fun (l, r) -> [ (x :: l, r); (l, x :: r) ])
+              (splits tail)
+      in
+      splits rest
+      |> List.filter (fun (_, r) -> r <> [])
+      |> List.concat_map (fun (l, r) ->
+             List.concat_map
+               (fun tl -> List.map (fun tr -> Node (tl, tr)) (all_trees r))
+               (all_trees l))
+
+let optimum op family =
+  let names = Array.of_list (List.map fst family) in
+  let sets = Array.of_list (List.map snd family) in
+  let m = Array.length names in
+  if m = 0 then invalid_arg "Setops.optimum: empty family";
+  if m > 15 then invalid_arg "Setops.optimum: too many sets for subset DP";
+  let result_of_mask = Hashtbl.create 64 in
+  let result mask =
+    match Hashtbl.find_opt result_of_mask mask with
+    | Some s -> s
+    | None ->
+        let s = ref None in
+        for i = 0 to m - 1 do
+          if mask land (1 lsl i) <> 0 then
+            s := Some (match !s with
+              | None -> sets.(i)
+              | Some acc -> apply op acc sets.(i))
+        done;
+        let s = Option.get !s in
+        Hashtbl.add result_of_mask mask s;
+        s
+  in
+  let memo = Hashtbl.create 64 in
+  let rec best mask =
+    match Hashtbl.find_opt memo mask with
+    | Some r -> r
+    | None ->
+        let bits =
+          List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init m Fun.id)
+        in
+        let r =
+          match bits with
+          | [ i ] -> (Leaf names.(i), 0)
+          | _ ->
+              let here = Vset.cardinal (result mask) in
+              let anchor = List.hd bits in
+              let others = List.tl bits in
+              let rec splits = function
+                | [] -> [ (1 lsl anchor, 0) ]
+                | i :: rest ->
+                    List.concat_map
+                      (fun (l, r) ->
+                        [ (l lor (1 lsl i), r); (l, r lor (1 lsl i)) ])
+                      (splits rest)
+              in
+              List.fold_left
+                (fun acc (l, r) ->
+                  if r = 0 then acc
+                  else
+                    let tl, cl = best l and tr, cr = best r in
+                    let cost = cl + cr + here in
+                    match acc with
+                    | Some (_, c) when c <= cost -> acc
+                    | _ -> Some (Node (tl, tr), cost))
+                None (splits others)
+              |> Option.get
+        in
+        Hashtbl.add memo mask r;
+        r
+  in
+  best ((1 lsl m) - 1)
+
+let optimum_linear op family =
+  let names = List.map fst family in
+  (* All left-deep orders with the bottom pair canonicalized. *)
+  let rec orders chosen remaining =
+    match remaining with
+    | [] -> [ List.rev chosen ]
+    | _ ->
+        let candidates =
+          match chosen with
+          | [ first ] -> List.filter (fun n -> String.compare first n < 0) remaining
+          | _ -> remaining
+        in
+        List.concat_map
+          (fun n ->
+            orders (n :: chosen) (List.filter (fun m -> m <> n) remaining))
+          candidates
+  in
+  match names with
+  | [] -> invalid_arg "Setops.optimum_linear: empty family"
+  | [ n ] -> (Leaf n, 0)
+  | _ ->
+      orders [] names
+      |> List.map (fun order ->
+             let t = left_deep order in
+             (t, tau op family t))
+      |> List.fold_left
+           (fun acc (t, c) ->
+             match acc with
+             | Some (_, c') when c' <= c -> acc
+             | _ -> Some (t, c))
+           None
+      |> Option.get
+
+let rec pp_tree fmt = function
+  | Leaf n -> Format.pp_print_string fmt n
+  | Node (l, r) -> Format.fprintf fmt "(%a . %a)" pp_tree l pp_tree r

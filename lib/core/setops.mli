@@ -1,0 +1,54 @@
+(** Strategies for set union and intersection (Section 5).
+
+    The paper closes by re-reading its framework with [⋈] replaced by a
+    set operation over a family of sets (all "relation schemes"
+    identical, so every pair is connected and no step is a Cartesian
+    product):
+
+    - with [⋈ := ∩], condition C3 is satisfied, so by Theorem 3 a linear
+      strategy is τ-optimal — i.e. to minimise the elements generated
+      when intersecting [X_1, ..., X_n] it suffices to consider
+      [(...((X_θ1 ∩ X_θ2) ∩ X_θ3)...)];
+    - with [⋈ := ∪] (duplicate elimination), condition C4 is satisfied,
+      and the paper leaves optimality open — the bench explores it.
+
+    Cost is the direct analogue of τ: the total size of all intermediate
+    and final results. *)
+
+open Mj_relation
+
+module Vset : Stdlib.Set.S with type elt = Value.t
+
+type family = (string * Vset.t) list
+(** Named sets; names must be distinct. *)
+
+type tree =
+  | Leaf of string
+  | Node of tree * tree
+
+val of_ints : (string * int list) list -> family
+
+type op = Inter | Union
+
+val eval : op -> family -> tree -> Vset.t
+(** @raise Invalid_argument on an unknown or repeated name. *)
+
+val tau : op -> family -> tree -> int
+(** Total size of every internal node's result. *)
+
+val left_deep : string list -> tree
+
+val ascending_linear : family -> tree
+(** The left-deep tree over the sets sorted by increasing size — the
+    classic heuristic that Theorem 3 certifies for intersection. *)
+
+val all_trees : string list -> tree list
+(** Every tree over the names, unordered children generated once. *)
+
+val optimum : op -> family -> tree * int
+(** Exact minimum-τ tree by DP over subsets (≤ ~15 sets). *)
+
+val optimum_linear : op -> family -> tree * int
+(** Cheapest left-deep tree. *)
+
+val pp_tree : Format.formatter -> tree -> unit

@@ -1,0 +1,248 @@
+open Mj_relation
+open Mj_hypergraph
+
+type t =
+  | Leaf of Scheme.t
+  | Join of node
+
+and node = {
+  left : t;
+  right : t;
+  schemes : Scheme.Set.t;
+}
+
+let schemes = function
+  | Leaf s -> Scheme.Set.singleton s
+  | Join n -> n.schemes
+
+let leaf s =
+  if not (Scheme.is_valid s) then invalid_arg "Strategy.leaf: empty scheme";
+  Leaf s
+
+let join s1 s2 =
+  let d1 = schemes s1 and d2 = schemes s2 in
+  if not (Scheme.Set.disjoint d1 d2) then
+    invalid_arg
+      (Printf.sprintf "Strategy.join: children share schemes (%s vs %s)"
+         (Format.asprintf "%a" Scheme.Set.pp d1)
+         (Format.asprintf "%a" Scheme.Set.pp d2));
+  Join { left = s1; right = s2; schemes = Scheme.Set.union d1 d2 }
+
+let left_deep = function
+  | [] -> invalid_arg "Strategy.left_deep: empty relation list"
+  | r :: rest -> List.fold_left (fun acc s -> join acc (leaf s)) (leaf r) rest
+
+(* Parser for the parenthesised notation: expr := term (' * ' term)* with
+   left associativity; term := scheme | '(' expr ')'.  A scheme token is
+   a comma-separated list of attribute names; a single comma-free token
+   of capitals and digits is the paper's one-character-per-attribute
+   shorthand ("ABC" = {A, B, C}), while any token containing lowercase
+   letters or underscores names one attribute ("cname"). *)
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg =
+    invalid_arg (Printf.sprintf "Strategy.of_string: %s at position %d" msg !pos)
+  in
+  let skip_spaces () =
+    while !pos < n && input.[!pos] = ' ' do incr pos done
+  in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let is_ident_char c =
+    (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')
+    || (c >= '0' && c <= '9') || c = '_'
+  in
+  let read_ident () =
+    let start = !pos in
+    while !pos < n && is_ident_char input.[!pos] do incr pos done;
+    if !pos = start then fail "expected an attribute name";
+    String.sub input start (!pos - start)
+  in
+  let shorthand tok =
+    String.for_all (fun c -> (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) tok
+  in
+  let rec parse_expr () =
+    let lhs = parse_term () in
+    parse_rest lhs
+  and parse_rest lhs =
+    skip_spaces ();
+    match peek () with
+    | Some '*' ->
+        incr pos;
+        let rhs = parse_term () in
+        parse_rest (join lhs rhs)
+    | _ -> lhs
+  and parse_term () =
+    skip_spaces ();
+    match peek () with
+    | Some '(' ->
+        incr pos;
+        let e = parse_expr () in
+        skip_spaces ();
+        (match peek () with
+        | Some ')' -> incr pos; e
+        | _ -> fail "expected ')'")
+    | Some c when is_ident_char c ->
+        let first = read_ident () in
+        let rec more acc =
+          if !pos < n && input.[!pos] = ',' then begin
+            incr pos;
+            more (read_ident () :: acc)
+          end
+          else List.rev acc
+        in
+        let idents = more [ first ] in
+        let scheme =
+          match idents with
+          | [ tok ] when shorthand tok -> Scheme.of_string tok
+          | _ ->
+              let attrs = List.map Attr.make idents in
+              let set = Attr.Set.of_list attrs in
+              if Attr.Set.cardinal set <> List.length attrs then
+                fail "repeated attribute in a scheme";
+              set
+        in
+        leaf scheme
+    | _ -> fail "expected a scheme or '('"
+  in
+  let result = parse_expr () in
+  skip_spaces ();
+  if !pos <> n then fail "trailing input";
+  result
+
+let size s = Scheme.Set.cardinal (schemes s)
+let num_steps s = size s - 1
+
+let rec leaves = function
+  | Leaf s -> [ s ]
+  | Join n -> leaves n.left @ leaves n.right
+
+let rec steps = function
+  | Leaf _ -> []
+  | Join n ->
+      steps n.left @ steps n.right @ [ (schemes n.left, schemes n.right) ]
+
+let rec subtree_schemes = function
+  | Leaf s -> [ Scheme.Set.singleton s ]
+  | Join n -> subtree_schemes n.left @ subtree_schemes n.right @ [ n.schemes ]
+
+let rec find_subtree s target =
+  if Scheme.Set.equal (schemes s) target then Some s
+  else
+    match s with
+    | Leaf _ -> None
+    | Join n ->
+        (* The target can only live under the child whose scheme set
+           contains it. *)
+        if Scheme.Set.subset target (schemes n.left) then
+          find_subtree n.left target
+        else if Scheme.Set.subset target (schemes n.right) then
+          find_subtree n.right target
+        else None
+
+let is_trivial = function Leaf _ -> true | Join _ -> false
+
+let rec is_linear = function
+  | Leaf _ -> true
+  | Join { left = Leaf _; right; _ } -> is_linear right
+  | Join { left; right = Leaf _; _ } -> is_linear left
+  | Join _ -> false
+
+let step_uses_cartesian d1 d2 = not (Hypergraph.linked d1 d2)
+
+let cartesian_steps s =
+  List.filter (fun (d1, d2) -> step_uses_cartesian d1 d2) (steps s)
+
+let uses_cartesian s = cartesian_steps s <> []
+let count_cartesian_steps s = List.length (cartesian_steps s)
+
+let evaluates_components_individually s =
+  let nodes = subtree_schemes s in
+  List.for_all
+    (fun comp -> List.exists (Scheme.Set.equal comp) nodes)
+    (Hypergraph.components (schemes s))
+
+let avoids_cartesian s =
+  evaluates_components_individually s
+  && count_cartesian_steps s = Hypergraph.comp (schemes s) - 1
+
+let check s =
+  let rec go = function
+    | Leaf sc ->
+        if Scheme.is_valid sc then Ok (Scheme.Set.singleton sc)
+        else Error "leaf with empty scheme"
+    | Join n -> (
+        match go n.left, go n.right with
+        | Ok d1, Ok d2 ->
+            if not (Scheme.Set.disjoint d1 d2) then
+              Error "children of a step are not disjoint"
+            else
+              let union = Scheme.Set.union d1 d2 in
+              if not (Scheme.Set.equal union n.schemes) then
+                Error "cached scheme set is stale"
+              else Ok union
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+  in
+  match go s with Ok _ -> Ok () | Error e -> Error e
+
+let rec compare s1 s2 =
+  match s1, s2 with
+  | Leaf a, Leaf b -> Scheme.compare a b
+  | Leaf _, Join _ -> -1
+  | Join _, Leaf _ -> 1
+  | Join n1, Join n2 ->
+      let c = compare n1.left n2.left in
+      if c <> 0 then c else compare n1.right n2.right
+
+let equal s1 s2 = compare s1 s2 = 0
+
+let rec equal_commutative s1 s2 =
+  match s1, s2 with
+  | Leaf a, Leaf b -> Scheme.equal a b
+  | Join n1, Join n2 ->
+      (equal_commutative n1.left n2.left && equal_commutative n1.right n2.right)
+      || (equal_commutative n1.left n2.right
+         && equal_commutative n1.right n2.left)
+  | Leaf _, Join _ | Join _, Leaf _ -> false
+
+let rec pp fmt = function
+  | Leaf s -> Scheme.pp fmt s
+  | Join n -> Format.fprintf fmt "(%a * %a)" pp n.left pp n.right
+
+let to_string s = Format.asprintf "%a" pp s
+
+let to_dot ?costs s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph strategy {\n  node [shape=box];\n";
+  let counter = ref 0 in
+  let rec emit = function
+    | Leaf sc ->
+        let id = Printf.sprintf "n%d" !counter in
+        incr counter;
+        Buffer.add_string buf
+          (Printf.sprintf "  %s [label=\"%s\", shape=plaintext];\n" id
+             (Scheme.to_string sc));
+        id
+    | Join n ->
+        let left_id = emit n.left in
+        let right_id = emit n.right in
+        let id = Printf.sprintf "n%d" !counter in
+        incr counter;
+        let label =
+          match costs with
+          | Some f -> Printf.sprintf "⋈\\n%d" (f n.schemes)
+          | None -> "⋈"
+        in
+        let cartesian =
+          step_uses_cartesian (schemes n.left) (schemes n.right)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s [label=\"%s\"%s];\n" id label
+             (if cartesian then ", style=dashed" else ""));
+        Buffer.add_string buf (Printf.sprintf "  %s -> %s;\n" id left_id);
+        Buffer.add_string buf (Printf.sprintf "  %s -> %s;\n" id right_id);
+        id
+  in
+  ignore (emit s);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

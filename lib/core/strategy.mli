@@ -1,0 +1,126 @@
+(** Strategies for evaluating multiple joins.
+
+    A strategy for a database [(D, D)] is a rooted binary tree whose
+    leaves are the relations of [D] and whose internal nodes — the
+    {e steps} — join the results of their two children (conditions
+    (S1)–(S4) of Section 2).  A strategy here is purely structural: nodes
+    carry relation {e schemes}, and relation {e states} are recomputed
+    from a database by {!Cost}.  This separation lets the proof
+    transformations of Section 3 operate on trees alone.
+
+    Terminology, all following the paper:
+
+    - a strategy is {e trivial} iff it is a single leaf;
+    - it is {e linear} iff every step has a trivial strategy as a child;
+    - a step [D1 ⋈ D2] {e uses a Cartesian product} iff [D1] is not
+      linked to [D2];
+    - a strategy {e evaluates components individually} iff every
+      component of [D] appears as a node;
+    - it {e avoids Cartesian products} iff it evaluates components
+      individually and has exactly [comp(D) - 1] Cartesian-product
+      steps (the unavoidable minimum). *)
+
+open Mj_relation
+
+type t =
+  | Leaf of Scheme.t
+  | Join of node
+
+and node = private {
+  left : t;
+  right : t;
+  schemes : Scheme.Set.t;  (** cached: the union of the leaf schemes below *)
+}
+
+(** {1 Construction} *)
+
+val leaf : Scheme.t -> t
+
+val join : t -> t -> t
+(** [join s1 s2] is the step [s1 ⋈ s2].
+    @raise Invalid_argument if the leaf-scheme sets of the children are
+    not disjoint (condition (S3)). *)
+
+val of_string : string -> t
+(** Parses the paper's parenthesised notation with [*] for [⋈]:
+    [of_string "((AB * BC) * CD)"].  A comma-free leaf of capitals and
+    digits is the single-character scheme shorthand ([AB] = [{A, B}]);
+    comma-separated identifiers name attributes directly
+    ([ck,cname,nk]).  Outermost parentheses are optional; [*] is
+    left-associative, so ["AB * BC * CD"] is [((AB ⋈ BC) ⋈ CD)].
+    @raise Invalid_argument on a syntax error or a repeated scheme. *)
+
+val left_deep : Scheme.t list -> t
+(** [left_deep [r1; r2; r3]] is [((r1 ⋈ r2) ⋈ r3)] — the linear strategy
+    joining in the given order.
+    @raise Invalid_argument on an empty list or repeated schemes. *)
+
+(** {1 Structure} *)
+
+val schemes : t -> Scheme.Set.t
+(** The database scheme this strategy evaluates (the [D'] of its root
+    node). *)
+
+val size : t -> int
+(** Number of leaves, [|D|]. *)
+
+val num_steps : t -> int
+(** [size - 1]. *)
+
+val leaves : t -> Scheme.t list
+(** Left-to-right leaf order. *)
+
+val steps : t -> (Scheme.Set.t * Scheme.Set.t) list
+(** The steps as [(D1, D2)] children pairs, in post-order (each step
+    after both of its sub-steps; the root step last). *)
+
+val subtree_schemes : t -> Scheme.Set.t list
+(** The scheme sets of every node (leaves included), post-order. *)
+
+val find_subtree : t -> Scheme.Set.t -> t option
+(** The (unique, by (S3)) subtree whose node evaluates exactly the given
+    scheme set, if any. *)
+
+val is_trivial : t -> bool
+val is_linear : t -> bool
+
+(** {1 Cartesian products and components} *)
+
+val step_uses_cartesian : Scheme.Set.t -> Scheme.Set.t -> bool
+(** Not linked. *)
+
+val cartesian_steps : t -> (Scheme.Set.t * Scheme.Set.t) list
+val uses_cartesian : t -> bool
+val count_cartesian_steps : t -> int
+
+val evaluates_components_individually : t -> bool
+val avoids_cartesian : t -> bool
+
+(** {1 Validity} *)
+
+val check : t -> (unit, string) result
+(** Re-verifies conditions (S1)–(S4) structurally: non-empty leaf
+    schemes, disjoint children everywhere, cached scheme sets correct.
+    The smart constructors maintain these invariants; [check] guards the
+    outputs of transformations in tests. *)
+
+(** {1 Comparison and printing} *)
+
+val compare : t -> t -> int
+(** Structural order.  Note [s1 ⋈ s2] and [s2 ⋈ s1] are distinct trees;
+    use {!equal_commutative} to identify them. *)
+
+val equal : t -> t -> bool
+
+val equal_commutative : t -> t -> bool
+(** Equality up to swapping the children of any step. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [((AB * BC) * CD)]. *)
+
+val to_string : t -> string
+
+val to_dot : ?costs:(Scheme.Set.t -> int) -> t -> string
+(** A Graphviz rendering of the strategy tree; with [costs], each step
+    node is annotated with its cardinality and Cartesian-product steps
+    are drawn dashed. *)

@@ -1,0 +1,99 @@
+open Mj_relation
+
+let set_to_string d = Format.asprintf "%a" Scheme.Set.pp d
+
+let not_found op d =
+  invalid_arg
+    (Printf.sprintf "Transform.%s: no subtree evaluates %s" op (set_to_string d))
+
+(* Rebuild the tree with the subtree at [target] replaced by whatever
+   [f subtree] returns ([None] meaning: splice the subtree out, which is
+   only legal when the node being removed is a child of a step). *)
+let rec rewrite s target f =
+  if Scheme.Set.equal (Strategy.schemes s) target then `Replaced (f s)
+  else
+    match s with
+    | Strategy.Leaf _ -> `NotFound
+    | Strategy.Join n -> (
+        let left = Strategy.schemes n.left in
+        let right = Strategy.schemes n.right in
+        if Scheme.Set.subset target left then
+          match rewrite n.left target f with
+          | `NotFound -> `NotFound
+          | `Replaced None -> `Replaced (Some n.right)
+          | `Replaced (Some l') -> `Replaced (Some (Strategy.join l' n.right))
+        else if Scheme.Set.subset target right then
+          match rewrite n.right target f with
+          | `NotFound -> `NotFound
+          | `Replaced None -> `Replaced (Some n.left)
+          | `Replaced (Some r') -> `Replaced (Some (Strategy.join n.left r'))
+        else `NotFound)
+
+let pluck s d'' =
+  if Scheme.Set.equal (Strategy.schemes s) d'' then
+    invalid_arg "Transform.pluck: cannot pluck the whole strategy";
+  match rewrite s d'' (fun _ -> None) with
+  | `Replaced (Some s') -> s'
+  | `Replaced None ->
+      (* Only the root rewrites to None, excluded above. *)
+      assert false
+  | `NotFound -> not_found "pluck" d''
+
+let extract s d'' =
+  match Strategy.find_subtree s d'' with
+  | None -> not_found "extract" d''
+  | Some sub -> (pluck s d'', sub)
+
+let graft s ~above s'' =
+  if not (Scheme.Set.disjoint (Strategy.schemes s) (Strategy.schemes s'')) then
+    invalid_arg "Transform.graft: grafted schemes overlap the strategy";
+  match rewrite s above (fun sub -> Some (Strategy.join sub s'')) with
+  | `Replaced (Some s') -> s'
+  | `Replaced None -> assert false
+  | `NotFound -> not_found "graft" above
+
+let transfer s ~subtree ~above =
+  if not (Scheme.Set.disjoint subtree above) then
+    invalid_arg "Transform.transfer: target overlaps the moved subtree";
+  let remaining, moved = extract s subtree in
+  graft remaining ~above moved
+
+let exchange s x y =
+  if Scheme.Set.subset x y || Scheme.Set.subset y x then
+    invalid_arg "Transform.exchange: one subtree contains the other";
+  let sub_x =
+    match Strategy.find_subtree s x with
+    | Some t -> t
+    | None -> not_found "exchange" x
+  in
+  let sub_y =
+    match Strategy.find_subtree s y with
+    | Some t -> t
+    | None -> not_found "exchange" y
+  in
+  (* Replace x by a placeholder-free two-step rewrite: first swap x -> y
+     would collide with the existing y subtree, so splice both out and
+     reinsert.  Simpler: rewrite bottom-up replacing whichever of x, y is
+     found first at each position. *)
+  let rec swap t =
+    let ts = Strategy.schemes t in
+    if Scheme.Set.equal ts x then sub_y
+    else if Scheme.Set.equal ts y then sub_x
+    else
+      match t with
+      | Strategy.Leaf _ -> t
+      | Strategy.Join n -> Strategy.join (swap n.left) (swap n.right)
+  in
+  swap s
+
+let replace_subtree s d' s' =
+  if not (Scheme.Set.equal (Strategy.schemes s') d') then
+    invalid_arg
+      (Printf.sprintf
+         "Transform.replace_subtree: replacement evaluates %s, expected %s"
+         (set_to_string (Strategy.schemes s'))
+         (set_to_string d'));
+  match rewrite s d' (fun _ -> Some s') with
+  | `Replaced (Some t) -> t
+  | `Replaced None -> assert false
+  | `NotFound -> not_found "replace_subtree" d'

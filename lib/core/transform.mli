@@ -1,0 +1,51 @@
+(** The strategy transformations of Section 2 (Figures 1–6).
+
+    The paper proves its theorems by surgery on strategies: {e plucking}
+    a substrategy out (Figure 1), {e grafting} one above another subtree
+    (Figure 2), exchanging two leaves (Figure 3), and moving a component
+    next to the relations it links with (Figures 4–6).  All operations
+    are structural: ancestors' scheme sets are rebuilt automatically, so
+    the output is a valid strategy for the corresponding database.
+
+    Subtrees are addressed by their scheme sets, which is unambiguous by
+    condition (S3). *)
+
+open Mj_relation
+
+val pluck : Strategy.t -> Scheme.Set.t -> Strategy.t
+(** [pluck s d''] removes the substrategy [S_{D''}]: its parent step
+    [S_{D'} ⋈ S_{D''}] is replaced by [S_{D'}] alone, turning a strategy
+    for [D] into one for [D − D''] (Figure 1).
+    @raise Invalid_argument if no subtree evaluates [d''] or [d''] is
+    the whole strategy. *)
+
+val extract : Strategy.t -> Scheme.Set.t -> Strategy.t * Strategy.t
+(** [extract s d''] is [(pluck s d'', the plucked substrategy)]. *)
+
+val graft : Strategy.t -> above:Scheme.Set.t -> Strategy.t -> Strategy.t
+(** [graft s ~above:d' s''] replaces the substrategy [S_{D'}] by the new
+    step [S_{D'} ⋈ S''], turning a strategy for [D] into one for
+    [D ∪ D''] (Figure 2).
+    @raise Invalid_argument if no subtree evaluates [d'], or the grafted
+    strategy's schemes overlap [D]. *)
+
+val transfer : Strategy.t -> subtree:Scheme.Set.t -> above:Scheme.Set.t -> Strategy.t
+(** Pluck then graft: move the substrategy evaluating [subtree] so that
+    it joins directly with the substrategy evaluating [above].  This is
+    the move used in the proofs of Theorem 1 (case 1), Lemma 2, Lemma 3
+    and Lemma 6.
+    @raise Invalid_argument if either address is missing, [subtree]
+    is the root, or [above] lies inside [subtree]. *)
+
+val exchange : Strategy.t -> Scheme.Set.t -> Scheme.Set.t -> Strategy.t
+(** [exchange s x y] swaps the positions of the two substrategies
+    evaluating [x] and [y] (Figure 3, case 2 of Theorem 1).
+    @raise Invalid_argument if either is missing, or one contains the
+    other. *)
+
+val replace_subtree : Strategy.t -> Scheme.Set.t -> Strategy.t -> Strategy.t
+(** [replace_subtree s d' s'] substitutes [s'] for the substrategy
+    evaluating [d'].  [s'] must evaluate exactly the same scheme set
+    (this is the "replace a substrategy by a τ-optimum one" move in the
+    proofs).
+    @raise Invalid_argument otherwise. *)

@@ -1,0 +1,300 @@
+open Mj_relation
+open Multijoin
+
+type stats = {
+  tuples_scanned : int;
+  tuples_generated : int;
+  comparisons : int;
+  hash_probes : int;
+  index_builds : int;
+  index_hits : int;
+  max_materialized : int;
+  per_step : (Scheme.Set.t * int) list;
+}
+
+(* A base-relation index: join-key (canonical binding list of the shared
+   attributes) to matching tuples.  The cache is keyed by
+   "scheme|attributes". *)
+type index_cache = (string, ((Attr.t * Value.t) list, Tuple.t) Hashtbl.t) Hashtbl.t
+
+type counters = {
+  mutable scanned : int;
+  mutable generated : int;
+  mutable compared : int;
+  mutable probed : int;
+  mutable built : int;
+  mutable hits : int;
+  mutable peak : int;
+  mutable steps : (Scheme.Set.t * int) list;
+}
+
+let fresh () =
+  {
+    scanned = 0;
+    generated = 0;
+    compared = 0;
+    probed = 0;
+    built = 0;
+    hits = 0;
+    peak = 0;
+    steps = [];
+  }
+
+let note_materialized c n = if n > c.peak then c.peak <- n
+
+let join_key common tu = Tuple.bindings (Tuple.restrict tu common)
+
+(* The join algorithms, each consuming and producing tuple lists (the
+   materializing engine keeps children as lists). *)
+
+let nested_loop c out_scheme left right =
+  let acc = ref [] in
+  List.iter
+    (fun t1 ->
+      List.iter
+        (fun t2 ->
+          c.compared <- c.compared + 1;
+          if Tuple.joinable t1 t2 then acc := Tuple.merge t1 t2 :: !acc)
+        right)
+    left;
+  ignore out_scheme;
+  List.rev !acc
+
+let block_nested_loop c out_scheme block left right =
+  if block < 1 then invalid_arg "Exec: block size below 1";
+  ignore out_scheme;
+  let acc = ref [] in
+  let rec blocks = function
+    | [] -> ()
+    | l ->
+        let rec take k = function
+          | x :: rest when k > 0 ->
+              let taken, dropped = take (k - 1) rest in
+              (x :: taken, dropped)
+          | rest -> ([], rest)
+        in
+        let chunk, rest = take block l in
+        note_materialized c (List.length chunk);
+        List.iter
+          (fun t2 ->
+            List.iter
+              (fun t1 ->
+                c.compared <- c.compared + 1;
+                if Tuple.joinable t1 t2 then acc := Tuple.merge t1 t2 :: !acc)
+              chunk)
+          right;
+        blocks rest
+  in
+  blocks left;
+  List.rev !acc
+
+let hash_join c common left right =
+  (* Build on the right, probe with the left. *)
+  let table = Hashtbl.create (max 16 (List.length right)) in
+  List.iter (fun t2 -> Hashtbl.add table (join_key common t2) t2) right;
+  note_materialized c (List.length right);
+  let acc = ref [] in
+  List.iter
+    (fun t1 ->
+      c.probed <- c.probed + 1;
+      List.iter
+        (fun t2 -> acc := Tuple.merge t1 t2 :: !acc)
+        (Hashtbl.find_all table (join_key common t1)))
+    left;
+  List.rev !acc
+
+let sort_merge c common left right =
+  let keyed side = List.map (fun t -> (join_key common t, t)) side in
+  let sort side = List.sort (fun (k1, _) (k2, _) -> compare k1 k2) (keyed side) in
+  let ls = sort left and rs = sort right in
+  note_materialized c (List.length left + List.length right);
+  let acc = ref [] in
+  (* Standard merge with group expansion on key ties. *)
+  let rec merge ls rs =
+    match ls, rs with
+    | [], _ | _, [] -> ()
+    | (k1, _) :: _, (k2, _) :: _ ->
+        c.compared <- c.compared + 1;
+        if k1 < k2 then merge (List.tl ls) rs
+        else if k1 > k2 then merge ls (List.tl rs)
+        else begin
+          let same k = List.partition (fun (k', _) -> k' = k) in
+          let lgroup, lrest = same k1 ls in
+          let rgroup, rrest = same k1 rs in
+          List.iter
+            (fun (_, t1) ->
+              List.iter (fun (_, t2) -> acc := Tuple.merge t1 t2 :: !acc) rgroup)
+            lgroup;
+          merge lrest rrest
+        end
+  in
+  merge ls rs;
+  List.rev !acc
+
+let base_relation db s =
+  match Database.find db s with
+  | r -> r
+  | exception Not_found ->
+      invalid_arg
+        (Printf.sprintf "Exec: scheme %s not in the database"
+           (Scheme.to_string s))
+
+(* Fetch or build the hash index of a base relation on the given join
+   attributes. *)
+let base_index c cache db s common =
+  let cache_key =
+    Scheme.to_string s ^ "|" ^ Attr.Set.to_string common
+  in
+  match Hashtbl.find_opt cache cache_key with
+  | Some table ->
+      c.hits <- c.hits + 1;
+      table
+  | None ->
+      let r = base_relation db s in
+      let table = Hashtbl.create (max 16 (Relation.cardinality r)) in
+      Relation.iter (fun t -> Hashtbl.add table (join_key common t) t) r;
+      c.built <- c.built + 1;
+      c.scanned <- c.scanned + Relation.cardinality r;
+      note_materialized c (Relation.cardinality r);
+      Hashtbl.add cache cache_key table;
+      table
+
+let index_join c cache db left common inner_scheme =
+  let table = base_index c cache db inner_scheme common in
+  let acc = ref [] in
+  List.iter
+    (fun t1 ->
+      c.probed <- c.probed + 1;
+      List.iter
+        (fun t2 -> acc := Tuple.merge t1 t2 :: !acc)
+        (Hashtbl.find_all table (join_key common t1)))
+    left;
+  List.rev !acc
+
+let rec run c cache db = function
+  | Physical.Scan s ->
+      let r = base_relation db s in
+      let tuples = Relation.tuples r in
+      c.scanned <- c.scanned + List.length tuples;
+      (s, tuples)
+  | Physical.Join (algo, l, r) ->
+      let node_schemes =
+        Strategy.schemes (Physical.strategy_of (Physical.Join (algo, l, r)))
+      in
+      (match algo, r with
+      | Physical.Index_nested_loop, Physical.Scan inner ->
+          (* The inner base relation is reached through its index; only
+             the outer child executes. *)
+          let ls, left = run c cache db l in
+          let common = Attr.Set.inter ls inner in
+          let out = index_join c cache db left common inner in
+          finish c node_schemes (Attr.Set.union ls inner) out
+      | _ ->
+          let ls, left = run c cache db l in
+          let rs, right = run c cache db r in
+          let common = Attr.Set.inter ls rs in
+          let out_scheme = Attr.Set.union ls rs in
+          let out =
+            match algo with
+            | Physical.Nested_loop -> nested_loop c out_scheme left right
+            | Physical.Block_nested_loop b ->
+                block_nested_loop c out_scheme b left right
+            | Physical.Hash_join | Physical.Index_nested_loop ->
+                (* Index joins on a non-scan inner degrade to hash. *)
+                hash_join c common left right
+            | Physical.Sort_merge -> sort_merge c common left right
+          in
+          finish c node_schemes out_scheme out)
+
+and finish c node_schemes out_scheme out =
+  let n = List.length out in
+  c.generated <- c.generated + n;
+  note_materialized c n;
+  c.steps <- (node_schemes, n) :: c.steps;
+  (out_scheme, out)
+
+let index_cache () : index_cache = Hashtbl.create 16
+
+let execute ?(cache = index_cache ()) db plan =
+  let c = fresh () in
+  let out_scheme, tuples = run c cache db plan in
+  let result = Relation.make out_scheme tuples in
+  ( result,
+    {
+      tuples_scanned = c.scanned;
+      tuples_generated = c.generated;
+      comparisons = c.compared;
+      hash_probes = c.probed;
+      index_builds = c.built;
+      index_hits = c.hits;
+      max_materialized = c.peak;
+      per_step = List.rev c.steps;
+    } )
+
+type pipeline_stats = {
+  emitted_per_stage : int list;
+  peak_buffer : int;
+  result_size : int;
+}
+
+let execute_pipelined db strategy =
+  if not (Strategy.is_linear strategy) then
+    invalid_arg "Exec.execute_pipelined: strategy is not linear";
+  (* Normalize the spine into a join order: the leaf order of a linear
+     strategy read so that each element joins the accumulated prefix. *)
+  let rec order = function
+    | Strategy.Leaf s -> [ s ]
+    | Strategy.Join { left; right = Strategy.Leaf s; _ } -> order left @ [ s ]
+    | Strategy.Join { left = Strategy.Leaf s; right; _ } -> order right @ [ s ]
+    | Strategy.Join _ -> assert false
+  in
+  match order strategy with
+  | [] -> assert false
+  | first :: rest ->
+      let base s =
+        match Database.find db s with
+        | r -> r
+        | exception Not_found ->
+            invalid_arg
+              (Printf.sprintf "Exec: scheme %s not in the database"
+                 (Scheme.to_string s))
+      in
+      let peak = ref 0 in
+      let counts = ref [] in
+      (* Stream the accumulated prefix as a Seq; each stage wraps the
+         previous one with a hash-table lookup on a base relation. *)
+      let stage (seq, acc_scheme) s =
+        let r = base s in
+        let common = Attr.Set.inter acc_scheme s in
+        let table = Hashtbl.create (max 16 (Relation.cardinality r)) in
+        Relation.iter (fun t -> Hashtbl.add table (join_key common t) t) r;
+        peak := max !peak (Relation.cardinality r);
+        let emitted = ref 0 in
+        let count = Seq.map (fun t -> incr emitted; t) in
+        let joined =
+          Seq.concat_map
+            (fun t1 ->
+              List.to_seq
+                (List.map (Tuple.merge t1)
+                   (Hashtbl.find_all table (join_key common t1))))
+            seq
+        in
+        counts := emitted :: !counts;
+        (count joined, Attr.Set.union acc_scheme s)
+      in
+      let first_rel = base first in
+      peak := Relation.cardinality first_rel;
+      let seq0 = List.to_seq (Relation.tuples first_rel) in
+      let final_seq, final_scheme =
+        List.fold_left stage (seq0, first) rest
+      in
+      (* Drain the pipeline once; the per-stage counters fill in as the
+         stream flows. *)
+      let out = List.of_seq final_seq in
+      let result = Relation.make final_scheme out in
+      ( result,
+        {
+          emitted_per_stage = List.rev_map (fun r -> !r) !counts;
+          peak_buffer = !peak;
+          result_size = Relation.cardinality result;
+        } )

@@ -1,0 +1,58 @@
+(** Plan execution.
+
+    Two modes, matching the two implementation styles Section 1 alludes
+    to:
+
+    - {!execute}: materializing — every join node's result is computed
+      and kept, whatever the algorithm.  The total number of tuples
+      generated equals the paper's [τ] of the underlying strategy
+      {e exactly} (the test suite asserts this for every algorithm), so
+      the engine doubles as an independent validation of the cost
+      measure.
+
+    - {!execute_pipelined}: for {e linear} strategies only — the spine
+      is streamed tuple-at-a-time through hash tables built on the base
+      relations, so no intermediate result is ever materialized.  The
+      peak memory footprint is the largest base relation, not the
+      largest intermediate; this is the pipelining argument for linear
+      strategies made concrete. *)
+
+open Mj_relation
+open Multijoin
+
+type stats = {
+  tuples_scanned : int;     (** tuples read out of base relations *)
+  tuples_generated : int;   (** join-output tuples across all steps; equals [τ] *)
+  comparisons : int;        (** tuple-pair tests (loop and merge joins) *)
+  hash_probes : int;        (** probe lookups (hash and index joins) *)
+  index_builds : int;       (** base-relation indexes built this execution *)
+  index_hits : int;         (** joins served by an already-built index *)
+  max_materialized : int;   (** largest relation/hash-table/sort buffer held *)
+  per_step : (Scheme.Set.t * int) list;
+      (** output cardinality per join node, post-order — comparable to
+          {!Multijoin.Cost.step_costs} *)
+}
+
+type index_cache
+(** Hash indexes over base relations, keyed by (scheme, join
+    attributes).  Pass the same cache to several {!execute} calls to
+    model pre-existing indices: later runs probe without building. *)
+
+val index_cache : unit -> index_cache
+
+val execute : ?cache:index_cache -> Database.t -> Physical.t -> Relation.t * stats
+(** Materializing execution.  [cache] (fresh by default) only affects
+    [Index_nested_loop] steps.
+    @raise Invalid_argument if a scanned scheme is missing from the
+    database or a block size is below 1. *)
+
+type pipeline_stats = {
+  emitted_per_stage : int list;
+      (** tuples flowing out of each spine position (the τ step costs) *)
+  peak_buffer : int;  (** largest hash table built (base relations only) *)
+  result_size : int;
+}
+
+val execute_pipelined : Database.t -> Strategy.t -> Relation.t * pipeline_stats
+(** Streaming execution of a linear strategy.
+    @raise Invalid_argument if the strategy is not linear. *)

@@ -1,0 +1,75 @@
+open Mj_relation
+open Mj_hypergraph
+open Multijoin
+
+let rec makespan_oracle oracle = function
+  | Strategy.Leaf _ -> 0
+  | Strategy.Join n ->
+      max (makespan_oracle oracle n.left) (makespan_oracle oracle n.right)
+      + oracle n.schemes
+
+let makespan db s = makespan_oracle (Cost.cardinality_oracle db) s
+
+let key d = String.concat "|" (List.map Scheme.to_string (Scheme.Set.elements d))
+
+let better a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some (r1 : Optimal.result), Some r2 -> if r1.cost <= r2.cost then a else b
+
+let optimum_makespan ?(subspace = Enumerate.All) ~oracle d =
+  let partitions =
+    match subspace with
+    | Enumerate.All -> Hypergraph.binary_partitions
+    | Enumerate.Linear ->
+        fun d' ->
+          Scheme.Set.fold
+            (fun s acc -> (Scheme.Set.remove s d', Scheme.Set.singleton s) :: acc)
+            d' []
+    | Enumerate.Cp_free ->
+        fun d' ->
+          List.filter
+            (fun (d1, d2) -> Hypergraph.connected d1 && Hypergraph.connected d2)
+            (Hypergraph.binary_partitions d')
+    | Enumerate.Linear_cp_free ->
+        fun d' ->
+          Scheme.Set.fold
+            (fun s acc ->
+              let rest = Scheme.Set.remove s d' in
+              if Hypergraph.connected rest then
+                (rest, Scheme.Set.singleton s) :: acc
+              else acc)
+            d' []
+  in
+  (* Makespan is compositional per subtree (max of children + step), so
+     the same subset DP applies with the combining rule swapped. *)
+  let memo = Hashtbl.create 64 in
+  let rec best d' =
+    match Hashtbl.find_opt memo (key d') with
+    | Some r -> r
+    | None ->
+        let r =
+          match Scheme.Set.elements d' with
+          | [] -> invalid_arg "Parallel: empty sub-database"
+          | [ s ] -> Some { Optimal.strategy = Strategy.leaf s; cost = 0 }
+          | _ ->
+              let here = oracle d' in
+              List.fold_left
+                (fun acc (d1, d2) ->
+                  match best d1, best d2 with
+                  | Some r1, Some r2 ->
+                      better acc
+                        (Some
+                           {
+                             Optimal.strategy =
+                               Strategy.join r1.Optimal.strategy
+                                 r2.Optimal.strategy;
+                             cost = max r1.Optimal.cost r2.Optimal.cost + here;
+                           })
+                  | _ -> acc)
+                None (partitions d')
+        in
+        Hashtbl.add memo (key d') r;
+        r
+  in
+  best d

@@ -1,0 +1,40 @@
+open Mj_relation
+open Multijoin
+
+type algorithm =
+  | Nested_loop
+  | Block_nested_loop of int
+  | Hash_join
+  | Sort_merge
+  | Index_nested_loop
+
+type t =
+  | Scan of Scheme.t
+  | Join of algorithm * t * t
+
+let rec of_strategy ?(algo = fun _ _ -> Hash_join) = function
+  | Strategy.Leaf s -> Scan s
+  | Strategy.Join n ->
+      let left = of_strategy ~algo n.left in
+      let right = of_strategy ~algo n.right in
+      Join (algo (Strategy.schemes n.left) (Strategy.schemes n.right), left, right)
+
+let rec strategy_of = function
+  | Scan s -> Strategy.leaf s
+  | Join (_, l, r) -> Strategy.join (strategy_of l) (strategy_of r)
+
+let schemes p = Strategy.schemes (strategy_of p)
+
+let algorithm_name = function
+  | Nested_loop -> "nl"
+  | Block_nested_loop b -> Printf.sprintf "bnl%d" b
+  | Hash_join -> "hash"
+  | Sort_merge -> "merge"
+  | Index_nested_loop -> "inl"
+
+let rec pp fmt = function
+  | Scan s -> Scheme.pp fmt s
+  | Join (a, l, r) ->
+      Format.fprintf fmt "(%a %s %a)" pp l (algorithm_name a) pp r
+
+let to_string p = Format.asprintf "%a" pp p

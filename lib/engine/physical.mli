@@ -1,0 +1,54 @@
+(** Physical join plans.
+
+    Section 1 motivates linear strategies by implementation concerns:
+    they "can be programmed as nested loops, can take advantage of
+    existing indices, and can use pipelining".  This module gives those
+    words an executable meaning: a physical plan annotates each step of a
+    {!Multijoin.Strategy.t} with a join algorithm, and {!Exec} runs it.
+
+    Algorithms:
+
+    - [Nested_loop]: tuple-at-a-time loop join; the inner input is
+      re-evaluated per outer tuple (pipelinable on the outer side);
+    - [Block_nested_loop]: the loop join with the outer side consumed in
+      blocks of a configurable size;
+    - [Hash_join]: classic build/probe — the {e right} child is built
+      into a hash table on the common attributes, the left is probed
+      pipelined;
+    - [Sort_merge]: both inputs materialized, sorted on the common
+      attributes and merged;
+    - [Index_nested_loop]: like [Hash_join], but when the inner (right)
+      child is a base-relation scan, the hash index is taken from — and
+      left in — the execution's index cache, so repeated executions (or
+      several joins against the same base relation) reuse "existing
+      indices" instead of rebuilding them (the Section 1 argument for
+      linear strategies).  On a non-scan inner it degrades to an
+      ordinary hash join. *)
+
+open Mj_relation
+open Multijoin
+
+type algorithm =
+  | Nested_loop
+  | Block_nested_loop of int  (** block size, ≥ 1 *)
+  | Hash_join
+  | Sort_merge
+  | Index_nested_loop
+
+type t =
+  | Scan of Scheme.t
+  | Join of algorithm * t * t
+
+val of_strategy : ?algo:(Scheme.Set.t -> Scheme.Set.t -> algorithm) -> Strategy.t -> t
+(** Annotate every step; [algo] receives the children's scheme sets and
+    defaults to [Hash_join] everywhere. *)
+
+val strategy_of : t -> Strategy.t
+(** Forget the annotations.
+    @raise Invalid_argument if the plan violates (S3). *)
+
+val schemes : t -> Scheme.Set.t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val algorithm_name : algorithm -> string

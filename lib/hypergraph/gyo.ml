@@ -1,0 +1,71 @@
+open Mj_relation
+
+let delete_unique_attrs d =
+  let universe = Scheme.Set.universe d in
+  let occurs_once a =
+    Scheme.Set.cardinal (Hypergraph.schemes_containing d a) = 1
+  in
+  let unique = Attr.Set.filter occurs_once universe in
+  if Attr.Set.is_empty unique then d
+  else
+    Scheme.Set.fold
+      (fun s acc ->
+        let s' = Attr.Set.diff s unique in
+        if Attr.Set.is_empty s' then acc else Scheme.Set.add s' acc)
+      d Scheme.Set.empty
+
+let delete_contained d =
+  Scheme.Set.filter
+    (fun s ->
+      not
+        (Scheme.Set.exists
+           (fun s' -> (not (Scheme.equal s s')) && Attr.Set.subset s s')
+           d))
+    d
+  |> fun kept ->
+  (* Two equal schemes cannot coexist in a set, but a scheme strictly
+     contained in another must go; if everything was mutually contained
+     (impossible in a set), [kept] would be empty — guard anyway. *)
+  if Scheme.Set.is_empty kept && not (Scheme.Set.is_empty d) then
+    Scheme.Set.singleton (Scheme.Set.choose d)
+  else kept
+
+let rec reduce d =
+  let d' = delete_contained (delete_unique_attrs d) in
+  if Scheme.Set.equal d d' then d else reduce d'
+
+let is_alpha_acyclic d = Scheme.Set.cardinal (reduce d) <= 1
+
+(* An ear of D is a scheme R whose attributes shared with the rest of D
+   all lie inside a single other scheme R' (the witness/parent).  A scheme
+   sharing nothing with the rest is an ear with any witness. *)
+let find_ear d =
+  let candidates = Scheme.Set.elements d in
+  let rest_universe s = Scheme.Set.universe (Scheme.Set.remove s d) in
+  let rec try_schemes = function
+    | [] -> None
+    | s :: tail ->
+        let shared = Attr.Set.inter s (rest_universe s) in
+        let witness =
+          Scheme.Set.choose_opt
+            (Scheme.Set.filter
+               (fun s' -> (not (Scheme.equal s s')) && Attr.Set.subset shared s')
+               d)
+        in
+        (match witness with
+        | Some w -> Some (s, w)
+        | None -> try_schemes tail)
+  in
+  try_schemes candidates
+
+let ear_decomposition d =
+  let rec peel d acc =
+    if Scheme.Set.cardinal d <= 1 then Some (List.rev acc)
+    else
+      match find_ear d with
+      | None -> None
+      | Some (ear, parent) -> peel (Scheme.Set.remove ear d) ((ear, parent) :: acc)
+  in
+  peel d []
+
+let join_tree = ear_decomposition

@@ -1,0 +1,105 @@
+open Mj_relation
+
+type t = Scheme.Set.t
+
+let of_strings = Scheme.Set.of_strings
+
+let linked d1 d2 =
+  not (Attr.Set.disjoint (Scheme.Set.universe d1) (Scheme.Set.universe d2))
+
+let disjoint d1 d2 = Scheme.Set.disjoint d1 d2
+
+(* Breadth-first closure from a seed scheme, walking shared-attribute
+   adjacency inside [d]. *)
+let reachable_from d seed =
+  let rec grow frontier seen =
+    if Scheme.Set.is_empty frontier then seen
+    else
+      let next =
+        Scheme.Set.filter
+          (fun s ->
+            (not (Scheme.Set.mem s seen))
+            && Scheme.Set.exists
+                 (fun s' -> not (Attr.Set.disjoint s s'))
+                 frontier)
+          d
+      in
+      grow next (Scheme.Set.union seen next)
+  in
+  let seed_set = Scheme.Set.singleton seed in
+  grow seed_set seed_set
+
+let connected d =
+  match Scheme.Set.choose_opt d with
+  | None -> true
+  | Some seed -> Scheme.Set.equal (reachable_from d seed) d
+
+let components d =
+  let rec peel remaining acc =
+    match Scheme.Set.choose_opt remaining with
+    | None -> List.rev acc
+    | Some seed ->
+        let comp = reachable_from remaining seed in
+        peel (Scheme.Set.diff remaining comp) (comp :: acc)
+  in
+  let comps = peel d [] in
+  List.sort
+    (fun c1 c2 -> Scheme.compare (Scheme.Set.min_elt c1) (Scheme.Set.min_elt c2))
+    comps
+
+let comp d = List.length (components d)
+
+let neighbors d s =
+  Scheme.Set.filter
+    (fun s' -> (not (Scheme.equal s s')) && not (Attr.Set.disjoint s s'))
+    d
+
+let schemes_containing d a = Scheme.Set.filter (fun s -> Attr.Set.mem a s) d
+
+let subsets d =
+  let elems = Scheme.Set.elements d in
+  let k = List.length elems in
+  if k > 20 then invalid_arg "Hypergraph.subsets: database scheme too large";
+  let arr = Array.of_list elems in
+  let rec build mask acc =
+    if mask = 0 then acc
+    else
+      let sub = ref Scheme.Set.empty in
+      Array.iteri
+        (fun idx s -> if mask land (1 lsl idx) <> 0 then sub := Scheme.Set.add s !sub)
+        arr;
+      build (mask - 1) (!sub :: acc)
+  in
+  build ((1 lsl k) - 1) []
+
+let connected_subsets d = List.filter connected (subsets d)
+
+let binary_partitions d =
+  let elems = Scheme.Set.elements d in
+  match elems with
+  | [] | [ _ ] -> []
+  | anchor :: rest ->
+      let arr = Array.of_list rest in
+      let k = Array.length arr in
+      if k > 20 then
+        invalid_arg "Hypergraph.binary_partitions: database scheme too large";
+      (* The anchor always sits in the left half, so each unordered
+         partition appears exactly once.  The mask ranges over the proper
+         subsets of [rest] joining the anchor; the complement must be
+         non-empty, hence the upper bound. *)
+      let rec build mask acc =
+        if mask < 0 then acc
+        else begin
+          let left = ref (Scheme.Set.singleton anchor) in
+          let right = ref Scheme.Set.empty in
+          Array.iteri
+            (fun idx s ->
+              if mask land (1 lsl idx) <> 0 then left := Scheme.Set.add s !left
+              else right := Scheme.Set.add s !right)
+            arr;
+          build (mask - 1) ((!left, !right) :: acc)
+        end
+      in
+      build ((1 lsl k) - 2) []
+
+let pp = Scheme.Set.pp

@@ -1,0 +1,67 @@
+(** Database schemes as hypergraphs: the connectivity vocabulary of
+    Section 2.
+
+    A database scheme [D] is viewed as a hypergraph whose nodes are the
+    relation schemes, with an (implicit) edge between two nodes iff their
+    schemes intersect.  All definitions follow the paper exactly:
+
+    - [D1] is {e linked} to [D2] iff [(∪D1) ∩ (∪D2) ≠ ∅];
+    - [D1] and [D2] are {e disjoint} iff [D1 ∩ D2 = ∅] (as sets of
+      schemes — they may still be linked);
+    - [D] is {e connected} iff it is not the union of two disjoint
+      database schemes that are not linked to each other;
+    - a {e component} of [D] is a connected subset not linked to the
+      rest. *)
+
+open Mj_relation
+
+type t = Scheme.Set.t
+(** A database scheme. *)
+
+val of_strings : string list -> t
+(** [of_strings ["ABC"; "BE"]] in single-character shorthand. *)
+
+val linked : t -> t -> bool
+(** [linked d1 d2] — the paper's "D1 is linked to D2".  Symmetric. *)
+
+val disjoint : t -> t -> bool
+(** No shared relation scheme. *)
+
+val connected : t -> bool
+(** Is [d] connected?  The empty scheme is vacuously connected; a
+    singleton always is. *)
+
+val components : t -> t list
+(** The components of [d], in increasing order of their minimum scheme.
+    Their union is [d]; each is connected and unlinked to the rest. *)
+
+val comp : t -> int
+(** [comp d] is the paper's [comp(D)]: the number of components. *)
+
+val neighbors : t -> Scheme.t -> t
+(** Schemes of [d] sharing at least one attribute with the given scheme
+    (excluding the scheme itself if present). *)
+
+val schemes_containing : t -> Attr.t -> t
+(** The schemes of [d] containing a given attribute. *)
+
+(** {1 Subset machinery}
+
+    The paper's conditions [C1]–[C4] quantify over connected disjoint
+    subsets of [D]; these helpers enumerate them.  All are exponential in
+    [|D|] and intended for the small databases on which the exhaustive
+    condition checkers run. *)
+
+val subsets : t -> t list
+(** All non-empty subsets of [d] ([2^|D| - 1] of them).
+    @raise Invalid_argument when [|D| > 20]. *)
+
+val connected_subsets : t -> t list
+(** All non-empty {e connected} subsets of [d]. *)
+
+val binary_partitions : t -> (t * t) list
+(** All unordered partitions of [d] into two non-empty disjoint halves,
+    each pair listed once.  These are exactly the candidate root steps of
+    a strategy for [d]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,184 @@
+open Mj_relation
+
+type tree = (Scheme.t * Scheme.t) list
+
+(* Adjacency as a map from scheme to neighbour set. *)
+let adjacency edges =
+  List.fold_left
+    (fun acc (u, v) ->
+      let add k x m =
+        Scheme.Map.update k
+          (function None -> Some (Scheme.Set.singleton x) | Some s -> Some (Scheme.Set.add x s))
+          m
+      in
+      add u v (add v u acc))
+    Scheme.Map.empty edges
+
+let neighbours adj s =
+  match Scheme.Map.find_opt s adj with
+  | None -> Scheme.Set.empty
+  | Some ns -> ns
+
+let is_spanning_tree d edges =
+  let nodes = Scheme.Set.elements d in
+  let n = List.length nodes in
+  List.length edges = n - 1
+  && List.for_all (fun (u, v) -> Scheme.Set.mem u d && Scheme.Set.mem v d) edges
+  &&
+  (* Connectivity check by BFS over the edge adjacency. *)
+  match nodes with
+  | [] -> true
+  | seed :: _ ->
+      let adj = adjacency edges in
+      let rec grow frontier seen =
+        if Scheme.Set.is_empty frontier then seen
+        else
+          let next =
+            Scheme.Set.fold
+              (fun s acc -> Scheme.Set.union acc (neighbours adj s))
+              frontier Scheme.Set.empty
+          in
+          let fresh = Scheme.Set.diff next seen in
+          grow fresh (Scheme.Set.union seen fresh)
+      in
+      let seed_set = Scheme.Set.singleton seed in
+      Scheme.Set.cardinal (grow seed_set seed_set) = n
+
+(* Running-intersection property: for every attribute, the schemes
+   containing it induce a connected subgraph of the tree. *)
+let running_intersection d edges =
+  let adj = adjacency edges in
+  let universe = Scheme.Set.universe d in
+  Attr.Set.for_all
+    (fun a ->
+      let holders = Hypergraph.schemes_containing d a in
+      match Scheme.Set.choose_opt holders with
+      | None -> true
+      | Some seed ->
+          (* BFS restricted to holder nodes. *)
+          let rec grow frontier seen =
+            if Scheme.Set.is_empty frontier then seen
+            else
+              let next =
+                Scheme.Set.fold
+                  (fun s acc ->
+                    Scheme.Set.union acc
+                      (Scheme.Set.inter (neighbours adj s) holders))
+                  frontier Scheme.Set.empty
+              in
+              let fresh = Scheme.Set.diff next seen in
+              grow fresh (Scheme.Set.union seen fresh)
+          in
+          let seed_set = Scheme.Set.singleton seed in
+          Scheme.Set.equal (grow seed_set seed_set) holders)
+    universe
+
+let is_join_tree d edges = is_spanning_tree d edges && running_intersection d edges
+
+(* Decode a Prüfer sequence over node indices 0..n-1 into tree edges. *)
+let pruefer_decode n seq =
+  let degree = Array.make n 1 in
+  List.iter (fun x -> degree.(x) <- degree.(x) + 1) seq;
+  let edges = ref [] in
+  let seq = ref seq in
+  let () =
+    List.iter
+      (fun _ ->
+        match !seq with
+        | [] -> ()
+        | x :: rest ->
+            (* Smallest leaf. *)
+            let leaf = ref (-1) in
+            (try
+               for i = 0 to n - 1 do
+                 if degree.(i) = 1 && !leaf = -1 then begin
+                   leaf := i;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            edges := (!leaf, x) :: !edges;
+            degree.(!leaf) <- 0;
+            degree.(x) <- degree.(x) - 1;
+            seq := rest)
+      (List.init (List.length !seq) Fun.id)
+  in
+  (* Two nodes of degree one remain. *)
+  let last = ref [] in
+  for i = n - 1 downto 0 do
+    if degree.(i) = 1 then last := i :: !last
+  done;
+  (match !last with
+  | [ u; v ] -> edges := (u, v) :: !edges
+  | _ -> assert false);
+  !edges
+
+let all_spanning_trees nodes =
+  let n = Array.length nodes in
+  if n > 8 then invalid_arg "Jointree: database scheme too large (max 8)";
+  if n = 1 then [ [] ]
+  else if n = 2 then [ [ (nodes.(0), nodes.(1)) ] ]
+  else begin
+    (* All Prüfer sequences of length n-2 over 0..n-1. *)
+    let rec sequences len =
+      if len = 0 then [ [] ]
+      else
+        let shorter = sequences (len - 1) in
+        List.concat_map
+          (fun tail -> List.init n (fun x -> x :: tail))
+          shorter
+    in
+    List.map
+      (fun seq ->
+        List.map (fun (u, v) -> (nodes.(u), nodes.(v))) (pruefer_decode n seq))
+      (sequences (n - 2))
+  end
+
+let all_join_trees d =
+  let nodes = Array.of_list (Scheme.Set.elements d) in
+  List.filter (running_intersection d) (all_spanning_trees nodes)
+
+let induces_subtree edges subset =
+  match Scheme.Set.choose_opt subset with
+  | None -> true
+  | Some seed ->
+      let adj = adjacency edges in
+      let rec grow frontier seen =
+        if Scheme.Set.is_empty frontier then seen
+        else
+          let next =
+            Scheme.Set.fold
+              (fun s acc ->
+                Scheme.Set.union acc (Scheme.Set.inter (neighbours adj s) subset))
+              frontier Scheme.Set.empty
+          in
+          let fresh = Scheme.Set.diff next seen in
+          grow fresh (Scheme.Set.union seen fresh)
+      in
+      let seed_set = Scheme.Set.singleton seed in
+      Scheme.Set.equal (grow seed_set seed_set) subset
+
+let connected_in_some_join_tree d subset =
+  if not (Scheme.Set.subset subset d) then
+    invalid_arg "Jointree.connected_in_some_join_tree: subset not within D";
+  List.exists (fun t -> induces_subtree t subset) (all_join_trees d)
+
+let nonempty_subsets_of set =
+  let elems = Scheme.Set.elements set in
+  let rec build = function
+    | [] -> [ Scheme.Set.empty ]
+    | s :: rest ->
+        let subs = build rest in
+        subs @ List.map (Scheme.Set.add s) subs
+  in
+  List.filter (fun s -> not (Scheme.Set.is_empty s)) (build elems)
+
+let linked_in_join_tree_sense d e1 e2 =
+  let subs1 = nonempty_subsets_of e1 in
+  let subs2 = nonempty_subsets_of e2 in
+  List.exists
+    (fun f1 ->
+      List.exists
+        (fun f2 -> connected_in_some_join_tree d (Scheme.Set.union f1 f2))
+        subs2)
+    subs1

@@ -1,0 +1,37 @@
+(** Join trees (qual trees) and the Section 5 redefinition of
+    connectedness.
+
+    A join tree for [D] is a tree whose nodes are the schemes of [D] such
+    that for every attribute [A], the schemes containing [A] induce a
+    connected subtree (equivalently: for any two schemes, every scheme on
+    the tree path between them contains their intersection).  Section 5
+    redefines a subset [E ⊆ D] to be {e connected} iff some join tree for
+    [D] has [E] inducing a subtree. *)
+
+open Mj_relation
+
+type tree = (Scheme.t * Scheme.t) list
+(** An edge list over the schemes of a database scheme. *)
+
+val is_join_tree : Hypergraph.t -> tree -> bool
+(** [is_join_tree d edges] checks that [edges] forms a spanning tree of
+    [d]'s schemes satisfying the running-intersection property. *)
+
+val all_join_trees : Hypergraph.t -> tree list
+(** Every join tree of [d], found by enumerating all labelled spanning
+    trees (Prüfer sequences) and filtering.  Exponential:
+    @raise Invalid_argument when [|D| > 8].  Returns the empty list iff
+    [d] is not α-acyclic; a singleton [d] has one (empty) tree. *)
+
+val connected_in_some_join_tree : Hypergraph.t -> Scheme.Set.t -> bool
+(** The Section 5 notion: does some join tree for [d] have the subset
+    inducing a subtree?
+    @raise Invalid_argument if the subset is not included in [d] or
+    [|D| > 8]. *)
+
+val linked_in_join_tree_sense : Hypergraph.t -> Scheme.Set.t -> Scheme.Set.t -> bool
+(** Section 5: [E1] is linked to [E2] iff [F1 ∪ F2] is connected (in the
+    join-tree sense) for some non-empty [F1 ⊆ E1] and [F2 ⊆ E2]. *)
+
+val induces_subtree : tree -> Scheme.Set.t -> bool
+(** Does the node subset induce a connected subgraph of the tree? *)

@@ -1,0 +1,83 @@
+open Mj_relation
+
+let attr fmt = Printf.ksprintf Attr.make fmt
+
+let chain n =
+  if n < 1 then invalid_arg "Querygraph.chain: need n >= 1";
+  List.init n (fun i ->
+      Attr.Set.of_list [ attr "c%d" i; attr "c%d" (i + 1) ])
+  |> Scheme.Set.of_list
+
+let cycle n =
+  if n < 3 then invalid_arg "Querygraph.cycle: need n >= 3";
+  List.init n (fun i ->
+      Attr.Set.of_list [ attr "c%d" i; attr "c%d" ((i + 1) mod n) ])
+  |> Scheme.Set.of_list
+
+let star n =
+  if n < 2 then invalid_arg "Querygraph.star: need n >= 2";
+  let hub = Attr.Set.of_list (List.init (n - 1) (fun i -> attr "s%d" (i + 1))) in
+  let spokes =
+    List.init (n - 1) (fun i ->
+        Attr.Set.of_list [ attr "s%d" (i + 1); attr "t%d" (i + 1) ])
+  in
+  Scheme.Set.of_list (hub :: spokes)
+
+let clique n =
+  if n < 2 then invalid_arg "Querygraph.clique: need n >= 2";
+  let edge_attr i j = if i < j then attr "e%d_%d" i j else attr "e%d_%d" j i in
+  (* The private attribute keeps the two schemes of a 2-clique distinct
+     (they would otherwise both be {e0_1} and collapse in the set). *)
+  List.init n (fun i ->
+      Attr.Set.of_list
+        (attr "v%d" i
+        :: List.filter_map
+             (fun j -> if j = i then None else Some (edge_attr i j))
+             (List.init n Fun.id)))
+  |> Scheme.Set.of_list
+
+let random ?(extra_edge_prob = 0.0) ~rng n =
+  if n < 1 then invalid_arg "Querygraph.random: need n >= 1";
+  if extra_edge_prob < 0.0 || extra_edge_prob > 1.0 then
+    invalid_arg "Querygraph.random: probability outside [0, 1]";
+  (* Random spanning tree by attaching each new node to a uniformly chosen
+     earlier node, then optional extra edges. *)
+  let edge_sets = Array.make n [] in
+  let add_edge i j =
+    let a = if i < j then attr "e%d_%d" i j else attr "e%d_%d" j i in
+    edge_sets.(i) <- a :: edge_sets.(i);
+    edge_sets.(j) <- a :: edge_sets.(j)
+  in
+  for i = 1 to n - 1 do
+    add_edge i (Random.State.int rng i)
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let already =
+        List.exists (fun a -> List.exists (Attr.equal a) edge_sets.(j)) edge_sets.(i)
+      in
+      if (not already) && Random.State.float rng 1.0 < extra_edge_prob then
+        add_edge i j
+    done
+  done;
+  (* Every relation gets a private attribute: it keeps schemes non-empty
+     and pairwise distinct (two nodes joined only by the same shared edge
+     attribute would otherwise collapse in the scheme set). *)
+  Array.iteri
+    (fun i attrs -> edge_sets.(i) <- attr "v%d" i :: attrs)
+    edge_sets;
+  Scheme.Set.of_list
+    (Array.to_list (Array.map Attr.Set.of_list edge_sets))
+
+let edges d =
+  let schemes = Scheme.Set.elements d in
+  let rec pairs = function
+    | [] -> []
+    | s :: rest ->
+        List.filter_map
+          (fun s' ->
+            if Attr.Set.disjoint s s' then None else Some (s, s'))
+          rest
+        @ pairs rest
+  in
+  pairs schemes

@@ -1,0 +1,42 @@
+(** Query-graph shape generators.
+
+    The join-ordering literature (Ono–Lohman [14], Swami [21, 22])
+    classifies queries by the shape of their query graph.  These
+    generators produce database schemes of each classic shape; the
+    workload layer then fills them with data.  Attribute names are
+    multi-character ([c0], [s3], ...) so they never collide with the
+    paper's single-letter examples. *)
+
+open Mj_relation
+
+val chain : int -> Hypergraph.t
+(** [chain n]: schemes [R_i = {c_i, c_i+1}] for [i = 0..n-1].  Each
+    relation joins only with its neighbours.
+    @raise Invalid_argument if [n < 1]. *)
+
+val cycle : int -> Hypergraph.t
+(** [cycle n]: a chain whose last relation also shares an attribute with
+    the first.
+    @raise Invalid_argument if [n < 3]. *)
+
+val star : int -> Hypergraph.t
+(** [star n]: one hub relation over [{s_1, ..., s_n-1}] plus [n-1] spokes
+    [R_i = {s_i, t_i}].
+    @raise Invalid_argument if [n < 2]. *)
+
+val clique : int -> Hypergraph.t
+(** [clique n]: every pair of relations shares a dedicated attribute
+    [e_i_j].
+    @raise Invalid_argument if [n < 2]. *)
+
+val random : ?extra_edge_prob:float -> rng:Random.State.t -> int -> Hypergraph.t
+(** [random ~rng n] draws a connected query graph on [n] relations: a
+    uniform random spanning tree plus each non-tree pair joined with
+    probability [extra_edge_prob] (default [0.0]).  Every graph edge
+    contributes one dedicated shared attribute.
+    @raise Invalid_argument if [n < 1] or the probability is outside
+    [0, 1]. *)
+
+val edges : Hypergraph.t -> (Scheme.t * Scheme.t) list
+(** The query graph of a database scheme: unordered pairs of schemes
+    sharing at least one attribute, each listed once. *)

@@ -1,0 +1,24 @@
+(** DPccp: dynamic programming over connected-subgraph / connected-
+    complement pairs (Moerkotte–Neumann).
+
+    Enumerates exactly the valid product-free combinations — each
+    csg-cmp pair once — so the number of inspected pairs is the
+    theoretical lower bound for product-free bushy DP, unlike
+    {!Dpsize}/{!Dpsub} which inspect and reject invalid pairs.  The
+    resulting plan is identical in cost to [Dpsize.plan ~allow_cp:false]. *)
+
+open Mj_hypergraph
+open Multijoin
+
+val csg_cmp_pairs : Hypergraph.t -> (int * int) list
+(** Every connected-subgraph/connected-complement pair [(S1, S2)] as
+    bitmasks over the relations in {!Mj_relation.Scheme.compare} order,
+    each unordered pair listed once. *)
+
+val count_csg_cmp_pairs : Hypergraph.t -> int
+(** [#csg-cmp pairs = List.length (csg_cmp_pairs d)], the Ono–Lohman
+    complexity measure of the product-free bushy space. *)
+
+val plan : oracle:Estimate.oracle -> Hypergraph.t -> Optimal.result option
+(** Optimal product-free bushy plan; [None] iff the scheme is
+    unconnected. *)

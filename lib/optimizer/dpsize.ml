@@ -1,0 +1,69 @@
+open Multijoin
+
+(* Shared driver: runs the size-driven DP, returning the plan table and
+   the number of combinations inspected. *)
+let run ?(allow_cp = false) ~oracle d =
+  let g = Qbase.make d in
+  let n = g.Qbase.n in
+  if n > 22 then invalid_arg "subset DP: too many relations (max 22)";
+  let size = 1 lsl n in
+  let best : Optimal.result option array = Array.make size None in
+  let by_size = Array.make (n + 1) [] in
+  for i = 0 to n - 1 do
+    let mask = 1 lsl i in
+    best.(mask) <- Some { Optimal.strategy = Strategy.leaf g.Qbase.nodes.(i); cost = 0 };
+    by_size.(1) <- mask :: by_size.(1)
+  done;
+  let inspected = ref 0 in
+  (* Many pairs share a union subset; estimate each subset once. *)
+  let cost_memo = Hashtbl.create 256 in
+  let cost_of union =
+    match Hashtbl.find_opt cost_memo union with
+    | Some c -> c
+    | None ->
+        let c = oracle (Qbase.schemes_of_mask g union) in
+        Hashtbl.add cost_memo union c;
+        c
+  in
+  for s = 2 to n do
+    for s1 = 1 to s / 2 do
+      let s2 = s - s1 in
+      List.iter
+        (fun m1 ->
+          List.iter
+            (fun m2 ->
+              (* Each unordered pair once: when sizes tie, order masks. *)
+              if m1 land m2 = 0 && (s1 < s2 || m1 < m2) then begin
+                incr inspected;
+                if allow_cp || Qbase.linked g m1 m2 then begin
+                  match best.(m1), best.(m2) with
+                  | Some p1, Some p2 ->
+                      let union = m1 lor m2 in
+                      let here = cost_of union in
+                      let cost = p1.Optimal.cost + p2.Optimal.cost + here in
+                      let candidate =
+                        {
+                          Optimal.strategy =
+                            Strategy.join p1.Optimal.strategy p2.Optimal.strategy;
+                          cost;
+                        }
+                      in
+                      (match best.(union) with
+                      | Some b when b.Optimal.cost <= cost -> ()
+                      | _ ->
+                          (if best.(union) = None then
+                             by_size.(s) <- union :: by_size.(s));
+                          best.(union) <- Some candidate)
+                  | _ -> ()
+                end
+              end)
+            by_size.(s2))
+        by_size.(s1)
+    done
+  done;
+  (best.(Qbase.full g), !inspected)
+
+let plan ?allow_cp ~oracle d = fst (run ?allow_cp ~oracle d)
+
+let pairs_considered ?allow_cp d =
+  snd (run ?allow_cp ~oracle:(fun _ -> 1) d)

@@ -1,0 +1,25 @@
+(** DPsize: size-driven dynamic programming (the System R / DB2
+    generalization to bushy plans).
+
+    Plans are built in increasing size: every plan of [s] relations is
+    formed by combining a plan of [s1] with a plan of [s - s1] disjoint
+    relations.  With [allow_cp:false], only linked pairs combine, so the
+    result is the optimal product-free bushy plan whose every subplan is
+    connected — the same space as [Multijoin.Enumerate.Cp_free] on
+    connected schemes. *)
+
+open Mj_hypergraph
+open Multijoin
+
+val plan :
+  ?allow_cp:bool ->
+  oracle:Estimate.oracle ->
+  Hypergraph.t ->
+  Optimal.result option
+(** [None] only when [allow_cp:false] and the scheme is unconnected.
+    [allow_cp] defaults to [false]. *)
+
+val pairs_considered :
+  ?allow_cp:bool -> Hypergraph.t -> int
+(** Number of (subplan, subplan) combinations the algorithm inspects —
+    the Ono–Lohman complexity measure for DPsize. *)

@@ -1,0 +1,48 @@
+open Multijoin
+
+let run ?(allow_cp = false) ~oracle d =
+  let g = Qbase.make d in
+  let n = g.Qbase.n in
+  if n > 22 then invalid_arg "subset DP: too many relations (max 22)";
+  let size = 1 lsl n in
+  let best : Optimal.result option array = Array.make size None in
+  for i = 0 to n - 1 do
+    best.(1 lsl i) <-
+      Some { Optimal.strategy = Strategy.leaf g.Qbase.nodes.(i); cost = 0 }
+  done;
+  let inspected = ref 0 in
+  for mask = 1 to size - 1 do
+    if Qbase.popcount mask >= 2 then begin
+      let here = lazy (oracle (Qbase.schemes_of_mask g mask)) in
+      (* Anchor the lowest bit in the left part so each unordered split is
+         inspected once. *)
+      let lowest = mask land -mask in
+      Qbase.iter_subsets mask (fun m1 ->
+          if m1 land lowest <> 0 then begin
+            let m2 = mask lxor m1 in
+            incr inspected;
+            if allow_cp || Qbase.linked g m1 m2 then
+              match best.(m1), best.(m2) with
+              | Some p1, Some p2 ->
+                  let cost =
+                    p1.Optimal.cost + p2.Optimal.cost + Lazy.force here
+                  in
+                  (match best.(mask) with
+                  | Some b when b.Optimal.cost <= cost -> ()
+                  | _ ->
+                      best.(mask) <-
+                        Some
+                          {
+                            Optimal.strategy =
+                              Strategy.join p1.Optimal.strategy
+                                p2.Optimal.strategy;
+                            cost;
+                          })
+              | _ -> ()
+          end)
+    end
+  done;
+  (best.(Qbase.full g), !inspected)
+
+let plan ?allow_cp ~oracle d = fst (run ?allow_cp ~oracle d)
+let pairs_considered ?allow_cp d = snd (run ?allow_cp ~oracle:(fun _ -> 1) d)

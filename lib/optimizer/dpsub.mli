@@ -1,0 +1,20 @@
+(** DPsub: subset-driven dynamic programming.
+
+    Iterates over all relation subsets in increasing numeric (hence
+    size-compatible) order and, for each, over its submask splits.
+    Same optimum as {!Dpsize}; different — often much larger — number of
+    inspected pairs on sparse query graphs, which is the point of the
+    Ono–Lohman-style comparison in the bench harness. *)
+
+open Mj_hypergraph
+open Multijoin
+
+val plan :
+  ?allow_cp:bool ->
+  oracle:Estimate.oracle ->
+  Hypergraph.t ->
+  Optimal.result option
+(** [allow_cp] defaults to [false]. *)
+
+val pairs_considered : ?allow_cp:bool -> Hypergraph.t -> int
+(** Number of (submask, complement) splits inspected. *)

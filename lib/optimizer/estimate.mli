@@ -1,0 +1,64 @@
+(** Cardinality estimation.
+
+    Two models:
+
+    - {!of_catalog}: the textbook System-R formula over catalog
+      statistics — the size of a multiway join is the product of the
+      base cardinalities divided, for every join attribute, by the
+      largest distinct count of that attribute, once per extra
+      occurrence.  Keys are handled for free: a column with
+      [distinct = card] divides the product down to the other side.
+
+    - {!graph_model}: the join-graph model used by the IKKBZ literature
+      — per-relation cardinalities plus an independent selectivity per
+      query-graph edge, so [|⋈ S| = Π n_i · Π_{edges inside S} sel].
+      This is the model under which left-deep DP and IKKBZ provably
+      agree, which the test suite exploits.
+
+    Both return an oracle compatible with
+    {!Multijoin.Optimal.optimum_with_oracle}; estimates are clamped to
+    [1 .. max_int/2^15] so even a plan of tens of thousands of steps
+    sums without integer overflow. *)
+
+open Mj_relation
+open Mj_hypergraph
+
+type oracle = Scheme.Set.t -> int
+
+val of_catalog : Catalog.t -> oracle
+(** @raise Not_found when asked about a scheme outside the catalog. *)
+
+val graph_model :
+  card:(Scheme.t -> float) ->
+  selectivity:(Scheme.t -> Scheme.t -> float) ->
+  Hypergraph.t ->
+  oracle
+(** [selectivity] is consulted once per unordered linked pair inside the
+    estimated subset; it must be symmetric. *)
+
+val edge_selectivities :
+  Catalog.t -> Hypergraph.t -> (Scheme.t * Scheme.t * float) list
+(** The per-edge selectivities the catalog formula implies:
+    [1 / Π_{a ∈ R1 ∩ R2} max(V(a, R1), V(a, R2))] — a convenient bridge
+    from a catalog to the graph model (exact for acyclic graphs, an
+    independence approximation otherwise). *)
+
+(** {1 Most-common-value statistics}
+
+    The uniform formula above is exactly the assumption the paper
+    criticises.  End-biased statistics keep the [k] most frequent
+    values of each join column with their exact counts and model only
+    the remainder uniformly — what production optimizers adopted to
+    survive skew. *)
+
+val mcv_selectivity : ?k:int -> Database.t -> Scheme.t -> Scheme.t -> float
+(** Selectivity of the (linked) pair from per-attribute MCV statistics,
+    multiplied over the shared attributes (independence across
+    attributes is still assumed).  [k] defaults to 8; with [k] at least
+    the number of distinct values and a single shared attribute the
+    estimate is exact.  Symmetric; [1.0] for unlinked pairs. *)
+
+val of_database_mcv : ?k:int -> Database.t -> oracle
+(** {!graph_model} with exact base cardinalities and
+    {!mcv_selectivity} edges — the skew-aware estimator compared against
+    {!of_catalog} in the EST experiment. *)

@@ -1,0 +1,94 @@
+open Mj_relation
+open Mj_hypergraph
+open Multijoin
+
+let join_cost ~oracle s1 s2 =
+  oracle (Scheme.Set.union (Strategy.schemes s1) (Strategy.schemes s2))
+
+let goo ?(allow_cp = false) ~oracle d =
+  if Scheme.Set.is_empty d then invalid_arg "Greedy.goo: empty scheme";
+  let forest = ref (List.map Strategy.leaf (Scheme.Set.elements d)) in
+  let total = ref 0 in
+  while List.length !forest > 1 do
+    (* Choose the cheapest pair, preferring linked pairs unless products
+       are allowed outright. *)
+    let pick linked_only =
+      let best = ref None in
+      let rec scan = function
+        | [] -> ()
+        | s1 :: rest ->
+            List.iter
+              (fun s2 ->
+                let ok =
+                  (not linked_only)
+                  || Hypergraph.linked (Strategy.schemes s1) (Strategy.schemes s2)
+                in
+                if ok then begin
+                  let c = join_cost ~oracle s1 s2 in
+                  match !best with
+                  | Some (c', _, _) when c' <= c -> ()
+                  | _ -> best := Some (c, s1, s2)
+                end)
+              rest;
+            scan rest
+      in
+      scan !forest;
+      !best
+    in
+    let chosen =
+      if allow_cp then pick false
+      else match pick true with Some _ as r -> r | None -> pick false
+    in
+    match chosen with
+    | None -> assert false (* two or more plans always admit a pair *)
+    | Some (c, s1, s2) ->
+        total := !total + c;
+        forest :=
+          Strategy.join s1 s2
+          :: List.filter
+               (fun s -> not (Strategy.equal s s1 || Strategy.equal s s2))
+               !forest
+  done;
+  { Optimal.strategy = List.hd !forest; cost = !total }
+
+let smallest_first ~oracle d =
+  if Scheme.Set.is_empty d then invalid_arg "Greedy.smallest_first: empty scheme";
+  let singletons =
+    List.map (fun s -> (s, oracle (Scheme.Set.singleton s))) (Scheme.Set.elements d)
+  in
+  let start =
+    fst
+      (List.fold_left
+         (fun ((_, bc) as b) ((_, c) as x) -> if c < bc then x else b)
+         (List.hd singletons) (List.tl singletons))
+  in
+  let rec extend plan joined total =
+    let remaining = Scheme.Set.diff d joined in
+    if Scheme.Set.is_empty remaining then { Optimal.strategy = plan; cost = total }
+    else begin
+      let linked_choices =
+        Scheme.Set.filter
+          (fun s -> Hypergraph.linked joined (Scheme.Set.singleton s))
+          remaining
+      in
+      let pool =
+        if Scheme.Set.is_empty linked_choices then remaining else linked_choices
+      in
+      let best =
+        Scheme.Set.fold
+          (fun s acc ->
+            let c = oracle (Scheme.Set.add s joined) in
+            match acc with
+            | Some (c', _) when c' <= c -> acc
+            | _ -> Some (c, s))
+          pool None
+      in
+      match best with
+      | None -> assert false
+      | Some (c, s) ->
+          extend
+            (Strategy.join plan (Strategy.leaf s))
+            (Scheme.Set.add s joined) (total + c)
+    end
+  in
+  extend (Strategy.leaf start) (Scheme.Set.singleton start) 0

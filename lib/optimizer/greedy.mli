@@ -1,0 +1,22 @@
+(** Greedy join ordering heuristics — the polynomial fallbacks the
+    large-query literature of the late 80s proposed when DP becomes
+    infeasible (Krishnamurthy–Boral–Zaniolo [12], Swami [21, 22]).
+
+    - {!goo}: greedy operator ordering — repeatedly join the pair of
+      current plans with the smallest estimated result (bushy output);
+    - {!smallest_first}: start from the smallest relation and always
+      extend with the linked relation giving the smallest intermediate
+      (linear output). *)
+
+open Mj_hypergraph
+open Multijoin
+
+val goo :
+  ?allow_cp:bool -> oracle:Estimate.oracle -> Hypergraph.t -> Optimal.result
+(** With [allow_cp:false] (default) only linked pairs are considered,
+    falling back to a product when no linked pair remains (unconnected
+    schemes). *)
+
+val smallest_first :
+  oracle:Estimate.oracle -> Hypergraph.t -> Optimal.result
+(** Linear heuristic; products only when forced. *)

@@ -1,0 +1,45 @@
+(** IKKBZ: the Ibaraki–Kameda / Krishnamurthy–Boral–Zaniolo polynomial
+    algorithm for optimal left-deep join orders on tree query graphs
+    (reference [11] of the paper).
+
+    Under the join-graph cost model (per-relation cardinalities and an
+    independent selectivity per edge, see {!Estimate.graph_model}), the
+    cost function has the adjacent-sequence-interchange (ASI) property,
+    so the optimal product-free left-deep order is found in O(n²) by
+    rank-based chain normalization — no subset DP.  The test suite
+    checks the result's cost equals [Selinger.plan ~cp:`Never] under the
+    same model. *)
+
+open Mj_relation
+open Mj_hypergraph
+open Multijoin
+
+val order :
+  card:(Scheme.t -> float) ->
+  selectivity:(Scheme.t -> Scheme.t -> float) ->
+  Hypergraph.t ->
+  Scheme.t list
+(** The optimal left-deep order.
+    @raise Invalid_argument if the query graph is not a tree (cyclic or
+    unconnected). *)
+
+val plan :
+  card:(Scheme.t -> float) ->
+  selectivity:(Scheme.t -> Scheme.t -> float) ->
+  Hypergraph.t ->
+  Optimal.result
+(** {!order} as a strategy, costed under the corresponding
+    {!Estimate.graph_model} oracle. *)
+
+val order_on_spanning_tree :
+  card:(Scheme.t -> float) ->
+  selectivity:(Scheme.t -> Scheme.t -> float) ->
+  Hypergraph.t ->
+  Scheme.t list
+(** The classic extension to cyclic query graphs: keep the most
+    selective edges that form a spanning tree (Kruskal on ascending
+    selectivity), run IKKBZ on that tree.  Heuristic — the dropped edges'
+    selectivities are ignored during ordering — but polynomial and
+    well-behaved; the result is costed under the {e full} graph model by
+    the caller.
+    @raise Invalid_argument on an unconnected graph. *)

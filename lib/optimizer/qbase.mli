@@ -1,0 +1,38 @@
+(** Bitmask machinery shared by the DP enumerators.
+
+    Relations are numbered in {!Mj_relation.Scheme.compare} order; a
+    subset of relations is an [int] bitmask.  The query graph's
+    adjacency is precomputed per node. *)
+
+open Mj_relation
+open Mj_hypergraph
+
+type t = {
+  nodes : Scheme.t array;
+  n : int;
+  adj : int array;  (** [adj.(i)]: mask of nodes sharing an attribute with [i] *)
+}
+
+val make : Hypergraph.t -> t
+(** @raise Invalid_argument for more than 62 relations (bitmask
+    width).  The subset-DP algorithms additionally cap at 22 relations
+    because they allocate a [2^n] plan table. *)
+
+val full : t -> int
+(** The mask of all relations. *)
+
+val schemes_of_mask : t -> int -> Scheme.Set.t
+
+val neighborhood : t -> int -> int
+(** Nodes outside the mask adjacent to some node inside it. *)
+
+val linked : t -> int -> int -> bool
+(** Do the two (disjoint) masks share a query-graph edge? *)
+
+val is_connected : t -> int -> bool
+(** Is the induced subgraph connected?  The empty mask is connected. *)
+
+val popcount : int -> int
+
+val iter_subsets : int -> (int -> unit) -> unit
+(** All non-empty proper submasks of a mask, in decreasing order. *)

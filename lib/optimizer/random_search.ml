@@ -1,0 +1,116 @@
+open Multijoin
+
+(* Rewrites available at one node.  For a node (X*Y)*Z or X*(Y*Z) the
+   associativity and exchange moves produce trees over the same leaves;
+   Strategy.join re-checks disjointness, which always holds here. *)
+let node_rewrites = function
+  | Strategy.Leaf _ -> []
+  | Strategy.Join { left; right; _ } ->
+      let from_left =
+        match left with
+        | Strategy.Join { left = x; right = y; _ } ->
+            [
+              Strategy.join x (Strategy.join y right);
+              Strategy.join (Strategy.join x right) y;
+            ]
+        | Strategy.Leaf _ -> []
+      in
+      let from_right =
+        match right with
+        | Strategy.Join { left = y; right = z; _ } ->
+            [
+              Strategy.join (Strategy.join left y) z;
+              Strategy.join y (Strategy.join left z);
+            ]
+        | Strategy.Leaf _ -> []
+      in
+      from_left @ from_right
+
+let neighbors s =
+  (* Apply each node rewrite in place via replace_subtree, addressed by
+     the node's scheme set. *)
+  let rec internal_nodes = function
+    | Strategy.Leaf _ -> []
+    | Strategy.Join n as node ->
+        (node :: internal_nodes n.left) @ internal_nodes n.right
+  in
+  internal_nodes s
+  |> List.concat_map (fun node ->
+         let d = Strategy.schemes node in
+         List.map
+           (fun replacement -> Transform.replace_subtree s d replacement)
+           (node_rewrites node))
+  |> List.sort_uniq Strategy.compare
+  |> List.filter (fun s' -> not (Strategy.equal s' s))
+
+let random_neighbor ~rng s =
+  match neighbors s with
+  | [] -> s
+  | ns -> List.nth ns (Random.State.int rng (List.length ns))
+
+let cost_of oracle s = Cost.tau_oracle oracle s
+
+let hill_climb ~oracle start =
+  let rec descend current current_cost =
+    let best_step =
+      List.fold_left
+        (fun acc s' ->
+          let c = cost_of oracle s' in
+          match acc with
+          | Some (_, c') when c' <= c -> acc
+          | _ when c < current_cost -> Some (s', c)
+          | _ -> acc)
+        None (neighbors current)
+    in
+    match best_step with
+    | Some (s', c) -> descend s' c
+    | None -> (current, current_cost)
+  in
+  descend start (cost_of oracle start)
+
+let iterative_improvement ~rng ~oracle ?(restarts = 10) d =
+  if restarts < 1 then invalid_arg "Random_search: need at least one restart";
+  let best = ref None in
+  for _ = 1 to restarts do
+    let start = Enumerate.random_strategy ~rng d in
+    let s, c = hill_climb ~oracle start in
+    match !best with
+    | Some (_, c') when c' <= c -> ()
+    | _ -> best := Some (s, c)
+  done;
+  match !best with
+  | Some (strategy, cost) -> { Optimal.strategy; cost }
+  | None -> assert false
+
+let simulated_annealing ~rng ~oracle ?initial_temperature ?(cooling = 0.9)
+    ?(steps_per_temperature = 20) ?(frozen = 1.0) d =
+  let current = ref (Enumerate.random_strategy ~rng d) in
+  let current_cost = ref (cost_of oracle !current) in
+  let best = ref !current and best_cost = ref !current_cost in
+  let temperature =
+    ref
+      (match initial_temperature with
+      | Some t -> t
+      | None -> Float.max 1.0 (float_of_int !current_cost))
+  in
+  while !temperature >= frozen do
+    for _ = 1 to steps_per_temperature do
+      let candidate = random_neighbor ~rng !current in
+      let c = cost_of oracle candidate in
+      let delta = float_of_int (c - !current_cost) in
+      let accept =
+        delta <= 0.0
+        || Random.State.float rng 1.0 < Float.exp (-.delta /. !temperature)
+      in
+      if accept then begin
+        current := candidate;
+        current_cost := c;
+        if c < !best_cost then begin
+          best := candidate;
+          best_cost := c
+        end
+      end
+    done;
+    temperature := !temperature *. cooling
+  done;
+  { Optimal.strategy = !best; cost = !best_cost }

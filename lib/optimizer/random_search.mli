@@ -1,0 +1,50 @@
+(** Randomized join-order search: iterative improvement and simulated
+    annealing (Swami [21, 22], Swami–Gupta).
+
+    The paper's introduction cites the large-query literature in which
+    subset DP is infeasible and optimizers walk the strategy space with
+    local transformations.  The move set here is the classic rule pair
+    applied at any internal node:
+
+    - associativity: [(X ⋈ Y) ⋈ Z ↔ X ⋈ (Y ⋈ Z)];
+    - exchange:      [(X ⋈ Y) ⋈ Z → (X ⋈ Z) ⋈ Y].
+
+    Commutativity is omitted because τ is insensitive to child order.
+    The move set is complete: any strategy shape can reach any other
+    (associativity and exchange generate all binary-tree shapes over the
+    leaves). *)
+
+open Mj_hypergraph
+open Multijoin
+
+val neighbors : Strategy.t -> Strategy.t list
+(** All distinct strategies one move away. *)
+
+val random_neighbor : rng:Random.State.t -> Strategy.t -> Strategy.t
+(** A uniformly chosen element of {!neighbors}; the strategy itself when
+    it has no neighbours (fewer than three relations). *)
+
+val iterative_improvement :
+  rng:Random.State.t ->
+  oracle:Estimate.oracle ->
+  ?restarts:int ->
+  Hypergraph.t ->
+  Optimal.result
+(** Hill-climb to a local minimum from a random start, [restarts] times
+    (default 10); returns the best local minimum found. *)
+
+val simulated_annealing :
+  rng:Random.State.t ->
+  oracle:Estimate.oracle ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  ?steps_per_temperature:int ->
+  ?frozen:float ->
+  Hypergraph.t ->
+  Optimal.result
+(** Standard annealing: accept an uphill move of [d] with probability
+    [exp (-d / t)]; [t] starts at [initial_temperature] (default: the
+    cost of the initial random strategy), multiplies by [cooling]
+    (default 0.9) after [steps_per_temperature] moves (default 20), and
+    the walk stops when [t < frozen] (default 1.0).  Returns the best
+    strategy ever visited. *)

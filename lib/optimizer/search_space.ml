@@ -1,0 +1,72 @@
+open Multijoin
+
+let chain_pairs n = ((n * n * n) - n) / 6
+
+let cycle_pairs n = ((n * n * n) - (2 * n * n) + n) / 2
+
+let star_pairs n = (n - 1) * (1 lsl (n - 2))
+
+let pow3 n =
+  let rec go acc = function 0 -> acc | k -> go (acc * 3) (k - 1) in
+  go 1 n
+
+let clique_pairs n = (pow3 n - (1 lsl (n + 1)) + 1) / 2
+
+let measured_pairs = Dpccp.count_csg_cmp_pairs
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let rec go i acc = if i > k then acc else go (i + 1) (acc * (n - k + i) / i) in
+    go 1 1
+  end
+
+let catalan n = binomial (2 * n) n / (n + 1)
+
+let factorial n =
+  let rec go i acc = if i > n then acc else go (i + 1) (acc * i) in
+  go 1 1
+
+let chain_cp_free n =
+  if n < 1 then invalid_arg "Search_space: need n >= 1";
+  catalan (n - 1)
+
+let chain_linear_cp_free n =
+  if n < 1 then invalid_arg "Search_space: need n >= 1";
+  if n = 1 then 1 else 1 lsl (n - 2)
+
+let star_cp_free n =
+  if n < 2 then invalid_arg "Search_space: need n >= 2";
+  factorial (n - 1)
+
+let cycle_cp_free n =
+  if n < 3 then invalid_arg "Search_space: need n >= 3";
+  binomial ((2 * n) - 3) (n - 2)
+
+let cycle_linear_cp_free n =
+  if n < 3 then invalid_arg "Search_space: need n >= 3";
+  n * (1 lsl (n - 3))
+
+type row = {
+  n : int;
+  all_strategies : int;
+  linear_strategies : int;
+  cp_free : int;
+  linear_cp_free : int;
+  ccp_pairs : int;
+}
+
+let table ~shape sizes =
+  List.map
+    (fun n ->
+      let d = shape n in
+      {
+        n;
+        all_strategies = Enumerate.count_all n;
+        linear_strategies = Enumerate.count_linear n;
+        cp_free = Enumerate.count_cp_free d;
+        linear_cp_free = Enumerate.count_linear_cp_free d;
+        ccp_pairs = measured_pairs d;
+      })
+    sizes

@@ -1,0 +1,52 @@
+(** Search-space complexity measures (Ono–Lohman [14] style).
+
+    Closed forms for the number of connected-subgraph/complement pairs
+    of the classic query shapes — the number of plan combinations a
+    product-free bushy DP must consider — plus exact counters to check
+    them.  The closed forms are those derived by Ono–Lohman and
+    Moerkotte–Neumann:
+
+    - chain of n:   (n³ − n) / 6
+    - cycle of n:   (n³ − 2n² + n) / 2
+    - star of n:    (n − 1) · 2^(n−2)
+    - clique of n:  (3ⁿ − 2^(n+1) + 1) / 2 *)
+
+open Mj_hypergraph
+
+val chain_pairs : int -> int
+val cycle_pairs : int -> int
+val star_pairs : int -> int
+val clique_pairs : int -> int
+
+(** {1 Closed forms for the strategy subspaces themselves}
+
+    Counts of strategies (unordered child pairs) per query shape:
+
+    - chain of n: CP-free bushy = Catalan(n−1); linear CP-free = 2^(n−2);
+    - star of n: CP-free bushy = linear CP-free = (n−1)!;
+    - cycle of n: CP-free bushy = C(2n−3, n−2); linear CP-free = n·2^(n−3);
+    - clique of n: every strategy is CP-free — (2n−3)!! and n!/2.
+
+    All verified against the enumeration in the test suite. *)
+
+val catalan : int -> int
+val chain_cp_free : int -> int
+val chain_linear_cp_free : int -> int
+val star_cp_free : int -> int
+val cycle_cp_free : int -> int
+val cycle_linear_cp_free : int -> int
+
+val measured_pairs : Hypergraph.t -> int
+(** Exact count via the DPccp enumeration. *)
+
+type row = {
+  n : int;
+  all_strategies : int;      (** (2n−3)!! *)
+  linear_strategies : int;   (** n!/2 *)
+  cp_free : int;             (** strategies avoiding Cartesian products *)
+  linear_cp_free : int;
+  ccp_pairs : int;           (** DP combinations (product-free bushy) *)
+}
+
+val table : shape:(int -> Hypergraph.t) -> int list -> row list
+(** One row per query size — the data behind the SPACE experiment. *)

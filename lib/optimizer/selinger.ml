@@ -1,0 +1,69 @@
+open Multijoin
+
+type cp_policy = [ `Never | `When_needed | `Always ]
+
+let run ?(cp = `When_needed) ~oracle d =
+  let g = Qbase.make d in
+  let n = g.Qbase.n in
+  if n > 22 then invalid_arg "subset DP: too many relations (max 22)";
+  let size = 1 lsl n in
+  let best : Optimal.result option array = Array.make size None in
+  for i = 0 to n - 1 do
+    best.(1 lsl i) <-
+      Some { Optimal.strategy = Strategy.leaf g.Qbase.nodes.(i); cost = 0 }
+  done;
+  (* Masks in increasing order have increasing-or-equal popcount prefixes
+     covered before they are needed: any proper submask is numerically
+     smaller. *)
+  for mask = 1 to size - 1 do
+    if Qbase.popcount mask >= 2 then begin
+      let here = lazy (oracle (Qbase.schemes_of_mask g mask)) in
+      let candidates = ref [] in
+      for i = 0 to n - 1 do
+        let v = 1 lsl i in
+        if mask land v <> 0 then begin
+          let rest = mask lxor v in
+          if rest <> 0 then
+            let is_linked = Qbase.linked g rest v in
+            candidates := (v, rest, is_linked) :: !candidates
+        end
+      done;
+      let usable =
+        match cp with
+        | `Always -> !candidates
+        | `Never -> List.filter (fun (_, _, linked) -> linked) !candidates
+        | `When_needed ->
+            let linked_only =
+              List.filter (fun (_, _, linked) -> linked) !candidates
+            in
+            if linked_only <> [] then linked_only else !candidates
+      in
+      List.iter
+        (fun (v, rest, _) ->
+          match best.(rest) with
+          | None -> ()
+          | Some p ->
+              let leaf_index = Qbase.popcount (v - 1) in
+              let cost = p.Optimal.cost + Lazy.force here in
+              (match best.(mask) with
+              | Some b when b.Optimal.cost <= cost -> ()
+              | _ ->
+                  best.(mask) <-
+                    Some
+                      {
+                        Optimal.strategy =
+                          Strategy.join p.Optimal.strategy
+                            (Strategy.leaf g.Qbase.nodes.(leaf_index));
+                        cost;
+                      }))
+        usable
+    end
+  done;
+  best.(Qbase.full g)
+
+let plan ?cp ~oracle d = run ?cp ~oracle d
+
+let best_order ?cp ~oracle d =
+  Option.map
+    (fun (r : Optimal.result) -> Strategy.leaves r.Optimal.strategy)
+    (plan ?cp ~oracle d)

@@ -1,0 +1,174 @@
+open Mj_relation
+
+type atom = {
+  pred : string;
+  args : string list;
+}
+
+type t = {
+  head : string list;
+  body : atom list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Turnstile
+  | Period
+
+let tokenize input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '.' -> go (i + 1) (Period :: acc)
+      | ':' when i + 1 < n && input.[i + 1] = '-' -> go (i + 2) (Turnstile :: acc)
+      | c
+        when (c >= 'a' && c <= 'z')
+             || (c >= 'A' && c <= 'Z')
+             || (c >= '0' && c <= '9')
+             || c = '_' ->
+          let j = ref i in
+          while
+            !j < n
+            &&
+            let c = input.[!j] in
+            (c >= 'a' && c <= 'z')
+            || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9')
+            || c = '_'
+          do
+            incr j
+          done;
+          go !j (Ident (String.sub input i (!j - i)) :: acc)
+      | c -> invalid_arg (Printf.sprintf "Cq.parse: unexpected character %c" c)
+  in
+  go 0 []
+
+let parse_atom = function
+  | Ident pred :: Lparen :: rest ->
+      let rec args acc = function
+        | Ident v :: Comma :: rest -> args (v :: acc) rest
+        | Ident v :: Rparen :: rest -> (List.rev (v :: acc), rest)
+        | _ -> invalid_arg "Cq.parse: malformed argument list"
+      in
+      let args, rest = args [] rest in
+      ({ pred; args }, rest)
+  | _ -> invalid_arg "Cq.parse: expected an atom"
+
+let rec parse_atoms acc tokens =
+  let atom, rest = parse_atom tokens in
+  match rest with
+  | Comma :: rest -> parse_atoms (atom :: acc) rest
+  | [ Period ] | [] -> List.rev (atom :: acc)
+  | _ -> invalid_arg "Cq.parse: trailing input after the body"
+
+let validate q =
+  if q.body = [] then invalid_arg "Cq.parse: empty body";
+  List.iter
+    (fun atom ->
+      if atom.args = [] then
+        invalid_arg (Printf.sprintf "Cq.parse: atom %s has no arguments" atom.pred);
+      let sorted = List.sort_uniq String.compare atom.args in
+      if List.length sorted <> List.length atom.args then
+        invalid_arg
+          (Printf.sprintf "Cq.parse: repeated variable in atom %s" atom.pred))
+    q.body;
+  let var_sets =
+    List.map (fun a -> List.sort String.compare a.args) q.body
+  in
+  if
+    List.length (List.sort_uniq compare var_sets) <> List.length var_sets
+  then invalid_arg "Cq.parse: two atoms bind the same variable set";
+  let body_vars = List.concat_map (fun a -> a.args) q.body in
+  List.iter
+    (fun v ->
+      if not (List.mem v body_vars) then
+        invalid_arg
+          (Printf.sprintf "Cq.parse: head variable %s not in the body" v))
+    q.head;
+  q
+
+let parse input =
+  let tokens = tokenize input in
+  (* Optional head: Ident ( vars ) :- body. *)
+  let q =
+    let try_head () =
+      match tokens with
+      | Ident _ :: Lparen :: _ -> (
+          let head_atom, rest = parse_atom tokens in
+          match rest with
+          | Turnstile :: body -> Some { head = head_atom.args; body = parse_atoms [] body }
+          | _ -> None)
+      | _ -> None
+    in
+    match try_head () with
+    | Some q -> q
+    | None ->
+        let body = parse_atoms [] tokens in
+        let head =
+          List.sort_uniq String.compare (List.concat_map (fun a -> a.args) body)
+        in
+        { head; body }
+  in
+  validate q
+
+let to_string q =
+  let atom a = Printf.sprintf "%s(%s)" a.pred (String.concat ", " a.args) in
+  Printf.sprintf "Q(%s) :- %s." (String.concat ", " q.head)
+    (String.concat ", " (List.map atom q.body))
+
+let variables q =
+  List.sort_uniq String.compare (List.concat_map (fun a -> a.args) q.body)
+
+let atom_scheme a = Attr.Set.of_list (List.map Attr.make a.args)
+
+let scheme q = Scheme.Set.of_list (List.map atom_scheme q.body)
+
+let instantiate q lookup =
+  let rename atom =
+    let base = lookup atom.pred in
+    let base_attrs = Attr.Set.elements (Relation.scheme base) in
+    if List.length base_attrs <> List.length atom.args then
+      invalid_arg
+        (Printf.sprintf
+           "Cq.instantiate: relation %s has %d attributes, atom expects %d"
+           atom.pred (List.length base_attrs) (List.length atom.args));
+    Relation.rename base
+      (List.map2 (fun a v -> (a, Attr.make v)) base_attrs atom.args)
+  in
+  Database.of_relations (List.map rename q.body)
+
+let evaluate ?strategy q lookup =
+  let db = instantiate q lookup in
+  let joined =
+    match strategy with
+    | None -> Database.join_all db
+    | Some s -> Multijoin.Cost.eval db s
+  in
+  Relation.project joined (Attr.Set.of_list (List.map Attr.make q.head))
+
+let optimize q lookup =
+  let db = instantiate q lookup in
+  let d = Database.schemes db in
+  let oracle = Mj_optimizer.Estimate.of_catalog (Mj_optimizer.Catalog.of_database db) in
+  match Mj_optimizer.Dpccp.plan ~oracle d with
+  | Some r -> r
+  | None -> (
+      match
+        Multijoin.Optimal.optimum_with_oracle ~subspace:Multijoin.Enumerate.All
+          ~oracle d
+      with
+      | Some r -> r
+      | None -> assert false)

@@ -1,0 +1,70 @@
+(** Conjunctive queries as multiway joins.
+
+    The paper's setting — "evaluate R1 ⋈ R2 ⋈ ... ⋈ Rk" — is how a
+    conjunctive query looks after variables are unified: each atom
+    contributes a relation whose columns are renamed to the atom's
+    variables, and the query body is their natural join.  This module
+    provides that front end:
+
+    {v
+      Q(x, y) :- R(x, z), S(z, w), T(w, y).
+    v}
+
+    Variables and predicate names are identifiers; the head is optional
+    (a bare body means "return all variables").  Repeated predicates
+    (self-joins) are fine as long as no two atoms bind the same variable
+    set — the strategy machinery identifies sub-databases by their
+    schemes, and two atoms with identical variables would collapse.
+
+    Base relations are positional: the i-th argument of an atom binds
+    the i-th attribute of the stored relation in {!Mj_relation.Attr}
+    order. *)
+
+open Mj_relation
+
+type atom = {
+  pred : string;
+  args : string list;  (** variable names, left to right *)
+}
+
+type t = {
+  head : string list;  (** the projection; every body variable if no head *)
+  body : atom list;
+}
+
+val parse : string -> t
+(** Parses ["Q(x,y) :- R(x,z), S(z,y)."] or just ["R(x,z), S(z,y)"].
+    The trailing period is optional; whitespace is free.
+    @raise Invalid_argument on syntax errors, an empty body, an atom
+    with no arguments, a repeated variable inside one atom, two atoms
+    with the same variable set, or head variables not appearing in the
+    body. *)
+
+val to_string : t -> string
+
+val variables : t -> string list
+(** All body variables, sorted. *)
+
+val scheme : t -> Scheme.Set.t
+(** The database scheme of the body: one relation scheme per atom, over
+    attributes named by the variables. *)
+
+val instantiate : t -> (string -> Relation.t) -> Database.t
+(** [instantiate q lookup] renames each atom's base relation (found by
+    predicate name) to the atom's variables.
+    @raise Invalid_argument if a base relation's width differs from the
+    atom's arity; any exception of [lookup] propagates. *)
+
+val evaluate :
+  ?strategy:Multijoin.Strategy.t ->
+  t ->
+  (string -> Relation.t) ->
+  Relation.t
+(** Full join of the instantiated body — in the order of [strategy]
+    when given (it must be a strategy for {!scheme}) — projected onto
+    the head variables. *)
+
+val optimize : t -> (string -> Relation.t) -> Multijoin.Optimal.result
+(** A product-free plan for the body chosen by DPccp over catalog
+    estimates of the instantiated database (falls back to the full-space
+    DP when the body's scheme is unconnected). *)

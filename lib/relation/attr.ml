@@ -1,0 +1,32 @@
+type t = string
+
+let make name =
+  if String.length name = 0 then invalid_arg "Attr.make: empty name";
+  name
+
+let name a = a
+let compare = String.compare
+let equal = String.equal
+let hash = Hashtbl.hash
+let pp fmt a = Format.pp_print_string fmt a
+let to_string a = a
+
+module Base_set = Stdlib.Set.Make (String)
+
+module Set = struct
+  include Base_set
+
+  let of_string s =
+    if String.length s = 0 then invalid_arg "Attr.Set.of_string: empty string";
+    String.fold_left (fun acc c -> add (String.make 1 c) acc) empty s
+
+  let all_single_char s = for_all (fun a -> String.length a = 1) s
+
+  let to_string s =
+    if all_single_char s then String.concat "" (elements s)
+    else String.concat "," (elements s)
+
+  let pp fmt s = Format.pp_print_string fmt (to_string s)
+end
+
+module Map = Stdlib.Map.Make (String)

@@ -1,0 +1,45 @@
+(** Attributes.
+
+    The paper's universe [U] is a finite set of symbols called attributes
+    (Section 2).  An attribute is represented by its name; single-letter
+    names ([A], [B], ...) match the paper's notation, but any non-empty
+    string is a valid attribute. *)
+
+type t
+(** An attribute. *)
+
+val make : string -> t
+(** [make name] is the attribute called [name].
+    @raise Invalid_argument if [name] is empty. *)
+
+val name : t -> string
+(** [name a] is the name [a] was created with. *)
+
+val compare : t -> t -> int
+(** Total order on attributes (lexicographic on names). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the attribute name. *)
+
+val to_string : t -> string
+
+module Set : sig
+  include Stdlib.Set.S with type elt = t
+
+  val of_string : string -> t
+  (** [of_string "ABC"] is the set of single-character attributes
+      [{A; B; C}] — the paper's shorthand for relation schemes.
+      @raise Invalid_argument on the empty string. *)
+
+  val to_string : t -> string
+  (** Inverse of {!of_string} for single-character attributes; attributes
+      with longer names are separated by [","]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Map : Stdlib.Map.S with type key = t

@@ -1,0 +1,61 @@
+let consistent_pair r r' =
+  let common = Attr.Set.inter (Relation.scheme r) (Relation.scheme r') in
+  if Attr.Set.is_empty common then
+    (* With no common attributes the join condition is vacuous: the pair is
+       inconsistent only if one side is empty and the other is not (the
+       empty side then "claims" the join is empty). *)
+    Relation.is_empty r = Relation.is_empty r'
+  else
+    Relation.equal (Relation.project r common) (Relation.project r' common)
+
+let pairwise_consistent db =
+  let rs = Database.relations db in
+  let rec pairs = function
+    | [] -> true
+    | r :: rest ->
+        List.for_all (fun r' -> consistent_pair r r') rest && pairs rest
+  in
+  pairs rs
+
+let semijoin_reduce db =
+  let rec fixpoint db =
+    let schemes = Database.scheme_list db in
+    let step acc s =
+      let r = Database.find acc s in
+      let reduced =
+        List.fold_left
+          (fun r s' ->
+            if Scheme.equal s s' then r
+            else
+              let r' = Database.find acc s' in
+              if Attr.Set.disjoint s s' then r else Relation.semijoin r r')
+          r schemes
+      in
+      Database.replace acc reduced
+    in
+    let db' = List.fold_left step db schemes in
+    if Database.equal db db' then db else fixpoint db'
+  in
+  fixpoint db
+
+let globally_consistent db =
+  let full = Database.join_all db in
+  if Relation.is_empty full then
+    List.for_all Relation.is_empty (Database.relations db)
+  else
+    List.for_all
+      (fun r ->
+        Relation.equal r (Relation.project full (Relation.scheme r)))
+      (Database.relations db)
+
+let dangling_tuples db =
+  let full = Database.join_all db in
+  List.map
+    (fun r ->
+      let s = Relation.scheme r in
+      let surviving =
+        if Relation.is_empty full then 0
+        else Relation.cardinality (Relation.inter r (Relation.project full s))
+      in
+      (s, Relation.cardinality r - surviving))
+    (Database.relations db)

@@ -1,0 +1,110 @@
+let trim = String.trim
+
+let split_fields line = List.map trim (String.split_on_char ',' line)
+
+let is_int_literal s =
+  s <> ""
+  && s <> "-"
+  &&
+  let body = if s.[0] = '-' then String.sub s 1 (String.length s - 1) else s in
+  body <> "" && String.for_all (fun c -> c >= '0' && c <= '9') body
+
+let parse_value s = if is_int_literal s then Value.int (int_of_string s) else Value.str s
+
+let nonempty_lines text =
+  String.split_on_char '\n' text
+  |> List.map trim
+  |> List.filter (fun l -> l <> "")
+
+let parse_relation text =
+  match nonempty_lines text with
+  | [] -> invalid_arg "Csv.parse_relation: empty input"
+  | header :: rows ->
+      let names = split_fields header in
+      if List.exists (fun n -> n = "") names then
+        invalid_arg "Csv.parse_relation: empty attribute name in header";
+      let attrs = List.map Attr.make names in
+      let distinct = List.sort_uniq Attr.compare attrs in
+      if List.length distinct <> List.length attrs then
+        invalid_arg "Csv.parse_relation: duplicate attribute in header";
+      let scheme = Attr.Set.of_list attrs in
+      let parse_row row =
+        let fields = split_fields row in
+        if List.length fields <> List.length attrs then
+          invalid_arg
+            (Printf.sprintf "Csv.parse_relation: row %S has %d fields, expected %d"
+               row (List.length fields) (List.length attrs));
+        Tuple.of_list (List.combine attrs (List.map parse_value fields))
+      in
+      Relation.make scheme (List.map parse_row rows)
+
+let escape_value v =
+  let s = Value.to_string v in
+  (* The format has no quoting; reject separators rather than corrupt. *)
+  if String.contains s ',' || String.contains s '\n' then
+    invalid_arg "Csv.to_csv: value contains a separator"
+  else s
+
+let to_csv r =
+  let attrs = Attr.Set.elements (Relation.scheme r) in
+  let header = String.concat "," (List.map Attr.to_string attrs) in
+  let rows =
+    List.map
+      (fun tu ->
+        String.concat ","
+          (List.map (fun a -> escape_value (Tuple.get tu a)) attrs))
+      (Relation.tuples r)
+  in
+  String.concat "\n" (header :: rows) ^ "\n"
+
+(* Split into '= name' headed sections; returns (name, body) pairs. *)
+let sections_of text =
+  let lines = String.split_on_char '\n' text in
+  let sections = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some (name, buf) when trim (Buffer.contents buf) <> "" ->
+        sections := (name, Buffer.contents buf) :: !sections
+    | Some (name, _) ->
+        invalid_arg
+          (Printf.sprintf "Csv.parse_database: empty section %S" name)
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      let t = trim line in
+      if String.length t > 0 && t.[0] = '=' then begin
+        flush ();
+        let name = trim (String.sub t 1 (String.length t - 1)) in
+        if name = "" then
+          invalid_arg "Csv.parse_database: section without a name";
+        current := Some (name, Buffer.create 64)
+      end
+      else
+        match !current with
+        | Some (_, buf) ->
+            Buffer.add_string buf line;
+            Buffer.add_char buf '\n'
+        | None ->
+            if t <> "" then
+              invalid_arg "Csv.parse_database: content before the first '=' header")
+    lines;
+  flush ();
+  match List.rev !sections with
+  | [] -> invalid_arg "Csv.parse_database: no relations"
+  | parts -> parts
+
+let parse_named_database text =
+  List.map (fun (name, body) -> (name, parse_relation body)) (sections_of text)
+
+let parse_database text =
+  Database.of_relations (List.map snd (parse_named_database text))
+
+let database_to_text db =
+  Database.relations db
+  |> List.map (fun r ->
+         Printf.sprintf "= %s\n%s"
+           (Scheme.to_string (Relation.scheme r))
+           (to_csv r))
+  |> String.concat "\n"

@@ -1,0 +1,33 @@
+(** Plain-text relation and database formats.
+
+    Two formats, both pure string parsing (callers do the file I/O):
+
+    - {e CSV}: first line the attribute names separated by commas,
+      each further non-empty line one tuple.  A field consisting only
+      of an optional minus sign and digits parses as {!Value.Int};
+      anything else is a {!Value.Str}.  Whitespace around fields is
+      trimmed.
+
+    - {e database text}: several relations in one string, each
+      introduced by a [= name] line followed by that relation's CSV
+      (the [name] is decorative; the scheme comes from the header).
+
+    Round trip: [parse_relation (to_csv r) = r]. *)
+
+val parse_relation : string -> Relation.t
+(** @raise Invalid_argument on an empty or malformed header, a row of
+    the wrong width, or duplicate attributes. *)
+
+val to_csv : Relation.t -> string
+
+val parse_database : string -> Database.t
+(** @raise Invalid_argument if any section is malformed or two sections
+    share a scheme. *)
+
+val parse_named_database : string -> (string * Relation.t) list
+(** Like {!parse_database} but keeps each section's [= name] label (the
+    predicate name for conjunctive queries).  Names need not be unique;
+    schemes need not be either.
+    @raise Invalid_argument on malformed sections or an empty name. *)
+
+val database_to_text : Database.t -> string

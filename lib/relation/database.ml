@@ -1,0 +1,82 @@
+type t = Relation.t Scheme.Map.t
+
+let of_relations rs =
+  if rs = [] then invalid_arg "Database.of_relations: empty database";
+  List.fold_left
+    (fun acc r ->
+      let s = Relation.scheme r in
+      if Scheme.Map.mem s acc then
+        invalid_arg
+          (Printf.sprintf "Database.of_relations: duplicate scheme %s"
+             (Scheme.to_string s))
+      else Scheme.Map.add s r acc)
+    Scheme.Map.empty rs
+
+let of_rows specs =
+  of_relations (List.map (fun (sh, rows) -> Relation.of_rows sh rows) specs)
+
+let schemes db =
+  Scheme.Map.fold (fun s _ acc -> Scheme.Set.add s acc) db Scheme.Set.empty
+
+let scheme_list db = List.map fst (Scheme.Map.bindings db)
+let relations db = List.map snd (Scheme.Map.bindings db)
+let find db s = Scheme.Map.find s db
+let mem db s = Scheme.Map.mem s db
+let size db = Scheme.Map.cardinal db
+
+let universe db =
+  Scheme.Map.fold (fun s _ acc -> Attr.Set.union s acc) db Attr.Set.empty
+
+let restrict db d' =
+  if Scheme.Set.is_empty d' then
+    invalid_arg "Database.restrict: empty sub-scheme";
+  Scheme.Set.fold
+    (fun s acc ->
+      match Scheme.Map.find_opt s db with
+      | Some r -> Scheme.Map.add s r acc
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Database.restrict: scheme %s not in database"
+               (Scheme.to_string s)))
+    d' Scheme.Map.empty
+
+let replace db r =
+  let s = Relation.scheme r in
+  if not (Scheme.Map.mem s db) then raise Not_found;
+  Scheme.Map.add s r db
+
+let join_all db =
+  match relations db with
+  | [] -> assert false
+  | r :: rest -> List.fold_left Relation.natural_join r rest
+
+let total_tuples db =
+  Scheme.Map.fold (fun _ r acc -> acc + Relation.cardinality r) db 0
+
+let map_states f db =
+  Scheme.Map.mapi
+    (fun s r ->
+      let r' = f r in
+      if not (Scheme.equal (Relation.scheme r') s) then
+        invalid_arg "Database.map_states: transformation changed a scheme";
+      r')
+    db
+
+let equal db1 db2 = Scheme.Map.equal Relation.equal db1 db2
+
+let pp fmt db =
+  Format.pp_open_vbox fmt 0;
+  let first = ref true in
+  Scheme.Map.iter
+    (fun s r ->
+      if not !first then Format.pp_print_cut fmt ();
+      first := false;
+      Format.fprintf fmt "%s:@,%a" (Scheme.to_string s) Relation.pp r)
+    db;
+  Format.pp_close_box fmt ()
+
+let pp_brief fmt db =
+  let parts =
+    List.map (fun r -> Format.asprintf "%a" Relation.pp_brief r) (relations db)
+  in
+  Format.fprintf fmt "{%s}" (String.concat ", " parts)

@@ -1,0 +1,65 @@
+(** Databases.
+
+    A database is an ordered pair [(D, D)] of a database scheme and a state
+    over it (Section 2).  States are indexed by their schemes; following
+    the paper, a database scheme is a {e set} of relation schemes, so no
+    two relations may share a scheme. *)
+
+type t
+
+val of_relations : Relation.t list -> t
+(** [of_relations rs] builds a database.
+    @raise Invalid_argument on an empty list or two relations with the
+    same scheme. *)
+
+val of_rows : (string * Value.t list list) list -> t
+(** [of_rows [("AB", rows); ...]] — shorthand mirroring the paper's
+    example tables (see {!Relation.of_rows}). *)
+
+val schemes : t -> Scheme.Set.t
+(** The database scheme [D]. *)
+
+val scheme_list : t -> Scheme.t list
+(** Schemes in increasing {!Scheme.compare} order. *)
+
+val relations : t -> Relation.t list
+
+val find : t -> Scheme.t -> Relation.t
+(** @raise Not_found if the scheme is not in the database. *)
+
+val mem : t -> Scheme.t -> bool
+
+val size : t -> int
+(** [|D|], the number of relations. *)
+
+val universe : t -> Attr.Set.t
+(** [∪D]. *)
+
+val restrict : t -> Scheme.Set.t -> t
+(** [restrict db d'] is the sub-database [(D', D')].
+    @raise Invalid_argument if [d'] is empty or not a subset of the
+    database scheme. *)
+
+val replace : t -> Relation.t -> t
+(** [replace db r] swaps in a new state for the scheme of [r].
+    @raise Not_found if the scheme is not present. *)
+
+val join_all : t -> Relation.t
+(** [R_D = ⋈_{R ∈ D} R], evaluated left-to-right over the sorted scheme
+    list.  The result is independent of the order (commutativity and
+    associativity of natural join). *)
+
+val total_tuples : t -> int
+(** Sum of the cardinalities of the base relations. *)
+
+val map_states : (Relation.t -> Relation.t) -> t -> t
+(** Apply a scheme-preserving transformation to every state.
+    @raise Invalid_argument if the function changes some scheme. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints every relation as an ASCII table. *)
+
+val pp_brief : Format.formatter -> t -> unit
+(** One line: schemes with cardinalities. *)

@@ -1,0 +1,24 @@
+type t = Attr.Set.t
+
+let of_string = Attr.Set.of_string
+let to_string = Attr.Set.to_string
+let compare = Attr.Set.compare
+let equal = Attr.Set.equal
+let pp = Attr.Set.pp
+let is_valid s = not (Attr.Set.is_empty s)
+
+module Base_set = Stdlib.Set.Make (Attr.Set)
+
+module Set = struct
+  include Base_set
+
+  let of_strings names = of_list (List.map of_string names)
+
+  let universe d = fold Attr.Set.union d Attr.Set.empty
+
+  let pp fmt d =
+    Format.fprintf fmt "{%s}"
+      (String.concat ", " (List.map to_string (elements d)))
+end
+
+module Map = Stdlib.Map.Make (Attr.Set)

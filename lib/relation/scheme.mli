@@ -1,0 +1,35 @@
+(** Relation schemes and collections of schemes.
+
+    A relation scheme is a non-empty set of attributes; a database scheme
+    is a finite non-empty set of relation schemes (Section 2).  This module
+    fixes the conventions and provides set/map containers keyed by
+    schemes, used throughout the hypergraph and strategy layers. *)
+
+type t = Attr.Set.t
+(** A relation scheme. *)
+
+val of_string : string -> t
+(** Single-character shorthand, e.g. [of_string "ABC"]. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val is_valid : t -> bool
+(** Schemes must be non-empty. *)
+
+module Set : sig
+  include Stdlib.Set.S with type elt = t
+
+  val of_strings : string list -> t
+  (** [of_strings ["ABC"; "BE"]] — a database scheme in shorthand. *)
+
+  val universe : t -> Attr.Set.t
+  (** [universe d] is the paper's [∪D]: the union of all schemes. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Map : Stdlib.Map.S with type key = t

@@ -1,0 +1,22 @@
+type t =
+  | Int of int
+  | Str of string
+
+let int i = Int i
+let str s = Str s
+
+let compare v1 v2 =
+  match v1, v2 with
+  | Int i1, Int i2 -> Int.compare i1 i2
+  | Str s1, Str s2 -> String.compare s1 s2
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+
+let equal v1 v2 = compare v1 v2 = 0
+let hash = Hashtbl.hash
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Str s -> s
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

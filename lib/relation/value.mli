@@ -1,0 +1,21 @@
+(** Domain values.
+
+    Each attribute has a domain (Section 2); we use one universal value type
+    covering the integer and symbolic constants that appear in the paper's
+    examples ([0], [1], [p], [q], ["Mokhtar"], ...). *)
+
+type t =
+  | Int of int
+  | Str of string
+
+val int : int -> t
+val str : string -> t
+
+val compare : t -> t -> int
+(** Total order: all [Int] values precede all [Str] values. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,29 @@
+open Mj_relation
+open Mj_hypergraph
+
+let populate gen d =
+  Database.of_relations (List.map gen (Scheme.Set.elements d))
+
+let superkey_db ~rng ~rows ~domain d =
+  populate (Datagen.injective ~rng ~rows ~domain) d
+
+let uniform_db ~rng ~rows ~domain d =
+  populate (Datagen.with_spine Datagen.uniform ~rng ~rows ~domain) d
+
+let skewed_db ~rng ~rows ~domain ~skew d =
+  populate
+    (fun scheme ->
+      Datagen.with_spine
+        (fun ~rng ~rows ~domain scheme ->
+          Datagen.zipf ~rng ~rows ~domain ~skew scheme)
+        ~rng ~rows ~domain scheme)
+    d
+
+let consistent_acyclic_db ~rng ~rows ~domain d =
+  if not (Gyo.is_alpha_acyclic d) then
+    invalid_arg "Dbgen.consistent_acyclic_db: scheme is not alpha-acyclic";
+  let db = uniform_db ~rng ~rows ~domain d in
+  (* The naive full reducer reaches the full reduction on acyclic
+     schemes; the spine tuple survives because it is in every relation,
+     so the reduced states stay non-empty and pairwise consistent. *)
+  Consistency.semijoin_reduce db

@@ -1,0 +1,218 @@
+open Mj_relation
+open Multijoin
+
+let i = Value.int
+let s = Value.str
+
+(* ------------------------------------------------------------------ *)
+(* Example 1 (Section 3)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* R3 and R4 are specified only by tau(R3) = tau(R4) = 7; any states of
+   that size leave the example's numbers unchanged because they only ever
+   enter through Cartesian products. *)
+let seven_rows = List.init 7 (fun k -> [ i k; i k ])
+
+let example1 =
+  Database.of_rows
+    [
+      ("AB", [ [ s "p"; i 0 ]; [ s "q"; i 0 ]; [ s "r"; i 0 ]; [ s "s"; i 1 ] ]);
+      ("BC", [ [ i 0; s "w" ]; [ i 0; s "x" ]; [ i 0; s "y" ]; [ i 1; s "z" ] ]);
+      ("DE", seven_rows);
+      ("FG", seven_rows);
+    ]
+
+let example1_strategies =
+  [
+    ("S1", Strategy.of_string "((AB * BC) * DE) * FG");
+    ("S2", Strategy.of_string "((AB * BC) * FG) * DE");
+    ("S3", Strategy.of_string "(AB * BC) * (DE * FG)");
+    ("S4", Strategy.of_string "(AB * DE) * (BC * FG)");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Example 2 (Section 3)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let example2_c1_not_c2 = example1
+
+let example2_c2_not_c1 =
+  Database.of_rows
+    [
+      ( "AB",
+        [
+          [ i 1; s "x" ]; [ i 2; s "y" ]; [ i 3; s "y" ]; [ i 4; s "y" ];
+          [ i 5; s "y" ]; [ i 6; s "y" ]; [ i 7; s "y" ]; [ i 8; s "y" ];
+        ] );
+      ("BC", [ [ s "y"; i 0 ]; [ s "u"; i 0 ]; [ s "v"; i 0 ] ]);
+      ("DE", [ [ i 0; i 0 ]; [ i 1; i 1 ] ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Example 3 (Section 4)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Schemes: GS (game, student), SC (student, course), CL (course,
+   laboratory).  The state makes all three strategies generate exactly 4
+   intermediate tuples — so all are τ-optimum, including the linear
+   (GS ⋈ CL) ⋈ SC that uses a Cartesian product — while C1 holds with
+   equality everywhere (so C1' fails). *)
+let example3 =
+  Database.of_rows
+    [
+      ("GS", [ [ s "Hockey"; s "Mokhtar" ]; [ s "Tennis"; s "Lin" ] ]);
+      ( "SC",
+        [
+          [ s "Mokhtar"; s "Phy101" ];
+          [ s "Mokhtar"; s "Lang22" ];
+          [ s "Lin"; s "Lit101" ];
+          [ s "Lin"; s "Phy101" ];
+          [ s "Katina"; s "Hist103" ];
+          [ s "Katina"; s "Psch123" ];
+          [ s "Sundram"; s "Phy101" ];
+          [ s "Sundram"; s "Hist103" ];
+        ] );
+      ("CL", [ [ s "Phy101"; s "Fermi" ]; [ s "Lang22"; s "Chomsky" ] ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Example 4 (Section 4)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let example4 =
+  Database.of_rows
+    [
+      ( "GS",
+        [
+          [ s "Hockey"; s "Mokhtar" ];
+          [ s "Tennis"; s "Mokhtar" ];
+          [ s "Tennis"; s "Lin" ];
+        ] );
+      ( "SC",
+        [
+          [ s "Mokhtar"; s "Lang22" ];
+          [ s "Mokhtar"; s "Lit104" ];
+          [ s "Mokhtar"; s "Phy101" ];
+          [ s "Lin"; s "Phy101" ];
+          [ s "Lin"; s "Hist103" ];
+          [ s "Lin"; s "Psch123" ];
+          [ s "Katina"; s "Lang22" ];
+          [ s "Katina"; s "Lit104" ];
+          [ s "Katina"; s "Phy101" ];
+          [ s "Sundram"; s "Phy101" ];
+          [ s "Sundram"; s "Lang22" ];
+          [ s "Sundram"; s "Hist103" ];
+        ] );
+      ("CL", [ [ s "Phy101"; s "Fermi" ]; [ s "Lang22"; s "Chomsky" ] ]);
+    ]
+
+let example4_strategies =
+  [
+    ("S1", Strategy.of_string "(GS * SC) * CL");
+    ("S2", Strategy.of_string "GS * (SC * CL)");
+    ("S3", Strategy.of_string "(GS * CL) * SC");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Example 5 (Section 4)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Schemes: MS (major, student), SC (student, course), CI (course,
+   instructor), ID (instructor, department).  Einstein appears in CI but
+   not in ID, and Math200 is taught by three instructors, which is what
+   breaks C3 (τ(CI ⋈ ID) = 6 > 3 = τ(ID)) while C1 and C2 still hold;
+   the unique τ-optimum is the bushy (MS ⋈ SC) ⋈ (CI ⋈ ID). *)
+let example5 =
+  Database.of_rows
+    [
+      ( "MS",
+        [
+          [ s "Math"; s "Mokhtar" ];
+          [ s "Phy"; s "Lin" ];
+          [ s "Phy"; s "Katina" ];
+        ] );
+      ( "SC",
+        [
+          [ s "Mokhtar"; s "Phy311" ];
+          [ s "Mokhtar"; s "Math200" ];
+          [ s "Lin"; s "Math200" ];
+          [ s "Sundram"; s "Phy411" ];
+        ] );
+      ( "CI",
+        [
+          [ s "Phy311"; s "Newton" ];
+          [ s "Phy411"; s "Newton" ];
+          [ s "Math200"; s "Lorentz" ];
+          [ s "Math5"; s "Lorentz" ];
+          [ s "Math200"; s "Einstein" ];
+          [ s "Math51"; s "Einstein" ];
+          [ s "Phy102"; s "Einstein" ];
+          [ s "Math200"; s "Turing" ];
+          [ s "Phy103"; s "Turing" ];
+        ] );
+      ( "ID",
+        [
+          [ s "Newton"; s "Phy" ];
+          [ s "Lorentz"; s "Math" ];
+          [ s "Turing"; s "Math" ];
+        ] );
+    ]
+
+let example5_optimum = Strategy.of_string "(MS * SC) * (CI * ID)"
+
+(* ------------------------------------------------------------------ *)
+(* Supply chain: a small TPC-H-like snowflake                           *)
+(* ------------------------------------------------------------------ *)
+
+let relation attrs rows =
+  let attrs = List.map Attr.make attrs in
+  Relation.make
+    (Attr.Set.of_list attrs)
+    (List.map (fun row -> Tuple.of_list (List.combine attrs row)) rows)
+
+(* region(rk, rname) <- nation(nk, nname, rk) <- customer(ck, cname, nk)
+   <- orders(ok, ck, odate) <- lineitem(lk, ok, qty): every join matches
+   a foreign key against the referenced relation's key, so every
+   connected subset is a lossless join and C2 holds; C3 does not (the
+   referencing side is not keyed by the join attribute). *)
+let supply_chain =
+  Database.of_relations
+    [
+      relation [ "rk"; "rname" ]
+        [ [ i 0; s "east" ]; [ i 1; s "west" ] ];
+      relation [ "nk"; "nname"; "rk" ]
+        [
+          [ i 0; s "ada"; i 0 ]; [ i 1; s "bel"; i 0 ];
+          [ i 2; s "cor"; i 1 ]; [ i 3; s "dor"; i 1 ];
+        ];
+      relation [ "ck"; "cname"; "nk" ]
+        (List.init 6 (fun c -> [ i c; s (Printf.sprintf "c%d" c); i (c mod 4) ]));
+      relation [ "ok"; "ck"; "odate" ]
+        (List.init 10 (fun o -> [ i o; i (o mod 6); i (2024 + (o mod 2)) ]));
+      relation [ "lk"; "ok"; "qty" ]
+        (List.init 20 (fun l -> [ i l; i (l mod 10); i (1 + (l mod 5)) ]));
+    ]
+
+let supply_chain_fds =
+  let fd l r =
+    Fd.fd (Attr.Set.of_list (List.map Attr.make l))
+      (Attr.Set.of_list (List.map Attr.make r))
+  in
+  [
+    fd [ "rk" ] [ "rname" ];
+    fd [ "nk" ] [ "nname"; "rk" ];
+    fd [ "ck" ] [ "cname"; "nk" ];
+    fd [ "ok" ] [ "ck"; "odate" ];
+    fd [ "lk" ] [ "ok"; "qty" ];
+  ]
+
+let all =
+  [
+    ("ex1", example1);
+    ("ex2a", example2_c1_not_c2);
+    ("ex2b", example2_c2_not_c1);
+    ("ex3", example3);
+    ("ex4", example4);
+    ("ex5", example5);
+    ("supply", supply_chain);
+  ]

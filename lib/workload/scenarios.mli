@@ -1,0 +1,68 @@
+(** The paper's worked examples, as concrete databases.
+
+    Examples 1 and 2 (Section 3) are printed in full in the paper and are
+    reproduced verbatim.  Examples 3–5 (Section 4) are printed as tables
+    whose scans are partly ambiguous; their states here are reconstructed
+    to satisfy {e every} property the paper asserts about them (the
+    strategy costs, which conditions hold and fail, and which strategies
+    are τ-optimum) — the test suite checks each assertion.  Where the
+    paper names only cardinalities (τ(R3) = τ(R4) = 7 in Example 1), any
+    state of that size works and a canonical one is chosen. *)
+
+open Mj_relation
+open Multijoin
+
+val example1 : Database.t
+(** Section 3, Example 1: [{AB, BC, DE, FG}].  Satisfies C1; the three
+    strategies avoiding Cartesian products cost 570, 570 and 549, while
+    [(R1 ⋈ R3) ⋈ (R2 ⋈ R4)] costs 546 — the τ-optimum uses a Cartesian
+    product.  The scheme is unconnected. *)
+
+val example1_strategies : (string * Strategy.t) list
+(** [S1]–[S4] of Example 1, keyed by the paper's names. *)
+
+val example2_c1_not_c2 : Database.t
+(** Example 2 first half = Example 1's database: satisfies C1, violates
+    C2 (τ(R1 ⋈ R2) = 10 exceeds both sides). *)
+
+val example2_c2_not_c1 : Database.t
+(** Example 2 second half: [{AB, BC, DE}] with τ = 8, 3, 2; satisfies C2
+    but violates C1 (τ(R'2 ⋈ R'1) = 7 > 6 = τ(R'2 ⋈ R'3)). *)
+
+val example3 : Database.t
+(** Section 4, Example 3: games/students/courses/laboratories
+    [{GS, SC, CL}].  All three strategies generate the same number (4)
+    of intermediate tuples, so all are τ-optimum — including the linear
+    [(GS ⋈ CL) ⋈ SC], which uses a Cartesian product.  C1 holds but C1'
+    fails: Theorem 1's hypothesis cannot be weakened to C1. *)
+
+val example4 : Database.t
+(** Example 4: same scheme, different state.  τ(S1) = 14, τ(S2) = 12,
+    τ(S3) = 11: the unique τ-optimum uses a Cartesian product.  C2 holds
+    but C1 fails: Theorem 2's hypothesis needs C1. *)
+
+val example4_strategies : (string * Strategy.t) list
+(** [S1 = (GS⋈SC)⋈CL], [S2 = GS⋈(SC⋈CL)], [S3 = (GS⋈CL)⋈SC]. *)
+
+val example5 : Database.t
+(** Example 5: majors/students/courses/instructors/departments
+    [{MS, SC, CI, ID}].  C1 and C2 hold, C3 fails
+    (τ(CI ⋈ ID) > τ(ID)); the unique τ-optimum
+    [(MS ⋈ SC) ⋈ (CI ⋈ ID)] is bushy: Theorem 3's hypothesis cannot be
+    weakened to C1 ∧ C2. *)
+
+val example5_optimum : Strategy.t
+(** [(MS ⋈ SC) ⋈ (CI ⋈ ID)]. *)
+
+val supply_chain : Database.t
+(** A small TPC-H-like snowflake — region, nation, customer, orders,
+    lineitem — with every join matching a foreign key against the
+    referenced relation's key.  All connected subsets are lossless
+    joins, so C2 holds (Section 4); C3 does not.  Used by the CASE
+    experiment and the extension-join machinery. *)
+
+val supply_chain_fds : Fd.t
+(** The key dependencies of {!supply_chain}. *)
+
+val all : (string * Database.t) list
+(** Every scenario keyed by a short name ([ex1], [ex2a], ..., [supply]). *)

@@ -1,0 +1,56 @@
+open Mj_relation
+open Multijoin
+open Mj_hypergraph
+
+let ears_exn d =
+  match Gyo.ear_decomposition d with
+  | Some ears -> ears
+  | None -> invalid_arg "Yannakakis: database scheme is not alpha-acyclic"
+
+let full_reduce db =
+  let d = Database.schemes db in
+  let ears = ears_exn d in
+  (* Leaf-to-root: in ear order, parent := parent ⋉ ear.  Root-to-leaf:
+     in reverse order, ear := ear ⋉ parent. *)
+  let up db (ear, parent) =
+    let r_parent = Database.find db parent in
+    let r_ear = Database.find db ear in
+    Database.replace db (Relation.semijoin r_parent r_ear)
+  in
+  let down db (ear, parent) =
+    let r_parent = Database.find db parent in
+    let r_ear = Database.find db ear in
+    Database.replace db (Relation.semijoin r_ear r_parent)
+  in
+  let db = List.fold_left up db ears in
+  List.fold_left down db (List.rev ears)
+
+let join_order d =
+  match Gyo.ear_decomposition d with
+  | None -> None
+  | Some ears ->
+      (* Reverse ear order: the root (last surviving scheme) first, then
+         each ear joins a part that already contains its parent. *)
+      let removed = List.map fst ears in
+      let root =
+        Scheme.Set.elements
+          (List.fold_left
+             (fun acc ear -> Scheme.Set.remove ear acc)
+             d removed)
+      in
+      Some (root @ List.rev removed)
+
+let strategy d =
+  Option.map Strategy.left_deep (join_order d)
+
+let evaluate db =
+  let db = full_reduce db in
+  match strategy (Database.schemes db) with
+  | None -> assert false (* full_reduce already rejected cyclic schemes *)
+  | Some s -> Cost.eval db s
+
+let tau_after_reduction db =
+  let reduced = full_reduce db in
+  match strategy (Database.schemes db) with
+  | None -> assert false
+  | Some s -> Cost.tau reduced s

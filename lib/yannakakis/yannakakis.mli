@@ -1,0 +1,41 @@
+(** Yannakakis's algorithm for acyclic joins, and its strategy.
+
+    Section 5 discusses Yannakakis's linear strategy for α-acyclic
+    databases — every step a lossless join after semijoin reduction —
+    and asks whether it is τ-optimal.  This module implements the
+    algorithm (full reducer along a join tree, then joins in reverse ear
+    order) and exposes the join order as a {!Strategy.t} so its τ can be
+    compared against the exact optimum. *)
+
+open Mj_relation
+open Multijoin
+open Mj_hypergraph
+
+val full_reduce : Database.t -> Database.t
+(** The Bernstein–Chiu full reducer: one leaf-to-root and one
+    root-to-leaf pass of semijoins along a join tree of the scheme.
+    After it, for α-acyclic schemes, every remaining tuple participates
+    in the global join.
+    @raise Invalid_argument if the scheme is not α-acyclic. *)
+
+val evaluate : Database.t -> Relation.t
+(** Full reduction followed by joins in reverse ear order; equals
+    [Database.join_all] but with every intermediate result free of
+    dangling tuples (each step is monotone increasing on consistent
+    states).
+    @raise Invalid_argument if the scheme is not α-acyclic. *)
+
+val join_order : Hypergraph.t -> Scheme.t list option
+(** The linear join order Yannakakis's algorithm uses: reverse ear
+    order, so each joined relation is linked to the part already
+    joined.  [None] for cyclic schemes. *)
+
+val strategy : Hypergraph.t -> Strategy.t option
+(** The {!join_order} as a left-deep strategy; it never uses Cartesian
+    products for connected acyclic schemes. *)
+
+val tau_after_reduction : Database.t -> int
+(** τ of {!strategy} on the {e reduced} database — the cost the
+    Section 5 discussion attributes to Yannakakis's method (the
+    semijoins themselves generate no new tuples under the paper's
+    measure, which counts join results). *)

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Smoke-run the mjoin CLI subcommands; any non-zero exit fails the test.
+set -e
+MJOIN="$1"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$MJOIN" examples ex4 > /dev/null
+"$MJOIN" conditions ex5 > /dev/null
+"$MJOIN" verify --scenario ex3 > /dev/null
+"$MJOIN" verify --shape chain -n 4 --regime superkey > /dev/null
+"$MJOIN" enumerate --shape star -n 5 > /dev/null
+"$MJOIN" space --shape chain --max 6 > /dev/null
+"$MJOIN" optimize --shape cycle -n 5 --regime skewed > /dev/null
+"$MJOIN" plan ex1 '(AB * BC) * (DE * FG)' > /dev/null
+
+cat > "$TMP/db.txt" <<DB
+= users
+U,N
+1,ann
+2,bob
+
+= prefs
+U,P
+1,dark
+2,light
+DB
+"$MJOIN" analyze "$TMP/db.txt" > /dev/null
+"$MJOIN" query "$TMP/db.txt" 'Q(n,p) :- users(u,n), prefs(u,p).' > /dev/null
+
+# Error paths must exit non-zero but not crash with a backtrace.
+if "$MJOIN" examples nosuch > /dev/null 2>&1; then exit 1; fi
+if "$MJOIN" query "$TMP/db.txt" 'Q(x) :- nosuch(x,y).' > /dev/null 2>&1; then exit 1; fi
+
+echo cli-smoke-ok

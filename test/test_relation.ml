@@ -1,0 +1,639 @@
+(* Tests for the relational substrate: attributes, tuples, relation states,
+   the relational algebra, functional dependencies, the chase, and
+   consistency.  Property tests use small random relations over a fixed
+   attribute pool so that joins stay cheap. *)
+
+open Mj_relation
+
+let attr = Attr.make
+let i = Value.int
+let s = Value.str
+
+(* ------------------------------------------------------------------ *)
+(* Generators for property tests                                       *)
+(* ------------------------------------------------------------------ *)
+
+let gen_scheme =
+  (* Non-empty subset of {A, B, C, D}. *)
+  let open QCheck2.Gen in
+  let* bits = int_range 1 15 in
+  let attrs =
+    List.filteri
+      (fun idx _ -> bits land (1 lsl idx) <> 0)
+      [ "A"; "B"; "C"; "D" ]
+  in
+  return (Attr.Set.of_list (List.map Attr.make attrs))
+
+let gen_relation_over scheme =
+  let open QCheck2.Gen in
+  let attrs = Attr.Set.elements scheme in
+  let gen_tuple =
+    let* vals = list_repeat (List.length attrs) (int_range 0 3) in
+    return (Tuple.of_list (List.combine attrs (List.map Value.int vals)))
+  in
+  let* tuples = list_size (int_range 0 8) gen_tuple in
+  return (Relation.make scheme tuples)
+
+let gen_relation =
+  let open QCheck2.Gen in
+  gen_scheme >>= gen_relation_over
+
+let gen_relation_pair =
+  let open QCheck2.Gen in
+  pair gen_relation gen_relation
+
+let qtest name ?(count = 200) gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Attr                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_attr_make_empty () =
+  Alcotest.check_raises "empty name" (Invalid_argument "Attr.make: empty name")
+    (fun () -> ignore (Attr.make ""))
+
+let test_attr_set_of_string () =
+  let set = Attr.Set.of_string "CAB" in
+  Alcotest.(check int) "cardinal" 3 (Attr.Set.cardinal set);
+  Alcotest.(check string) "sorted shorthand" "ABC" (Attr.Set.to_string set)
+
+let test_attr_set_of_string_dedup () =
+  let set = Attr.Set.of_string "ABA" in
+  Alcotest.(check int) "duplicates collapse" 2 (Attr.Set.cardinal set)
+
+let test_attr_order () =
+  Alcotest.(check bool) "A < B" true (Attr.compare (attr "A") (attr "B") < 0);
+  Alcotest.(check bool) "equal" true (Attr.equal (attr "A") (attr "A"))
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_order () =
+  Alcotest.(check bool) "ints before strings" true
+    (Value.compare (i 999) (s "a") < 0);
+  Alcotest.(check bool) "int order" true (Value.compare (i 1) (i 2) < 0);
+  Alcotest.(check bool) "string order" true (Value.compare (s "a") (s "b") < 0);
+  Alcotest.(check bool) "equal" true (Value.equal (s "x") (s "x"))
+
+let test_value_to_string () =
+  Alcotest.(check string) "int" "42" (Value.to_string (i 42));
+  Alcotest.(check string) "str" "Mokhtar" (Value.to_string (s "Mokhtar"))
+
+(* ------------------------------------------------------------------ *)
+(* Tuple                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tu bindings = Tuple.of_string_list bindings
+
+let test_tuple_duplicate () =
+  Alcotest.check_raises "dup attr"
+    (Invalid_argument "Tuple.of_list: attribute A bound twice") (fun () ->
+      ignore (tu [ ("A", i 1); ("A", i 2) ]))
+
+let test_tuple_restrict () =
+  let t = tu [ ("A", i 1); ("B", i 2); ("C", i 3) ] in
+  let r = Tuple.restrict t (Attr.Set.of_string "AC") in
+  Alcotest.(check int) "width" 2 (Attr.Set.cardinal (Tuple.scheme r));
+  Alcotest.(check bool) "A kept" true (Value.equal (Tuple.get r (attr "A")) (i 1));
+  Alcotest.(check (option unit)) "B dropped" None
+    (Option.map (fun _ -> ()) (Tuple.get_opt r (attr "B")))
+
+let test_tuple_restrict_superset () =
+  let t = tu [ ("A", i 1) ] in
+  let r = Tuple.restrict t (Attr.Set.of_string "AB") in
+  Alcotest.(check int) "missing attrs ignored" 1
+    (Attr.Set.cardinal (Tuple.scheme r))
+
+let test_tuple_joinable () =
+  let t1 = tu [ ("A", i 1); ("B", i 2) ] in
+  let t2 = tu [ ("B", i 2); ("C", i 3) ] in
+  let t3 = tu [ ("B", i 9); ("C", i 3) ] in
+  Alcotest.(check bool) "agree" true (Tuple.joinable t1 t2);
+  Alcotest.(check bool) "disagree" false (Tuple.joinable t1 t3);
+  Alcotest.(check bool) "disjoint schemes" true
+    (Tuple.joinable t1 (tu [ ("D", i 0) ]))
+
+let test_tuple_merge () =
+  let t1 = tu [ ("A", i 1); ("B", i 2) ] in
+  let t2 = tu [ ("B", i 2); ("C", i 3) ] in
+  let m = Tuple.merge t1 t2 in
+  Alcotest.(check int) "merged width" 3 (Attr.Set.cardinal (Tuple.scheme m));
+  Alcotest.check_raises "conflict"
+    (Invalid_argument "Tuple.merge: conflicting values for B") (fun () ->
+      ignore (Tuple.merge t1 (tu [ ("B", i 7) ])))
+
+let test_tuple_set_get () =
+  let t = Tuple.set Tuple.empty (attr "A") (i 5) in
+  Alcotest.(check bool) "get" true (Value.equal (Tuple.get t (attr "A")) (i 5));
+  let t' = Tuple.set t (attr "A") (i 6) in
+  Alcotest.(check bool) "overwrite" true
+    (Value.equal (Tuple.get t' (attr "A")) (i 6))
+
+(* ------------------------------------------------------------------ *)
+(* Relation: construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Example 1's R1 and R2 (Section 3). *)
+let r1_ex1 =
+  Relation.of_rows "AB"
+    [ [ s "p"; i 0 ]; [ s "q"; i 0 ]; [ s "r"; i 0 ]; [ s "s"; i 1 ] ]
+
+let r2_ex1 =
+  Relation.of_rows "BC"
+    [ [ i 0; s "w" ]; [ i 0; s "x" ]; [ i 0; s "y" ]; [ i 1; s "z" ] ]
+
+let test_of_rows () =
+  Alcotest.(check int) "tau(R1)=4" 4 (Relation.cardinality r1_ex1);
+  Alcotest.(check string) "scheme" "AB"
+    (Attr.Set.to_string (Relation.scheme r1_ex1))
+
+let test_of_rows_bad_width () =
+  Alcotest.check_raises "row width"
+    (Invalid_argument "Relation.of_rows: row width differs from scheme width")
+    (fun () -> ignore (Relation.of_rows "AB" [ [ i 1 ] ]))
+
+let test_of_rows_dup_attr () =
+  Alcotest.check_raises "dup attr"
+    (Invalid_argument "Relation.of_rows: scheme shorthand repeats an attribute")
+    (fun () -> ignore (Relation.of_rows "AA" [ [ i 1; i 2 ] ]))
+
+let test_empty_scheme_invalid () =
+  Alcotest.check_raises "empty scheme"
+    (Invalid_argument "Relation.empty: a relation scheme must be non-empty")
+    (fun () -> ignore (Relation.empty Attr.Set.empty))
+
+let test_duplicates_collapse () =
+  let r = Relation.of_rows "A" [ [ i 1 ]; [ i 1 ]; [ i 2 ] ] in
+  Alcotest.(check int) "set semantics" 2 (Relation.cardinality r)
+
+(* ------------------------------------------------------------------ *)
+(* Relation: algebra                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_join_example1 () =
+  (* The paper states tau(R1 ⋈ R2) = 10: 3x3 tuples via B=0 plus 1 via B=1. *)
+  let j = Relation.natural_join r1_ex1 r2_ex1 in
+  Alcotest.(check int) "tau = 10" 10 (Relation.cardinality j);
+  Alcotest.(check string) "scheme ABC" "ABC"
+    (Attr.Set.to_string (Relation.scheme j))
+
+let test_join_is_product_when_disjoint () =
+  let r3 = Relation.of_rows "D" [ [ i 1 ]; [ i 2 ] ] in
+  let j = Relation.natural_join r1_ex1 r3 in
+  Alcotest.(check int) "4 * 2" 8 (Relation.cardinality j)
+
+let test_product_requires_disjoint () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Relation.product: schemes overlap; use natural_join")
+    (fun () -> ignore (Relation.product r1_ex1 r2_ex1))
+
+let test_join_with_empty () =
+  let e = Relation.empty (Attr.Set.of_string "BC") in
+  Alcotest.(check int) "join with empty" 0
+    (Relation.cardinality (Relation.natural_join r1_ex1 e))
+
+let test_project () =
+  let p = Relation.project r1_ex1 (Attr.Set.of_string "B") in
+  Alcotest.(check int) "distinct B" 2 (Relation.cardinality p)
+
+let test_project_invalid () =
+  Alcotest.check_raises "not a subset"
+    (Invalid_argument "Relation.project: CZ is not a subset of AB") (fun () ->
+      ignore (Relation.project r1_ex1 (Attr.Set.of_string "CZ")))
+
+let test_select () =
+  let sel =
+    Relation.select r1_ex1 (fun t -> Value.equal (Tuple.get t (attr "B")) (i 0))
+  in
+  Alcotest.(check int) "B=0" 3 (Relation.cardinality sel)
+
+let test_semijoin () =
+  let r2' = Relation.of_rows "BC" [ [ i 1; s "z" ] ] in
+  let sj = Relation.semijoin r1_ex1 r2' in
+  Alcotest.(check int) "only s,1 survives" 1 (Relation.cardinality sj);
+  Alcotest.(check string) "scheme unchanged" "AB"
+    (Attr.Set.to_string (Relation.scheme sj))
+
+let test_semijoin_disjoint () =
+  let nonempty = Relation.of_rows "D" [ [ i 1 ] ] in
+  let empty = Relation.empty (Attr.Set.of_string "D") in
+  Alcotest.(check int) "vs nonempty: all pass" 4
+    (Relation.cardinality (Relation.semijoin r1_ex1 nonempty));
+  Alcotest.(check int) "vs empty: none pass" 0
+    (Relation.cardinality (Relation.semijoin r1_ex1 empty))
+
+let test_antijoin () =
+  let r2' = Relation.of_rows "BC" [ [ i 1; s "z" ] ] in
+  let aj = Relation.antijoin r1_ex1 r2' in
+  Alcotest.(check int) "three dangling" 3 (Relation.cardinality aj)
+
+let test_set_ops () =
+  let ra = Relation.of_rows "A" [ [ i 1 ]; [ i 2 ] ] in
+  let rb = Relation.of_rows "A" [ [ i 2 ]; [ i 3 ] ] in
+  Alcotest.(check int) "union" 3 (Relation.cardinality (Relation.union ra rb));
+  Alcotest.(check int) "inter" 1 (Relation.cardinality (Relation.inter ra rb));
+  Alcotest.(check int) "diff" 1 (Relation.cardinality (Relation.diff ra rb))
+
+let test_set_ops_scheme_mismatch () =
+  let ra = Relation.of_rows "A" [ [ i 1 ] ] in
+  let rb = Relation.of_rows "B" [ [ i 1 ] ] in
+  Alcotest.check_raises "union mismatch"
+    (Invalid_argument "Relation.union: schemes A and B differ") (fun () ->
+      ignore (Relation.union ra rb))
+
+let test_rename () =
+  let r = Relation.rename r1_ex1 [ (attr "A", attr "Z") ] in
+  Alcotest.(check string) "renamed scheme" "BZ"
+    (Attr.Set.to_string (Relation.scheme r));
+  Alcotest.(check int) "cardinality preserved" 4 (Relation.cardinality r)
+
+let test_rename_not_injective () =
+  Alcotest.check_raises "collision"
+    (Invalid_argument "Relation.rename: renaming is not injective on the scheme")
+    (fun () -> ignore (Relation.rename r1_ex1 [ (attr "A", attr "B") ]))
+
+let test_distinct_values () =
+  Alcotest.(check int) "B has 2" 2
+    (List.length (Relation.distinct_values r1_ex1 (attr "B")))
+
+(* ------------------------------------------------------------------ *)
+(* Relation: properties                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_join_commutative =
+  qtest "join commutative" gen_relation_pair (fun (r1, r2) ->
+      Relation.equal (Relation.natural_join r1 r2) (Relation.natural_join r2 r1))
+
+let prop_join_associative =
+  qtest "join associative" ~count:100
+    QCheck2.Gen.(triple gen_relation gen_relation gen_relation)
+    (fun (r1, r2, r3) ->
+      Relation.equal
+        (Relation.natural_join (Relation.natural_join r1 r2) r3)
+        (Relation.natural_join r1 (Relation.natural_join r2 r3)))
+
+let prop_join_bounded_by_product =
+  qtest "tau(join) <= tau(r1)*tau(r2)" gen_relation_pair (fun (r1, r2) ->
+      Relation.cardinality (Relation.natural_join r1 r2)
+      <= Relation.cardinality r1 * Relation.cardinality r2)
+
+let prop_join_idempotent =
+  qtest "r join r = r" gen_relation (fun r ->
+      Relation.equal (Relation.natural_join r r) r)
+
+let prop_semijoin_shrinks =
+  qtest "semijoin is a subset" gen_relation_pair (fun (r1, r2) ->
+      let sj = Relation.semijoin r1 r2 in
+      Relation.for_all (fun t -> Relation.mem t r1) sj)
+
+let prop_semijoin_antijoin_partition =
+  qtest "semijoin + antijoin = r1" gen_relation_pair (fun (r1, r2) ->
+      Relation.equal r1
+        (Relation.union (Relation.semijoin r1 r2) (Relation.antijoin r1 r2)))
+
+let prop_project_cardinality =
+  qtest "projection never grows" gen_relation (fun r ->
+      let scheme = Relation.scheme r in
+      let first = Attr.Set.min_elt scheme in
+      let p = Relation.project r (Attr.Set.singleton first) in
+      Relation.cardinality p <= Relation.cardinality r)
+
+let prop_join_contains_restrictions =
+  qtest "join tuples restrict to operands" gen_relation_pair (fun (r1, r2) ->
+      let j = Relation.natural_join r1 r2 in
+      Relation.for_all
+        (fun t ->
+          Relation.mem (Tuple.restrict t (Relation.scheme r1)) r1
+          && Relation.mem (Tuple.restrict t (Relation.scheme r2)) r2)
+        j)
+
+(* ------------------------------------------------------------------ *)
+(* Functional dependencies                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fd_closure () =
+  let fds = Fd.of_strings [ ("A", "B"); ("B", "C") ] in
+  let cl = Fd.closure fds (Attr.Set.of_string "A") in
+  Alcotest.(check string) "A+ = ABC" "ABC" (Attr.Set.to_string cl)
+
+let test_fd_closure_no_fire () =
+  let fds = Fd.of_strings [ ("AB", "C") ] in
+  let cl = Fd.closure fds (Attr.Set.of_string "A") in
+  Alcotest.(check string) "A+ = A" "A" (Attr.Set.to_string cl)
+
+let test_fd_implies () =
+  let fds = Fd.of_strings [ ("A", "B"); ("B", "C") ] in
+  Alcotest.(check bool) "A->C implied" true
+    (Fd.implies fds (Fd.fd (Attr.Set.of_string "A") (Attr.Set.of_string "C")));
+  Alcotest.(check bool) "C->A not implied" false
+    (Fd.implies fds (Fd.fd (Attr.Set.of_string "C") (Attr.Set.of_string "A")))
+
+let test_fd_superkey () =
+  let fds = Fd.of_strings [ ("A", "BC") ] in
+  let scheme = Attr.Set.of_string "ABC" in
+  Alcotest.(check bool) "A superkey" true
+    (Fd.is_superkey fds scheme (Attr.Set.of_string "A"));
+  Alcotest.(check bool) "B not" false
+    (Fd.is_superkey fds scheme (Attr.Set.of_string "B"));
+  Alcotest.(check bool) "AB superkey, not key" true
+    (Fd.is_superkey fds scheme (Attr.Set.of_string "AB"));
+  Alcotest.(check bool) "AB not minimal" false
+    (Fd.is_key fds scheme (Attr.Set.of_string "AB"));
+  Alcotest.(check bool) "A is key" true
+    (Fd.is_key fds scheme (Attr.Set.of_string "A"))
+
+let test_fd_candidate_keys () =
+  (* Classic: R(ABC), A->B, B->C, C->A: every single attribute is a key. *)
+  let fds = Fd.of_strings [ ("A", "B"); ("B", "C"); ("C", "A") ] in
+  let keys = Fd.candidate_keys fds (Attr.Set.of_string "ABC") in
+  Alcotest.(check int) "three keys" 3 (List.length keys);
+  List.iter
+    (fun k -> Alcotest.(check int) "singleton" 1 (Attr.Set.cardinal k))
+    keys
+
+let test_fd_candidate_keys_composite () =
+  let fds = Fd.of_strings [ ("AB", "C") ] in
+  let keys = Fd.candidate_keys fds (Attr.Set.of_string "ABC") in
+  Alcotest.(check int) "one key" 1 (List.length keys);
+  Alcotest.(check string) "AB" "AB" (Attr.Set.to_string (List.hd keys))
+
+let test_fd_minimal_cover () =
+  (* A->BC splits; A->B follows from nothing else so both kept;
+     the redundant A->C via transitive closure is dropped. *)
+  let fds = Fd.of_strings [ ("A", "B"); ("B", "C"); ("A", "C") ] in
+  let cover = Fd.minimal_cover fds in
+  Alcotest.(check int) "redundant dropped" 2 (List.length cover);
+  Alcotest.(check bool) "equivalent" true (Fd.equivalent fds cover)
+
+let test_fd_minimal_cover_extraneous () =
+  let fds = Fd.of_strings [ ("A", "B"); ("AB", "C") ] in
+  let cover = Fd.minimal_cover fds in
+  (* B is extraneous in AB->C given A->B. *)
+  Alcotest.(check bool) "equivalent" true (Fd.equivalent fds cover);
+  List.iter
+    (fun (d : Fd.fd) ->
+      Alcotest.(check bool) "lhs minimal" true (Attr.Set.cardinal d.lhs <= 1))
+    cover
+
+let test_fd_project () =
+  let fds = Fd.of_strings [ ("A", "B"); ("B", "C") ] in
+  let proj = Fd.project fds (Attr.Set.of_string "AC") in
+  Alcotest.(check bool) "A->C survives" true
+    (Fd.implies proj (Fd.fd (Attr.Set.of_string "A") (Attr.Set.of_string "C")))
+
+let test_fd_holds_in () =
+  let d = Fd.fd (Attr.Set.of_string "A") (Attr.Set.of_string "B") in
+  let good = Relation.of_rows "AB" [ [ i 1; i 10 ]; [ i 2; i 10 ] ] in
+  let bad = Relation.of_rows "AB" [ [ i 1; i 10 ]; [ i 1; i 20 ] ] in
+  Alcotest.(check bool) "holds" true (Fd.holds_in good d);
+  Alcotest.(check bool) "violated" false (Fd.holds_in bad d)
+
+let prop_closure_monotone =
+  qtest "closure contains its argument" gen_scheme (fun x ->
+      let fds = Fd.of_strings [ ("A", "B"); ("C", "D") ] in
+      Attr.Set.subset x (Fd.closure fds x))
+
+let prop_closure_idempotent =
+  qtest "closure idempotent" gen_scheme (fun x ->
+      let fds = Fd.of_strings [ ("A", "BC"); ("B", "D") ] in
+      Attr.Set.equal (Fd.closure fds x) (Fd.closure fds (Fd.closure fds x)))
+
+(* ------------------------------------------------------------------ *)
+(* Chase                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_chase_lossless_classic () =
+  (* {AB, BC} decomposition of ABC is lossless iff B->A or B->C. *)
+  let schemes = [ Attr.Set.of_string "AB"; Attr.Set.of_string "BC" ] in
+  Alcotest.(check bool) "with B->C lossless" true
+    (Chase.is_lossless (Fd.of_strings [ ("B", "C") ]) schemes);
+  Alcotest.(check bool) "without FDs lossy" false
+    (Chase.is_lossless [] schemes)
+
+let test_chase_three_way () =
+  (* {AB, BC, CD} of ABCD with B->C, C->D is lossless. *)
+  let schemes = Scheme.Set.elements (Scheme.Set.of_strings [ "AB"; "BC"; "CD" ]) in
+  Alcotest.(check bool) "chain lossless" true
+    (Chase.is_lossless (Fd.of_strings [ ("B", "C"); ("C", "D") ]) schemes);
+  Alcotest.(check bool) "no FDs lossy" false (Chase.is_lossless [] schemes)
+
+let test_chase_single_scheme () =
+  Alcotest.(check bool) "single trivially lossless" true
+    (Chase.is_lossless [] [ Attr.Set.of_string "AB" ])
+
+let test_chase_initial_shape () =
+  let t = Chase.initial [ Attr.Set.of_string "AB"; Attr.Set.of_string "BC" ] in
+  Alcotest.(check int) "two rows" 2 (Array.length t);
+  let row0 = t.(0) in
+  Alcotest.(check bool) "distinguished on own scheme" true
+    (Attr.Map.find (attr "A") row0 = Chase.Distinguished);
+  Alcotest.(check bool) "variable elsewhere" true
+    (match Attr.Map.find (attr "C") row0 with
+    | Chase.Var _ -> true
+    | Chase.Distinguished -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Database                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let db_ex1 =
+  Database.of_relations
+    [ r1_ex1; r2_ex1; Relation.of_rows "D" [ [ i 1 ] ] ]
+
+let test_database_basics () =
+  Alcotest.(check int) "size" 3 (Database.size db_ex1);
+  Alcotest.(check string) "universe" "ABCD"
+    (Attr.Set.to_string (Database.universe db_ex1));
+  Alcotest.(check int) "total tuples" 9 (Database.total_tuples db_ex1)
+
+let test_database_duplicate_scheme () =
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Database.of_relations: duplicate scheme AB") (fun () ->
+      ignore (Database.of_relations [ r1_ex1; r1_ex1 ]))
+
+let test_database_join_all () =
+  let j = Database.join_all db_ex1 in
+  Alcotest.(check int) "10 * 1" 10 (Relation.cardinality j)
+
+let test_database_restrict () =
+  let sub = Database.restrict db_ex1 (Scheme.Set.of_strings [ "AB"; "BC" ]) in
+  Alcotest.(check int) "two relations" 2 (Database.size sub)
+
+let test_database_replace () =
+  let db = Database.replace db_ex1 (Relation.of_rows "D" [ [ i 1 ]; [ i 2 ] ]) in
+  Alcotest.(check int) "replaced" 2
+    (Relation.cardinality (Database.find db (Scheme.of_string "D")))
+
+(* ------------------------------------------------------------------ *)
+(* Consistency                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_consistent_pair () =
+  let r = Relation.of_rows "AB" [ [ i 1; i 0 ]; [ i 2; i 0 ] ] in
+  let r' = Relation.of_rows "BC" [ [ i 0; i 5 ] ] in
+  let r'' = Relation.of_rows "BC" [ [ i 0; i 5 ]; [ i 9; i 6 ] ] in
+  Alcotest.(check bool) "consistent" true (Consistency.consistent_pair r r');
+  Alcotest.(check bool) "dangling B=9" false (Consistency.consistent_pair r r'')
+
+let test_semijoin_reduce () =
+  let db =
+    Database.of_rows
+      [ ("AB", [ [ i 1; i 0 ]; [ i 2; i 9 ] ]);
+        ("BC", [ [ i 0; i 5 ]; [ i 7; i 6 ] ]) ]
+  in
+  let reduced = Consistency.semijoin_reduce db in
+  Alcotest.(check int) "AB loses B=9" 1
+    (Relation.cardinality (Database.find reduced (Scheme.of_string "AB")));
+  Alcotest.(check int) "BC loses B=7" 1
+    (Relation.cardinality (Database.find reduced (Scheme.of_string "BC")));
+  Alcotest.(check bool) "now pairwise consistent" true
+    (Consistency.pairwise_consistent reduced)
+
+let test_globally_consistent () =
+  let db =
+    Database.of_rows
+      [ ("AB", [ [ i 1; i 0 ] ]); ("BC", [ [ i 0; i 5 ] ]) ]
+  in
+  Alcotest.(check bool) "consistent" true (Consistency.globally_consistent db)
+
+let test_dangling_tuples () =
+  let db =
+    Database.of_rows
+      [ ("AB", [ [ i 1; i 0 ]; [ i 2; i 9 ] ]); ("BC", [ [ i 0; i 5 ] ]) ]
+  in
+  let dangling = Consistency.dangling_tuples db in
+  let ab = List.assoc (Scheme.of_string "AB") dangling in
+  Alcotest.(check int) "one dangling in AB" 1 ab
+
+let prop_reduce_preserves_join =
+  qtest "semijoin reduction preserves the global join" ~count:80
+    gen_relation_pair (fun (r1, r2) ->
+      (* Force distinct schemes by renaming when equal. *)
+      let r2 =
+        if Scheme.equal (Relation.scheme r1) (Relation.scheme r2) then
+          Relation.rename r2
+            [ (Attr.Set.min_elt (Relation.scheme r2), attr "Z") ]
+        else r2
+      in
+      let db = Database.of_relations [ r1; r2 ] in
+      let reduced = Consistency.semijoin_reduce db in
+      Relation.equal (Database.join_all db) (Database.join_all reduced))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mj_relation"
+    [
+      ( "attr",
+        [
+          Alcotest.test_case "make rejects empty" `Quick test_attr_make_empty;
+          Alcotest.test_case "set of_string" `Quick test_attr_set_of_string;
+          Alcotest.test_case "set dedup" `Quick test_attr_set_of_string_dedup;
+          Alcotest.test_case "ordering" `Quick test_attr_order;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "to_string" `Quick test_value_to_string;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "duplicate attr" `Quick test_tuple_duplicate;
+          Alcotest.test_case "restrict" `Quick test_tuple_restrict;
+          Alcotest.test_case "restrict superset" `Quick
+            test_tuple_restrict_superset;
+          Alcotest.test_case "joinable" `Quick test_tuple_joinable;
+          Alcotest.test_case "merge" `Quick test_tuple_merge;
+          Alcotest.test_case "set/get" `Quick test_tuple_set_get;
+        ] );
+      ( "relation-construction",
+        [
+          Alcotest.test_case "of_rows" `Quick test_of_rows;
+          Alcotest.test_case "of_rows bad width" `Quick test_of_rows_bad_width;
+          Alcotest.test_case "of_rows dup attr" `Quick test_of_rows_dup_attr;
+          Alcotest.test_case "empty scheme invalid" `Quick
+            test_empty_scheme_invalid;
+          Alcotest.test_case "duplicates collapse" `Quick
+            test_duplicates_collapse;
+        ] );
+      ( "relation-algebra",
+        [
+          Alcotest.test_case "join example 1" `Quick test_join_example1;
+          Alcotest.test_case "join disjoint = product" `Quick
+            test_join_is_product_when_disjoint;
+          Alcotest.test_case "product requires disjoint" `Quick
+            test_product_requires_disjoint;
+          Alcotest.test_case "join with empty" `Quick test_join_with_empty;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "project invalid" `Quick test_project_invalid;
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "semijoin" `Quick test_semijoin;
+          Alcotest.test_case "semijoin disjoint" `Quick test_semijoin_disjoint;
+          Alcotest.test_case "antijoin" `Quick test_antijoin;
+          Alcotest.test_case "set ops" `Quick test_set_ops;
+          Alcotest.test_case "set ops scheme mismatch" `Quick
+            test_set_ops_scheme_mismatch;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "rename not injective" `Quick
+            test_rename_not_injective;
+          Alcotest.test_case "distinct values" `Quick test_distinct_values;
+        ] );
+      ( "relation-properties",
+        [
+          prop_join_commutative;
+          prop_join_associative;
+          prop_join_bounded_by_product;
+          prop_join_idempotent;
+          prop_semijoin_shrinks;
+          prop_semijoin_antijoin_partition;
+          prop_project_cardinality;
+          prop_join_contains_restrictions;
+        ] );
+      ( "fd",
+        [
+          Alcotest.test_case "closure" `Quick test_fd_closure;
+          Alcotest.test_case "closure no fire" `Quick test_fd_closure_no_fire;
+          Alcotest.test_case "implies" `Quick test_fd_implies;
+          Alcotest.test_case "superkey/key" `Quick test_fd_superkey;
+          Alcotest.test_case "candidate keys cycle" `Quick
+            test_fd_candidate_keys;
+          Alcotest.test_case "candidate keys composite" `Quick
+            test_fd_candidate_keys_composite;
+          Alcotest.test_case "minimal cover" `Quick test_fd_minimal_cover;
+          Alcotest.test_case "minimal cover extraneous" `Quick
+            test_fd_minimal_cover_extraneous;
+          Alcotest.test_case "project" `Quick test_fd_project;
+          Alcotest.test_case "holds_in" `Quick test_fd_holds_in;
+          prop_closure_monotone;
+          prop_closure_idempotent;
+        ] );
+      ( "chase",
+        [
+          Alcotest.test_case "classic two-scheme" `Quick
+            test_chase_lossless_classic;
+          Alcotest.test_case "three-way chain" `Quick test_chase_three_way;
+          Alcotest.test_case "single scheme" `Quick test_chase_single_scheme;
+          Alcotest.test_case "initial tableau" `Quick test_chase_initial_shape;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "basics" `Quick test_database_basics;
+          Alcotest.test_case "duplicate scheme" `Quick
+            test_database_duplicate_scheme;
+          Alcotest.test_case "join_all" `Quick test_database_join_all;
+          Alcotest.test_case "restrict" `Quick test_database_restrict;
+          Alcotest.test_case "replace" `Quick test_database_replace;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "consistent pair" `Quick test_consistent_pair;
+          Alcotest.test_case "semijoin reduce" `Quick test_semijoin_reduce;
+          Alcotest.test_case "globally consistent" `Quick
+            test_globally_consistent;
+          Alcotest.test_case "dangling tuples" `Quick test_dangling_tuples;
+          prop_reduce_preserves_join;
+        ] );
+    ]
