@@ -1017,6 +1017,77 @@ let par () =
     \   the paper's technology-neutral cost measure deliberately leaves out)"
 
 (* ------------------------------------------------------------------ *)
+(* OBS: optimizer search-effort counters (Mj_obs)                       *)
+(* ------------------------------------------------------------------ *)
+
+let obs_metrics () =
+  section "OBS"
+    "Optimizer search effort via Mj_obs (pairs / entries / pruned / estimates)";
+  let module Obs = Mj_obs.Obs in
+  let module Json = Mj_obs.Json in
+  let queries =
+    [
+      ("chain10", Querygraph.chain 10);
+      ("star10", Querygraph.star 10);
+      ("clique8", Querygraph.clique 8);
+    ]
+  in
+  let algorithms =
+    [
+      ("dpsize", fun ~obs ~oracle d -> ignore (Dpsize.plan ~obs ~oracle d));
+      ("dpsub", fun ~obs ~oracle d -> ignore (Dpsub.plan ~obs ~oracle d));
+      ("dpccp", fun ~obs ~oracle d -> ignore (Dpccp.plan ~obs ~oracle d));
+      ( "selinger",
+        fun ~obs ~oracle d -> ignore (Selinger.plan ~obs ~cp:`Never ~oracle d) );
+      ("goo", fun ~obs ~oracle d -> ignore (Greedy.goo ~obs ~oracle d));
+    ]
+  in
+  Printf.printf "  %-10s %-10s %-10s %-10s %-10s %-10s\n" "query" "algorithm"
+    "pairs" "entries" "pruned" "estimates";
+  let blob = ref [] in
+  List.iter
+    (fun (qname, d) ->
+      let cat =
+        Catalog.synthetic
+          (List.map (fun s -> (s, 64, [])) (Scheme.Set.elements d))
+      in
+      let oracle = Estimate.of_catalog cat in
+      List.iter
+        (fun (aname, run) ->
+          (* One sink per (query, algorithm) so counters do not mix. *)
+          let obs = Obs.make () in
+          run ~obs ~oracle d;
+          let v name =
+            match List.assoc_opt name (Obs.counters obs) with
+            | Some n -> n
+            | None -> 0
+          in
+          Printf.printf "  %-10s %-10s %-10d %-10d %-10d %-10d\n" qname aname
+            (v "opt.pairs_inspected") (v "opt.dp_entries")
+            (v "opt.plans_pruned") (v "opt.estimate_calls");
+          blob :=
+            Json.Obj
+              (("query", Json.str qname) :: ("algorithm", Json.str aname)
+              :: List.map (fun (k, n) -> (k, Json.int n)) (Obs.counters obs))
+            :: !blob)
+        algorithms)
+    queries;
+  (* A machine-readable line for downstream tooling: scrape stdout for
+     the BENCH_JSON prefix and parse the remainder. *)
+  Printf.printf "  BENCH_JSON %s\n"
+    (Json.to_string (Json.Obj [ ("optimizer_search", Json.Arr (List.rev !blob)) ]));
+  check "dpccp pairs on chain10 = closed-form csg-cmp count"
+    (let obs = Obs.make () in
+     let d = Querygraph.chain 10 in
+     let cat =
+       Catalog.synthetic
+         (List.map (fun s -> (s, 64, [])) (Scheme.Set.elements d))
+     in
+     ignore (Dpccp.plan ~obs ~oracle:(Estimate.of_catalog cat) d);
+     List.assoc_opt "opt.pairs_inspected" (Obs.counters obs)
+     = Some (Dpccp.count_csg_cmp_pairs d))
+
+(* ------------------------------------------------------------------ *)
 (* PERF: optimizer timings (bechamel)                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1092,7 +1163,7 @@ let experiments =
     ("SK", sk); ("SPACE", space); ("GAMMA", gamma); ("MONO", mono);
     ("SETOP", setop); ("YANN", yann); ("EST", est); ("RAND", rand);
     ("PIPE", pipe); ("LEM", lem); ("COST", cost_models); ("C4JT", c4jt); ("CASE", case); ("PAR", par); ("LOSS", loss);
-    ("PERF", perf);
+    ("OBS", obs_metrics); ("PERF", perf);
   ]
 
 let () =

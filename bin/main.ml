@@ -6,13 +6,17 @@
      verify      theorem report for a scenario or a generated database
      enumerate   count / list the strategy subspaces of a query shape
      optimize    generate a database and compare optimizers on it
-     space       search-space size table for a query shape *)
+     space       search-space size table for a query shape
+     explain     EXPLAIN ANALYZE: execute a plan with tracing on *)
 
 open Mj_relation
 open Mj_hypergraph
 open Multijoin
 open Mj_optimizer
 open Cmdliner
+module Obs = Mj_obs.Obs
+module Json = Mj_obs.Json
+module Export = Mj_obs.Export
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -216,13 +220,22 @@ let enumerate_cmd =
 (* optimize                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_optimize (shape_name, shape) n seed rows domain regime =
+let graceful f x =
+  try f x with
+  | Failure msg | Sys_error msg ->
+      prerr_endline ("mjoin: " ^ msg);
+      exit 1
+
+let run_optimize (shape_name, shape) n seed rows domain regime trace_file =
   let rng = Random.State.make [| seed |] in
   let d = shape ~rng n in
   let db = make_db ~regime ~rng ~rows ~domain d in
   Format.printf "%s query of %d relations, %s data: %a@.@." shape_name n regime
     Database.pp_brief db;
   let est = Estimate.of_catalog (Catalog.of_database db) in
+  (* With --trace, every optimizer records into one sink: its spans stay
+     separate, the search-effort counters accumulate across them. *)
+  let obs = match trace_file with Some _ -> Obs.make () | None -> Obs.noop in
   let show name = function
     | Some (r : Optimal.result) ->
         Format.printf "  %-26s est %-7d actual tau %-7d %s@." name r.cost
@@ -230,26 +243,40 @@ let run_optimize (shape_name, shape) n seed rows domain regime =
           (Strategy.to_string r.strategy)
     | None -> Format.printf "  %-26s -@." name
   in
-  show "DPsize (bushy, with CP)" (Dpsize.plan ~allow_cp:true ~oracle:est d);
-  show "DPccp (bushy, no CP)" (Dpccp.plan ~oracle:est d);
-  show "Selinger (linear, no CP)" (Selinger.plan ~cp:`Never ~oracle:est d);
-  show "Selinger (linear, CP ok)" (Selinger.plan ~cp:`Always ~oracle:est d);
-  show "greedy GOO" (Some (Greedy.goo ~oracle:est d));
-  show "smallest-first" (Some (Greedy.smallest_first ~oracle:est d));
-  if n <= 9 then begin
-    match Optimal.optimum db with
-    | Some r ->
-        Format.printf "@.  exact tau optimum: %d with %s@." r.cost
-          (Strategy.to_string r.strategy)
-    | None -> ()
-  end
+  show "DPsize (bushy, with CP)" (Dpsize.plan ~obs ~allow_cp:true ~oracle:est d);
+  show "DPccp (bushy, no CP)" (Dpccp.plan ~obs ~oracle:est d);
+  show "Selinger (linear, no CP)" (Selinger.plan ~obs ~cp:`Never ~oracle:est d);
+  show "Selinger (linear, CP ok)" (Selinger.plan ~obs ~cp:`Always ~oracle:est d);
+  show "greedy GOO" (Some (Greedy.goo ~obs ~oracle:est d));
+  show "smallest-first" (Some (Greedy.smallest_first ~obs ~oracle:est d));
+  (if n <= 9 then
+     match Optimal.optimum db with
+     | Some r ->
+         Format.printf "@.  exact tau optimum: %d with %s@." r.cost
+           (Strategy.to_string r.strategy)
+     | None -> ());
+  match trace_file with
+  | Some path ->
+      Export.write_jsonl path obs;
+      Format.printf "@.trace written to %s (%d events)@." path
+        (List.length (Export.trace_events obs))
+  | None -> ()
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write spans and counters to $(docv) as JSONL Chrome trace events.")
 
 let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Compare optimizers on a generated database")
     Term.(
-      const run_optimize $ shape_arg $ n_arg $ seed_arg $ rows_arg $ domain_arg
-      $ regime_arg)
+      const (fun sh n seed rows domain regime tr ->
+          graceful (run_optimize sh n seed rows domain regime) tr)
+      $ shape_arg $ n_arg $ seed_arg $ rows_arg $ domain_arg $ regime_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* space                                                                *)
@@ -319,9 +346,6 @@ let run_plan (name, db) strategy_text =
       (String.concat "+" (List.map string_of_int p.Exec.emitted_per_stage))
       p.Exec.peak_buffer
   end
-
-let graceful f x =
-  try f x with Failure msg -> prerr_endline ("mjoin: " ^ msg); exit 1
 
 let plan_cmd =
   let scenario =
@@ -451,6 +475,172 @@ let query_cmd =
     Term.(const (fun f qq d -> graceful (run_query f qq) d) $ file $ q $ dot)
 
 (* ------------------------------------------------------------------ *)
+(* explain                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let scheme_key d = Format.asprintf "%a" Scheme.Set.pp d
+
+let attr_str attrs key =
+  match List.assoc_opt key attrs with Some (Json.Str s) -> Some s | _ -> None
+
+let attr_int attrs key =
+  match List.assoc_opt key attrs with
+  | Some (Json.Num f) -> Some (int_of_float f)
+  | _ -> None
+
+let q_error ~est ~actual =
+  let e = Float.max 1.0 (float_of_int est)
+  and a = Float.max 1.0 (float_of_int actual) in
+  Float.max (e /. a) (a /. e)
+
+let run_explain scenario (shape_name, shape) n seed rows domain regime
+    strategy_text algo_name trace_file =
+  let name, db =
+    match scenario with
+    | Some (nm, db) -> (nm, db)
+    | None ->
+        let rng = Random.State.make [| seed |] in
+        let d = shape ~rng n in
+        ( Printf.sprintf "%s-%d (%s data, seed %d)" shape_name n regime seed,
+          make_db ~regime ~rng ~rows ~domain d )
+  in
+  let d = Database.schemes db in
+  let est_oracle = Estimate.of_catalog (Catalog.of_database db) in
+  let strategy =
+    match strategy_text with
+    | Some txt ->
+        let s =
+          try Strategy.of_string txt with Invalid_argument m -> failwith m
+        in
+        Scheme.Set.iter
+          (fun sch ->
+            if not (Scheme.Set.mem sch d) then
+              failwith
+                (Printf.sprintf "strategy mentions %s, not in the database"
+                   (Scheme.to_string sch)))
+          (Strategy.schemes s);
+        s
+    | None -> (
+        match Dpccp.plan ~oracle:est_oracle d with
+        | Some r -> r.Optimal.strategy
+        | None -> (
+            (* Unconnected scheme: a Cartesian product is unavoidable. *)
+            match Dpsize.plan ~allow_cp:true ~oracle:est_oracle d with
+            | Some r -> r.Optimal.strategy
+            | None -> failwith "no plan found"))
+  in
+  let algo =
+    match algo_name with
+    | "hash" -> None
+    | "nl" -> Some (fun _ _ -> Mj_engine.Physical.Nested_loop)
+    | "bnl" -> Some (fun _ _ -> Mj_engine.Physical.Block_nested_loop 64)
+    | "merge" -> Some (fun _ _ -> Mj_engine.Physical.Sort_merge)
+    | "inl" -> Some (fun _ _ -> Mj_engine.Physical.Index_nested_loop)
+    | a -> failwith (Printf.sprintf "unknown algorithm %s" a)
+  in
+  let plan = Mj_engine.Physical.of_strategy ?algo strategy in
+  (* Estimated cardinality of every plan subtree, keyed like the span
+     attributes so the tree walk below can pair est with act. *)
+  let est_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d' -> Hashtbl.replace est_tbl (scheme_key d') (est_oracle d'))
+    (Strategy.subtree_schemes strategy);
+  let obs = Obs.make () in
+  let result, stats = Mj_engine.Exec.execute ~obs db plan in
+  Format.printf "Scenario %s@.plan: %s@.@." name (Strategy.to_string strategy);
+  let max_q = ref 1.0 and join_steps = ref 0 in
+  let rec show indent (sp : Obs.span_tree) =
+    (match sp.Obs.name with
+    | ("scan" | "join") as kind ->
+        let scheme =
+          Option.value ~default:"?" (attr_str sp.Obs.attrs "scheme")
+        in
+        let actual = Option.value ~default:0 (attr_int sp.Obs.attrs "rows") in
+        let label =
+          match attr_str sp.Obs.attrs "algo" with
+          | Some a -> Printf.sprintf "%s[%s]" kind a
+          | None -> kind
+        in
+        (match Hashtbl.find_opt est_tbl scheme with
+        | Some est ->
+            let q = q_error ~est ~actual in
+            if kind = "join" then begin
+              incr join_steps;
+              if q > !max_q then max_q := q
+            end;
+            Format.printf
+              "%s%-12s %-26s %8.3f ms  est=%-6d act=%-6d q-err=%.2f@." indent
+              label scheme
+              (sp.Obs.duration *. 1e3)
+              est actual q
+        | None ->
+            Format.printf "%s%-12s %-26s %8.3f ms  act=%-6d@." indent label
+              scheme
+              (sp.Obs.duration *. 1e3)
+              actual)
+    | other -> Format.printf "%s%s  %8.3f ms@." indent other (sp.Obs.duration *. 1e3));
+    List.iter (show (indent ^ "  ")) sp.Obs.children
+  in
+  List.iter (show "") (Obs.trace obs);
+  let est_tau =
+    List.fold_left
+      (fun acc d' ->
+        if Scheme.Set.cardinal d' >= 2 then acc + est_oracle d' else acc)
+      0
+      (Strategy.subtree_schemes strategy)
+  in
+  Format.printf
+    "@.summary: %d join steps, tau=%d (est %d), result=%d rows, max \
+     q-error=%.2f, scanned=%d, peak=%d@."
+    !join_steps stats.Mj_engine.Exec.tuples_generated est_tau
+    (Relation.cardinality result)
+    !max_q stats.Mj_engine.Exec.tuples_scanned
+    stats.Mj_engine.Exec.max_materialized;
+  match trace_file with
+  | Some path ->
+      Export.write_jsonl path obs;
+      Format.printf "trace written to %s (%d events)@." path
+        (List.length (Export.trace_events obs))
+  | None -> ()
+
+let explain_cmd =
+  let scenario =
+    Arg.(
+      value
+      & opt (some scenario_conv) None
+      & info [ "scenario" ]
+          ~doc:"Explain a paper scenario instead of a generated database.")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Execute this strategy (paper notation, e.g. '(AB * BC) * DE') \
+             instead of the optimizer's plan.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt string "hash"
+      & info [ "algo" ]
+          ~doc:"Join algorithm: hash, nl, bnl, merge, inl.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "EXPLAIN ANALYZE: optimize (or take --strategy), execute with \
+          tracing, print the per-step tree with est vs actual cardinality \
+          and Q-error")
+    Term.(
+      const
+        (fun sc sh n seed rows domain regime st algo tr ->
+          graceful (run_explain sc sh n seed rows domain regime st algo) tr)
+      $ scenario $ shape_arg $ n_arg $ seed_arg $ rows_arg $ domain_arg
+      $ regime_arg $ strategy $ algo $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "strategies for multiple joins — reproduction toolbox" in
@@ -459,4 +649,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ examples_cmd; conditions_cmd; verify_cmd; enumerate_cmd;
-            optimize_cmd; space_cmd; analyze_cmd; plan_cmd; query_cmd ]))
+            optimize_cmd; space_cmd; analyze_cmd; plan_cmd; query_cmd;
+            explain_cmd ]))

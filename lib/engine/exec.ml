@@ -1,5 +1,7 @@
 open Mj_relation
 open Multijoin
+module Obs = Mj_obs.Obs
+module Json = Mj_obs.Json
 
 type stats = {
   tuples_scanned : int;
@@ -17,30 +19,37 @@ type stats = {
    "scheme|attributes". *)
 type index_cache = (string, ((Attr.t * Value.t) list, Tuple.t) Hashtbl.t) Hashtbl.t
 
+(* Execution statistics live in an Mj_obs registry; the handles below
+   are mutable records, so bumping one is a field assignment — the same
+   cost as the ad-hoc mutable record this replaced.  Holding the
+   registry lets [execute] fold the totals into a caller's sink. *)
 type counters = {
-  mutable scanned : int;
-  mutable generated : int;
-  mutable compared : int;
-  mutable probed : int;
-  mutable built : int;
-  mutable hits : int;
-  mutable peak : int;
+  reg : Obs.registry;
+  scanned : Obs.counter;
+  generated : Obs.counter;
+  compared : Obs.counter;
+  probed : Obs.counter;
+  built : Obs.counter;
+  hits : Obs.counter;
+  peak : Obs.counter;
   mutable steps : (Scheme.Set.t * int) list;
 }
 
 let fresh () =
+  let reg = Obs.registry () in
   {
-    scanned = 0;
-    generated = 0;
-    compared = 0;
-    probed = 0;
-    built = 0;
-    hits = 0;
-    peak = 0;
+    reg;
+    scanned = Obs.reg_counter reg "exec.tuples_scanned";
+    generated = Obs.reg_counter reg "exec.tuples_generated";
+    compared = Obs.reg_counter reg "exec.comparisons";
+    probed = Obs.reg_counter reg "exec.hash_probes";
+    built = Obs.reg_counter reg "exec.index_builds";
+    hits = Obs.reg_counter reg "exec.index_hits";
+    peak = Obs.reg_counter reg "exec.max_materialized";
     steps = [];
   }
 
-let note_materialized c n = if n > c.peak then c.peak <- n
+let note_materialized c n = Obs.record_max c.peak n
 
 let join_key common tu = Tuple.bindings (Tuple.restrict tu common)
 
@@ -53,12 +62,21 @@ let nested_loop c out_scheme left right =
     (fun t1 ->
       List.iter
         (fun t2 ->
-          c.compared <- c.compared + 1;
+          Obs.incr c.compared 1;
           if Tuple.joinable t1 t2 then acc := Tuple.merge t1 t2 :: !acc)
         right)
     left;
   ignore out_scheme;
   List.rev !acc
+
+(* Constant-stack chunking: the old [take] recursed once per taken
+   element, overflowing on large blocks. *)
+let take k l =
+  let rec go k acc = function
+    | x :: rest when k > 0 -> go (k - 1) (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  go k [] l
 
 let block_nested_loop c out_scheme block left right =
   if block < 1 then invalid_arg "Exec: block size below 1";
@@ -67,19 +85,13 @@ let block_nested_loop c out_scheme block left right =
   let rec blocks = function
     | [] -> ()
     | l ->
-        let rec take k = function
-          | x :: rest when k > 0 ->
-              let taken, dropped = take (k - 1) rest in
-              (x :: taken, dropped)
-          | rest -> ([], rest)
-        in
         let chunk, rest = take block l in
         note_materialized c (List.length chunk);
         List.iter
           (fun t2 ->
             List.iter
               (fun t1 ->
-                c.compared <- c.compared + 1;
+                Obs.incr c.compared 1;
                 if Tuple.joinable t1 t2 then acc := Tuple.merge t1 t2 :: !acc)
               chunk)
           right;
@@ -96,7 +108,7 @@ let hash_join c common left right =
   let acc = ref [] in
   List.iter
     (fun t1 ->
-      c.probed <- c.probed + 1;
+      Obs.incr c.probed 1;
       List.iter
         (fun t2 -> acc := Tuple.merge t1 t2 :: !acc)
         (Hashtbl.find_all table (join_key common t1)))
@@ -109,21 +121,32 @@ let sort_merge c common left right =
   let ls = sort left and rs = sort right in
   note_materialized c (List.length left + List.length right);
   let acc = ref [] in
-  (* Standard merge with group expansion on key ties. *)
+  (* The inputs are sorted, so a key's group is a prefix: peel it off in
+     one pass (the old List.partition rescanned the whole remainder per
+     group, an O(n^2) expansion).  Comparisons count like the loop
+     joins': one per key-order test steering the merge, plus one per
+     tuple pair of a matched group (each emitted pair was tested). *)
+  let key_run k rows =
+    let rec go acc = function
+      | (k', t) :: rest when k' = k -> go (t :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    go [] rows
+  in
   let rec merge ls rs =
     match ls, rs with
     | [], _ | _, [] -> ()
-    | (k1, _) :: _, (k2, _) :: _ ->
-        c.compared <- c.compared + 1;
-        if k1 < k2 then merge (List.tl ls) rs
-        else if k1 > k2 then merge ls (List.tl rs)
+    | (k1, _) :: ltl, (k2, _) :: rtl ->
+        Obs.incr c.compared 1;
+        if k1 < k2 then merge ltl rs
+        else if k1 > k2 then merge ls rtl
         else begin
-          let same k = List.partition (fun (k', _) -> k' = k) in
-          let lgroup, lrest = same k1 ls in
-          let rgroup, rrest = same k1 rs in
+          let lgroup, lrest = key_run k1 ls in
+          let rgroup, rrest = key_run k1 rs in
+          Obs.incr c.compared (List.length lgroup * List.length rgroup);
           List.iter
-            (fun (_, t1) ->
-              List.iter (fun (_, t2) -> acc := Tuple.merge t1 t2 :: !acc) rgroup)
+            (fun t1 ->
+              List.iter (fun t2 -> acc := Tuple.merge t1 t2 :: !acc) rgroup)
             lgroup;
           merge lrest rrest
         end
@@ -147,14 +170,14 @@ let base_index c cache db s common =
   in
   match Hashtbl.find_opt cache cache_key with
   | Some table ->
-      c.hits <- c.hits + 1;
+      Obs.incr c.hits 1;
       table
   | None ->
       let r = base_relation db s in
       let table = Hashtbl.create (max 16 (Relation.cardinality r)) in
       Relation.iter (fun t -> Hashtbl.add table (join_key common t) t) r;
-      c.built <- c.built + 1;
-      c.scanned <- c.scanned + Relation.cardinality r;
+      Obs.incr c.built 1;
+      Obs.incr c.scanned (Relation.cardinality r);
       note_materialized c (Relation.cardinality r);
       Hashtbl.add cache cache_key table;
       table
@@ -164,70 +187,87 @@ let index_join c cache db left common inner_scheme =
   let acc = ref [] in
   List.iter
     (fun t1 ->
-      c.probed <- c.probed + 1;
+      Obs.incr c.probed 1;
       List.iter
         (fun t2 -> acc := Tuple.merge t1 t2 :: !acc)
         (Hashtbl.find_all table (join_key common t1)))
     left;
   List.rev !acc
 
-let rec run c cache db = function
-  | Physical.Scan s ->
-      let r = base_relation db s in
-      let tuples = Relation.tuples r in
-      c.scanned <- c.scanned + List.length tuples;
-      (s, tuples)
-  | Physical.Join (algo, l, r) ->
-      let node_schemes =
-        Strategy.schemes (Physical.strategy_of (Physical.Join (algo, l, r)))
-      in
-      (match algo, r with
-      | Physical.Index_nested_loop, Physical.Scan inner ->
-          (* The inner base relation is reached through its index; only
-             the outer child executes. *)
-          let ls, left = run c cache db l in
-          let common = Attr.Set.inter ls inner in
-          let out = index_join c cache db left common inner in
-          finish c node_schemes (Attr.Set.union ls inner) out
-      | _ ->
-          let ls, left = run c cache db l in
-          let rs, right = run c cache db r in
-          let common = Attr.Set.inter ls rs in
-          let out_scheme = Attr.Set.union ls rs in
-          let out =
-            match algo with
-            | Physical.Nested_loop -> nested_loop c out_scheme left right
-            | Physical.Block_nested_loop b ->
-                block_nested_loop c out_scheme b left right
-            | Physical.Hash_join | Physical.Index_nested_loop ->
-                (* Index joins on a non-scan inner degrade to hash. *)
-                hash_join c common left right
-            | Physical.Sort_merge -> sort_merge c common left right
-          in
-          finish c node_schemes out_scheme out)
+let scheme_key d = Format.asprintf "%a" Scheme.Set.pp d
 
-and finish c node_schemes out_scheme out =
+let rec run obs c cache db = function
+  | Physical.Scan s ->
+      Obs.span obs "scan" (fun () ->
+          let r = base_relation db s in
+          let tuples = Relation.tuples r in
+          Obs.incr c.scanned (List.length tuples);
+          if Obs.enabled obs then begin
+            Obs.set_attr obs "scheme"
+              (Json.str (scheme_key (Scheme.Set.singleton s)));
+            Obs.set_attr obs "rows" (Json.int (List.length tuples))
+          end;
+          (s, tuples))
+  | Physical.Join (algo, l, r) ->
+      Obs.span obs "join" (fun () ->
+          let node_schemes =
+            Scheme.Set.union (Physical.schemes l) (Physical.schemes r)
+          in
+          if Obs.enabled obs then begin
+            Obs.set_attr obs "algo" (Json.str (Physical.algorithm_name algo));
+            Obs.set_attr obs "scheme" (Json.str (scheme_key node_schemes))
+          end;
+          match algo, r with
+          | Physical.Index_nested_loop, Physical.Scan inner ->
+              (* The inner base relation is reached through its index;
+                 only the outer child executes. *)
+              let ls, left = run obs c cache db l in
+              let common = Attr.Set.inter ls inner in
+              let out = index_join c cache db left common inner in
+              finish obs c node_schemes (Attr.Set.union ls inner) out
+          | _ ->
+              let ls, left = run obs c cache db l in
+              let rs, right = run obs c cache db r in
+              let common = Attr.Set.inter ls rs in
+              let out_scheme = Attr.Set.union ls rs in
+              let out =
+                match algo with
+                | Physical.Nested_loop -> nested_loop c out_scheme left right
+                | Physical.Block_nested_loop b ->
+                    block_nested_loop c out_scheme b left right
+                | Physical.Hash_join | Physical.Index_nested_loop ->
+                    (* Index joins on a non-scan inner degrade to hash. *)
+                    hash_join c common left right
+                | Physical.Sort_merge -> sort_merge c common left right
+              in
+              finish obs c node_schemes out_scheme out)
+
+and finish obs c node_schemes out_scheme out =
   let n = List.length out in
-  c.generated <- c.generated + n;
+  Obs.incr c.generated n;
   note_materialized c n;
   c.steps <- (node_schemes, n) :: c.steps;
+  if Obs.enabled obs then Obs.set_attr obs "rows" (Json.int n);
   (out_scheme, out)
 
 let index_cache () : index_cache = Hashtbl.create 16
 
-let execute ?(cache = index_cache ()) db plan =
+let execute ?(obs = Obs.noop) ?(cache = index_cache ()) db plan =
   let c = fresh () in
-  let out_scheme, tuples = run c cache db plan in
+  let out_scheme, tuples =
+    Obs.span obs "execute" (fun () -> run obs c cache db plan)
+  in
   let result = Relation.make out_scheme tuples in
+  Obs.merge_registry obs c.reg;
   ( result,
     {
-      tuples_scanned = c.scanned;
-      tuples_generated = c.generated;
-      comparisons = c.compared;
-      hash_probes = c.probed;
-      index_builds = c.built;
-      index_hits = c.hits;
-      max_materialized = c.peak;
+      tuples_scanned = Obs.value c.scanned;
+      tuples_generated = Obs.value c.generated;
+      comparisons = Obs.value c.compared;
+      hash_probes = Obs.value c.probed;
+      index_builds = Obs.value c.built;
+      index_hits = Obs.value c.hits;
+      max_materialized = Obs.value c.peak;
       per_step = List.rev c.steps;
     } )
 
@@ -237,7 +277,7 @@ type pipeline_stats = {
   result_size : int;
 }
 
-let execute_pipelined db strategy =
+let execute_pipelined ?(obs = Obs.noop) db strategy =
   if not (Strategy.is_linear strategy) then
     invalid_arg "Exec.execute_pipelined: strategy is not linear";
   (* Normalize the spine into a join order: the leaf order of a linear
@@ -251,50 +291,68 @@ let execute_pipelined db strategy =
   match order strategy with
   | [] -> assert false
   | first :: rest ->
-      let base s =
-        match Database.find db s with
-        | r -> r
-        | exception Not_found ->
-            invalid_arg
-              (Printf.sprintf "Exec: scheme %s not in the database"
-                 (Scheme.to_string s))
-      in
-      let peak = ref 0 in
-      let counts = ref [] in
-      (* Stream the accumulated prefix as a Seq; each stage wraps the
-         previous one with a hash-table lookup on a base relation. *)
-      let stage (seq, acc_scheme) s =
-        let r = base s in
-        let common = Attr.Set.inter acc_scheme s in
-        let table = Hashtbl.create (max 16 (Relation.cardinality r)) in
-        Relation.iter (fun t -> Hashtbl.add table (join_key common t) t) r;
-        peak := max !peak (Relation.cardinality r);
-        let emitted = ref 0 in
-        let count = Seq.map (fun t -> incr emitted; t) in
-        let joined =
-          Seq.concat_map
-            (fun t1 ->
-              List.to_seq
-                (List.map (Tuple.merge t1)
-                   (Hashtbl.find_all table (join_key common t1))))
-            seq
-        in
-        counts := emitted :: !counts;
-        (count joined, Attr.Set.union acc_scheme s)
-      in
-      let first_rel = base first in
-      peak := Relation.cardinality first_rel;
-      let seq0 = List.to_seq (Relation.tuples first_rel) in
-      let final_seq, final_scheme =
-        List.fold_left stage (seq0, first) rest
-      in
-      (* Drain the pipeline once; the per-stage counters fill in as the
-         stream flows. *)
-      let out = List.of_seq final_seq in
-      let result = Relation.make final_scheme out in
-      ( result,
-        {
-          emitted_per_stage = List.rev_map (fun r -> !r) !counts;
-          peak_buffer = !peak;
-          result_size = Relation.cardinality result;
-        } )
+      Obs.span obs "execute-pipelined" (fun () ->
+          let base s =
+            match Database.find db s with
+            | r -> r
+            | exception Not_found ->
+                invalid_arg
+                  (Printf.sprintf "Exec: scheme %s not in the database"
+                     (Scheme.to_string s))
+          in
+          let peak = ref 0 in
+          let counts = ref [] in
+          (* Stream the accumulated prefix as a Seq; each stage wraps the
+             previous one with a hash-table lookup on a base relation. *)
+          let stage (seq, acc_scheme) s =
+            Obs.span obs "pipeline-stage" (fun () ->
+                let r = base s in
+                let common = Attr.Set.inter acc_scheme s in
+                let table = Hashtbl.create (max 16 (Relation.cardinality r)) in
+                Relation.iter
+                  (fun t -> Hashtbl.add table (join_key common t) t)
+                  r;
+                peak := max !peak (Relation.cardinality r);
+                if Obs.enabled obs then begin
+                  Obs.set_attr obs "scheme" (Json.str (Scheme.to_string s));
+                  Obs.set_attr obs "build_rows"
+                    (Json.int (Relation.cardinality r))
+                end;
+                let emitted = ref 0 in
+                let count = Seq.map (fun t -> incr emitted; t) in
+                let joined =
+                  Seq.concat_map
+                    (fun t1 ->
+                      List.to_seq
+                        (List.map (Tuple.merge t1)
+                           (Hashtbl.find_all table (join_key common t1))))
+                    seq
+                in
+                counts := emitted :: !counts;
+                (count joined, Attr.Set.union acc_scheme s))
+          in
+          let first_rel = base first in
+          peak := Relation.cardinality first_rel;
+          let seq0 = List.to_seq (Relation.tuples first_rel) in
+          let final_seq, final_scheme =
+            List.fold_left stage (seq0, first) rest
+          in
+          (* Drain the pipeline once; the per-stage counters fill in as
+             the stream flows. *)
+          let out =
+            Obs.span obs "pipeline-drain" (fun () -> List.of_seq final_seq)
+          in
+          let result = Relation.make final_scheme out in
+          let emitted_per_stage = List.rev_map (fun r -> !r) !counts in
+          if Obs.enabled obs then begin
+            Obs.add obs "exec.tuples_generated"
+              (List.fold_left ( + ) 0 emitted_per_stage);
+            Obs.record_max (Obs.counter obs "exec.peak_buffer") !peak;
+            Obs.add obs "exec.result_rows" (Relation.cardinality result)
+          end;
+          ( result,
+            {
+              emitted_per_stage;
+              peak_buffer = !peak;
+              result_size = Relation.cardinality result;
+            } ))

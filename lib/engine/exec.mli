@@ -40,9 +40,18 @@ type index_cache
 
 val index_cache : unit -> index_cache
 
-val execute : ?cache:index_cache -> Database.t -> Physical.t -> Relation.t * stats
+val execute :
+  ?obs:Mj_obs.Obs.sink ->
+  ?cache:index_cache ->
+  Database.t ->
+  Physical.t ->
+  Relation.t * stats
 (** Materializing execution.  [cache] (fresh by default) only affects
-    [Index_nested_loop] steps.
+    [Index_nested_loop] steps.  [obs] (noop by default) collects a span
+    per plan node — attributes [scheme], [rows], and [algo] on joins —
+    and receives the execution counters ([exec.tuples_scanned], …) when
+    the run completes; with the default sink behaviour is bit-identical
+    to an uninstrumented build.
     @raise Invalid_argument if a scanned scheme is missing from the
     database or a block size is below 1. *)
 
@@ -53,6 +62,10 @@ type pipeline_stats = {
   result_size : int;
 }
 
-val execute_pipelined : Database.t -> Strategy.t -> Relation.t * pipeline_stats
+val execute_pipelined :
+  ?obs:Mj_obs.Obs.sink ->
+  Database.t ->
+  Strategy.t ->
+  Relation.t * pipeline_stats
 (** Streaming execution of a linear strategy.
     @raise Invalid_argument if the strategy is not linear. *)

@@ -17,7 +17,13 @@ let better a b =
   | None, x | x, None -> x
   | Some (r1 : Optimal.result), Some r2 -> if r1.cost <= r2.cost then a else b
 
-let optimum_makespan ?(subspace = Enumerate.All) ~oracle d =
+let optimum_makespan ?(obs = Mj_obs.Obs.noop) ?(subspace = Enumerate.All)
+    ~oracle d =
+  let module Obs = Mj_obs.Obs in
+  let partitions_c = Obs.counter obs "opt.partitions_inspected" in
+  let memo_hits_c = Obs.counter obs "opt.memo_hits" in
+  let entries_c = Obs.counter obs "opt.dp_entries" in
+  Obs.span obs "makespan-dp" @@ fun () ->
   let partitions =
     match subspace with
     | Enumerate.All -> Hypergraph.binary_partitions
@@ -46,8 +52,11 @@ let optimum_makespan ?(subspace = Enumerate.All) ~oracle d =
   let memo = Hashtbl.create 64 in
   let rec best d' =
     match Hashtbl.find_opt memo (key d') with
-    | Some r -> r
+    | Some r ->
+        Obs.incr memo_hits_c 1;
+        r
     | None ->
+        Obs.incr entries_c 1;
         let r =
           match Scheme.Set.elements d' with
           | [] -> invalid_arg "Parallel: empty sub-database"
@@ -56,6 +65,7 @@ let optimum_makespan ?(subspace = Enumerate.All) ~oracle d =
               let here = oracle d' in
               List.fold_left
                 (fun acc (d1, d2) ->
+                  Obs.incr partitions_c 1;
                   match best d1, best d2 with
                   | Some r1, Some r2 ->
                       better acc

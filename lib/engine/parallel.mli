@@ -25,9 +25,12 @@ val makespan_oracle : (Scheme.Set.t -> int) -> Strategy.t -> int
 (** The same against a cardinality oracle. *)
 
 val optimum_makespan :
+  ?obs:Mj_obs.Obs.sink ->
   ?subspace:Enumerate.subspace ->
   oracle:(Scheme.Set.t -> int) ->
   Hypergraph.t ->
   Optimal.result option
 (** Minimum-makespan strategy by subset DP ([Optimal.result.cost] holds
-    the makespan). *)
+    the makespan).  [obs] records a [makespan-dp] span plus the
+    [opt.partitions_inspected], [opt.memo_hits] and [opt.dp_entries]
+    search-effort counters. *)

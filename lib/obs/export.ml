@@ -1,0 +1,115 @@
+(* Exporters: a human-readable span/metric tree and a JSONL writer
+   whose span lines are Chrome trace events ("ph":"X" complete events
+   with microsecond ts/dur), so a trace file is loadable in
+   chrome://tracing / Perfetto and diffable across PRs line by line. *)
+
+let us t = int_of_float (Float.round (t *. 1e6))
+
+(* ------------------------------------------------------------------ *)
+(* Human renderer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pp_attrs fmt = function
+  | [] -> ()
+  | attrs ->
+      Format.fprintf fmt "  {%s}"
+        (String.concat ", "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%s" k (Json.to_string v))
+              attrs))
+
+let rec pp_span fmt indent (s : Obs.span_tree) =
+  Format.fprintf fmt "%s%-24s %8.3f ms%a@." indent s.Obs.name
+    (s.Obs.duration *. 1e3) pp_attrs s.Obs.attrs;
+  List.iter (pp_span fmt (indent ^ "  ")) s.Obs.children
+
+let render fmt sink =
+  List.iter (pp_span fmt "") (Obs.trace sink);
+  (match Obs.counters sink with
+  | [] -> ()
+  | cs ->
+      Format.fprintf fmt "counters:@.";
+      List.iter (fun (k, v) -> Format.fprintf fmt "  %-32s %d@." k v) cs);
+  match Obs.histograms sink with
+  | [] -> ()
+  | hs ->
+      Format.fprintf fmt "histograms:@.";
+      List.iter
+        (fun (k, (h : Obs.histo_summary)) ->
+          if h.Obs.count = 0 then Format.fprintf fmt "  %-32s (empty)@." k
+          else
+            Format.fprintf fmt "  %-32s n=%d mean=%.3f min=%.3f max=%.3f@." k
+              h.Obs.count
+              (h.Obs.sum /. float_of_int h.Obs.count)
+              h.Obs.min h.Obs.max)
+        hs
+
+let to_string sink = Format.asprintf "%t" (fun fmt -> render fmt sink)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace events / JSONL                                          *)
+(* ------------------------------------------------------------------ *)
+
+let span_event (s : Obs.span_tree) =
+  Json.Obj
+    [
+      ("name", Json.str s.Obs.name);
+      ("cat", Json.str "mjoin");
+      ("ph", Json.str "X");
+      ("pid", Json.int 1);
+      ("tid", Json.int 1);
+      ("ts", Json.int (us s.Obs.start));
+      ("dur", Json.int (us s.Obs.duration));
+      ("args", Json.Obj s.Obs.attrs);
+    ]
+
+let counter_event name v =
+  Json.Obj
+    [
+      ("name", Json.str name);
+      ("ph", Json.str "C");
+      ("pid", Json.int 1);
+      ("tid", Json.int 1);
+      ("ts", Json.int 0);
+      ("args", Json.Obj [ ("value", Json.int v) ]);
+    ]
+
+let histogram_event name (h : Obs.histo_summary) =
+  Json.Obj
+    [
+      ("name", Json.str name);
+      ("ph", Json.str "C");
+      ("pid", Json.int 1);
+      ("tid", Json.int 1);
+      ("ts", Json.int 0);
+      ("args",
+       Json.Obj
+         [
+           ("count", Json.int h.Obs.count);
+           ("sum", Json.float h.Obs.sum);
+           ("min", Json.float h.Obs.min);
+           ("max", Json.float h.Obs.max);
+         ]);
+    ]
+
+let trace_events sink =
+  let rec flatten acc s =
+    List.fold_left flatten (span_event s :: acc) s.Obs.children
+  in
+  let spans = List.rev (List.fold_left flatten [] (Obs.trace sink)) in
+  spans
+  @ List.map (fun (k, v) -> counter_event k v) (Obs.counters sink)
+  @ List.map (fun (k, h) -> histogram_event k h) (Obs.histograms sink)
+
+let jsonl_lines sink = List.map Json.to_string (trace_events sink)
+
+let write_jsonl path sink =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (jsonl_lines sink))

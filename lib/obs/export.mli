@@ -1,0 +1,24 @@
+(** Trace and metric exporters.
+
+    Two formats from one {!Obs.sink}:
+
+    - {!render}: an indented human tree (span name, wall time,
+      attributes) followed by counter and histogram tables;
+    - {!jsonl_lines} / {!write_jsonl}: one JSON object per line.  Span
+      lines are Chrome trace {e complete} events ([{"ph":"X"}] with
+      microsecond [ts]/[dur]), so a trace file loads directly into
+      chrome://tracing or Perfetto; counters and histograms follow as
+      [{"ph":"C"}] counter events.  Every line round-trips through
+      {!Json.of_string}, which the test suite asserts. *)
+
+val render : Format.formatter -> Obs.sink -> unit
+val to_string : Obs.sink -> string
+
+val trace_events : Obs.sink -> Json.t list
+(** Spans in pre-order (parents before children, roots in start order),
+    then counters, then histograms. *)
+
+val jsonl_lines : Obs.sink -> string list
+val write_jsonl : string -> Obs.sink -> unit
+(** [write_jsonl path sink] writes {!jsonl_lines} to [path], one per
+    line.  The channel is closed even on a write error. *)

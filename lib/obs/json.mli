@@ -1,0 +1,45 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    [Mj_obs] hand-rolls JSON rather than depending on a JSON package:
+    the exporters only need object/array/string/number emission, and the
+    test suite needs to re-parse what was written to certify that every
+    exported line is valid JSON.  Strings are escaped per RFC 8259
+    (control characters as [\uXXXX]); the parser accepts arbitrary
+    standard JSON including surrogate-pair escapes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** {1 Constructors} *)
+
+val str : string -> t
+val int : int -> t
+val float : float -> t
+val bool : bool -> t
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Integral [Num] values print
+    without a decimal point; non-finite numbers print as [null] so the
+    output is always valid JSON. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+(** {1 Parsing} *)
+
+val of_string : string -> t
+(** @raise Invalid_argument on malformed input or trailing garbage. *)
+
+val of_string_opt : string -> t option
+
+(** {1 Access} *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value bound to [k]; [None] on other
+    constructors or a missing key. *)

@@ -1,0 +1,231 @@
+(* Unified tracing and metrics.
+
+   The design pivots on one constraint: the zero-instrumentation path
+   must cost nothing.  A sink is either [Noop] — every operation is a
+   single pattern match, counters are plain mutable records bumped in
+   place — or [Active], which accumulates a span tree and a metric
+   registry for the exporters.  Hot loops grab counter handles once and
+   mutate a record field per event, exactly what the engine's old
+   ad-hoc [counters] record did. *)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: named counters and histograms in a registry                 *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { cname : string; mutable value : int }
+
+type histogram = {
+  hname : string;
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type histo_summary = { count : int; sum : float; min : float; max : float }
+
+type registry = {
+  ctbl : (string, counter) Hashtbl.t;
+  mutable crev : counter list; (* reverse registration order *)
+  htbl : (string, histogram) Hashtbl.t;
+  mutable hrev : histogram list;
+}
+
+let registry () =
+  { ctbl = Hashtbl.create 16; crev = []; htbl = Hashtbl.create 8; hrev = [] }
+
+let reg_counter reg name =
+  match Hashtbl.find_opt reg.ctbl name with
+  | Some c -> c
+  | None ->
+      let c = { cname = name; value = 0 } in
+      Hashtbl.add reg.ctbl name c;
+      reg.crev <- c :: reg.crev;
+      c
+
+let reg_histogram reg name =
+  match Hashtbl.find_opt reg.htbl name with
+  | Some h -> h
+  | None ->
+      let h =
+        { hname = name; hcount = 0; hsum = 0.0; hmin = infinity;
+          hmax = neg_infinity }
+      in
+      Hashtbl.add reg.htbl name h;
+      reg.hrev <- h :: reg.hrev;
+      h
+
+let incr c n = c.value <- c.value + n
+let record_max c n = if n > c.value then c.value <- n
+let value c = c.value
+let counter_name c = c.cname
+
+let observe h v =
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum +. v;
+  if v < h.hmin then h.hmin <- v;
+  if v > h.hmax then h.hmax <- v
+
+let summary h = { count = h.hcount; sum = h.hsum; min = h.hmin; max = h.hmax }
+
+let counter_list reg =
+  List.rev_map (fun c -> (c.cname, c.value)) reg.crev
+
+let histogram_list reg =
+  List.rev_map (fun h -> (h.hname, summary h)) reg.hrev
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type span_tree = {
+  name : string;
+  start : float; (* seconds since the sink was created *)
+  duration : float;
+  attrs : (string * Json.t) list;
+  children : span_tree list;
+}
+
+(* Open spans are accumulated mutably and normalized by [trace]. *)
+type open_span = {
+  oname : string;
+  ostart : float;
+  mutable ostop : float;
+  mutable oattrs : (string * Json.t) list; (* reverse order *)
+  mutable okids : open_span list;          (* reverse order *)
+}
+
+type active = {
+  clock : unit -> float;
+  epoch : float;
+  mutable stack : open_span list; (* innermost first *)
+  mutable roots : open_span list; (* reverse completion order *)
+  reg : registry;
+}
+
+type sink = Noop | Active of active
+
+let noop = Noop
+
+let make ?(clock = Unix.gettimeofday) () =
+  Active
+    { clock; epoch = clock (); stack = []; roots = []; reg = registry () }
+
+let enabled = function Noop -> false | Active _ -> true
+
+let span t ?(attrs = []) name f =
+  match t with
+  | Noop -> f ()
+  | Active a ->
+      let s =
+        { oname = name; ostart = a.clock () -. a.epoch; ostop = nan;
+          oattrs = List.rev attrs; okids = [] }
+      in
+      a.stack <- s :: a.stack;
+      let finish () =
+        s.ostop <- a.clock () -. a.epoch;
+        match a.stack with
+        | top :: rest when top == s -> (
+            a.stack <- rest;
+            match rest with
+            | parent :: _ -> parent.okids <- s :: parent.okids
+            | [] -> a.roots <- s :: a.roots)
+        | _ ->
+            (* Unbalanced nesting can only happen if a callee captured
+               the sink and closed spans out of order; drop to the
+               matching frame rather than corrupting the tree. *)
+            a.stack <- List.filter (fun o -> not (o == s)) a.stack;
+            if a.stack = [] then a.roots <- s :: a.roots
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
+let set_attr t key v =
+  match t with
+  | Noop -> ()
+  | Active a -> (
+      match a.stack with
+      | s :: _ -> s.oattrs <- (key, v) :: s.oattrs
+      | [] -> ())
+
+let event t ?(attrs = []) name =
+  match t with
+  | Noop -> ()
+  | Active a -> (
+      let now = a.clock () -. a.epoch in
+      let s =
+        { oname = name; ostart = now; ostop = now; oattrs = List.rev attrs;
+          okids = [] }
+      in
+      match a.stack with
+      | parent :: _ -> parent.okids <- s :: parent.okids
+      | [] -> a.roots <- s :: a.roots)
+
+(* Sink-level metrics.  [counter] hands hot loops a handle: for a noop
+   sink the handle is a fresh throwaway record, so the loop still runs
+   the same field mutation and the branch disappears from the inner
+   iteration entirely. *)
+
+let counter t name =
+  match t with
+  | Noop -> { cname = name; value = 0 }
+  | Active a -> reg_counter a.reg name
+
+let histogram t name =
+  match t with
+  | Noop ->
+      { hname = name; hcount = 0; hsum = 0.0; hmin = infinity;
+        hmax = neg_infinity }
+  | Active a -> reg_histogram a.reg name
+
+let add t name n =
+  match t with Noop -> () | Active a -> incr (reg_counter a.reg name) n
+
+let merge_registry t reg =
+  match t with
+  | Noop -> ()
+  | Active a ->
+      List.iter
+        (fun c -> incr (reg_counter a.reg c.cname) c.value)
+        (List.rev reg.crev);
+      List.iter
+        (fun h ->
+          let dst = reg_histogram a.reg h.hname in
+          dst.hcount <- dst.hcount + h.hcount;
+          dst.hsum <- dst.hsum +. h.hsum;
+          if h.hmin < dst.hmin then dst.hmin <- h.hmin;
+          if h.hmax > dst.hmax then dst.hmax <- h.hmax)
+        (List.rev reg.hrev)
+
+let counters = function
+  | Noop -> []
+  | Active a -> counter_list a.reg
+
+let histograms = function
+  | Noop -> []
+  | Active a -> histogram_list a.reg
+
+let rec normalize o =
+  {
+    name = o.oname;
+    start = o.ostart;
+    duration =
+      (if Float.is_nan o.ostop then 0.0 else Float.max 0.0 (o.ostop -. o.ostart));
+    attrs = List.rev o.oattrs;
+    children = List.rev_map normalize o.okids;
+  }
+
+let trace = function
+  | Noop -> []
+  | Active a ->
+      (* Completed roots in start order; any span still open is
+         reported as-is with a zero duration. *)
+      let open_roots =
+        match List.rev a.stack with outermost :: _ -> [ outermost ] | [] -> []
+      in
+      List.rev_map normalize a.roots @ List.map normalize open_roots

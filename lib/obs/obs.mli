@@ -1,0 +1,105 @@
+(** Unified tracing and metrics ([Mj_obs]).
+
+    One sink abstraction serves the whole system:
+
+    - {e spans} — nested wall-clock-timed regions with JSON attributes,
+      collected into an in-memory trace tree ({!trace});
+    - {e metrics} — named counters and histograms in a {!registry},
+      either standalone (the engine's execution statistics) or attached
+      to a sink (optimizer search-effort counters);
+    - exporters live in {!Export}: a human tree renderer and a
+      JSONL / Chrome-trace-event writer.
+
+    The zero-instrumentation path is free by construction: {!noop} is a
+    constant, every operation on it is one pattern match, and hot loops
+    obtain {!counter} handles once — a handle is a mutable record whose
+    bump compiles to a field assignment, identical in cost to the
+    ad-hoc mutable records the engine used before this layer existed. *)
+
+(** {1 Metrics} *)
+
+type counter
+type histogram
+
+type histo_summary = { count : int; sum : float; min : float; max : float }
+(** [min]/[max] are [infinity]/[neg_infinity] when [count = 0]. *)
+
+type registry
+(** A named collection of counters and histograms.  Registration is
+    idempotent: asking twice for the same name returns the same
+    handle.  Iteration order is registration order. *)
+
+val registry : unit -> registry
+val reg_counter : registry -> string -> counter
+val reg_histogram : registry -> string -> histogram
+
+val incr : counter -> int -> unit
+val record_max : counter -> int -> unit
+(** Gauge-style update: keep the maximum value ever recorded. *)
+
+val value : counter -> int
+val counter_name : counter -> string
+val observe : histogram -> float -> unit
+val summary : histogram -> histo_summary
+
+val counter_list : registry -> (string * int) list
+val histogram_list : registry -> (string * histo_summary) list
+
+(** {1 Sinks} *)
+
+type sink
+
+val noop : sink
+(** The default everywhere an [?obs] parameter appears: records
+    nothing, costs nothing. *)
+
+val make : ?clock:(unit -> float) -> unit -> sink
+(** A collecting sink.  [clock] defaults to [Unix.gettimeofday]; pass a
+    deterministic clock for golden tests.  Span timestamps are relative
+    to sink creation. *)
+
+val enabled : sink -> bool
+(** [false] exactly for {!noop} — guard attribute construction with
+    this to keep the disabled path allocation-free. *)
+
+(** {1 Spans} *)
+
+type span_tree = {
+  name : string;
+  start : float;     (** seconds since sink creation *)
+  duration : float;
+  attrs : (string * Json.t) list;
+  children : span_tree list;
+}
+
+val span : sink -> ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a timed region nested under the
+    currently open span.  The span is closed (and timed) even when [f]
+    raises.  On {!noop} this is exactly [f ()]. *)
+
+val set_attr : sink -> string -> Json.t -> unit
+(** Attach an attribute to the innermost open span — for values only
+    known mid-region, like an output cardinality. *)
+
+val event : sink -> ?attrs:(string * Json.t) list -> string -> unit
+(** A zero-duration child of the current span. *)
+
+val trace : sink -> span_tree list
+(** Completed root spans in order; empty for {!noop}. *)
+
+(** {1 Sink-level metrics} *)
+
+val counter : sink -> string -> counter
+(** The sink-registry counter of that name.  For {!noop} a fresh
+    unregistered handle is returned: callers bump it freely and the
+    value simply is never read. *)
+
+val histogram : sink -> string -> histogram
+val add : sink -> string -> int -> unit
+
+val merge_registry : sink -> registry -> unit
+(** Fold a standalone registry's totals into the sink — how the
+    engine's per-execution statistics become part of a trace. *)
+
+val counters : sink -> (string * int) list
+val histograms : sink -> (string * histo_summary) list

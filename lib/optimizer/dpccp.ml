@@ -49,7 +49,13 @@ let csg_cmp_pairs d =
 
 let count_csg_cmp_pairs d = List.length (csg_cmp_pairs d)
 
-let plan ~oracle d =
+let plan ?(obs = Mj_obs.Obs.noop) ~oracle d =
+  let module Obs = Mj_obs.Obs in
+  let pairs_c = Obs.counter obs "opt.pairs_inspected" in
+  let entries_c = Obs.counter obs "opt.dp_entries" in
+  let pruned_c = Obs.counter obs "opt.plans_pruned" in
+  let estimates_c = Obs.counter obs "opt.estimate_calls" in
+  Obs.span obs "dpccp" @@ fun () ->
   let g = Qbase.make d in
   let n = g.Qbase.n in
   if n > 22 then invalid_arg "Dpccp.plan: too many relations (max 22)";
@@ -70,20 +76,23 @@ let plan ~oracle d =
     match Hashtbl.find_opt cost_memo union with
     | Some c -> c
     | None ->
+        Obs.incr estimates_c 1;
         let c = oracle (Qbase.schemes_of_mask g union) in
         Hashtbl.add cost_memo union c;
         c
   in
   List.iter
     (fun (m1, m2) ->
+      Obs.incr pairs_c 1;
       match best.(m1), best.(m2) with
       | Some p1, Some p2 ->
           let union = m1 lor m2 in
           let here = cost_of union in
           let cost = p1.Optimal.cost + p2.Optimal.cost + here in
           (match best.(union) with
-          | Some b when b.Optimal.cost <= cost -> ()
+          | Some b when b.Optimal.cost <= cost -> Obs.incr pruned_c 1
           | _ ->
+              if best.(union) = None then Obs.incr entries_c 1;
               best.(union) <-
                 Some
                   {

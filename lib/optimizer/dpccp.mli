@@ -19,6 +19,13 @@ val count_csg_cmp_pairs : Hypergraph.t -> int
 (** [#csg-cmp pairs = List.length (csg_cmp_pairs d)], the Ono–Lohman
     complexity measure of the product-free bushy space. *)
 
-val plan : oracle:Estimate.oracle -> Hypergraph.t -> Optimal.result option
+val plan :
+  ?obs:Mj_obs.Obs.sink ->
+  oracle:Estimate.oracle ->
+  Hypergraph.t ->
+  Optimal.result option
 (** Optimal product-free bushy plan; [None] iff the scheme is
-    unconnected. *)
+    unconnected.  [obs] records a [dpccp] span and the
+    [opt.pairs_inspected] / [opt.dp_entries] / [opt.plans_pruned] /
+    [opt.estimate_calls] counters; [opt.pairs_inspected] equals
+    {!count_csg_cmp_pairs}. *)

@@ -1,8 +1,14 @@
 open Multijoin
+module Obs = Mj_obs.Obs
 
 (* Shared driver: runs the size-driven DP, returning the plan table and
    the number of combinations inspected. *)
-let run ?(allow_cp = false) ~oracle d =
+let run ?(obs = Obs.noop) ?(allow_cp = false) ~oracle d =
+  let pairs_c = Obs.counter obs "opt.pairs_inspected" in
+  let entries_c = Obs.counter obs "opt.dp_entries" in
+  let pruned_c = Obs.counter obs "opt.plans_pruned" in
+  let estimates_c = Obs.counter obs "opt.estimate_calls" in
+  Obs.span obs "dpsize" @@ fun () ->
   let g = Qbase.make d in
   let n = g.Qbase.n in
   if n > 22 then invalid_arg "subset DP: too many relations (max 22)";
@@ -21,6 +27,7 @@ let run ?(allow_cp = false) ~oracle d =
     match Hashtbl.find_opt cost_memo union with
     | Some c -> c
     | None ->
+        Obs.incr estimates_c 1;
         let c = oracle (Qbase.schemes_of_mask g union) in
         Hashtbl.add cost_memo union c;
         c
@@ -35,6 +42,7 @@ let run ?(allow_cp = false) ~oracle d =
               (* Each unordered pair once: when sizes tie, order masks. *)
               if m1 land m2 = 0 && (s1 < s2 || m1 < m2) then begin
                 incr inspected;
+                Obs.incr pairs_c 1;
                 if allow_cp || Qbase.linked g m1 m2 then begin
                   match best.(m1), best.(m2) with
                   | Some p1, Some p2 ->
@@ -49,10 +57,13 @@ let run ?(allow_cp = false) ~oracle d =
                         }
                       in
                       (match best.(union) with
-                      | Some b when b.Optimal.cost <= cost -> ()
+                      | Some b when b.Optimal.cost <= cost ->
+                          Obs.incr pruned_c 1
                       | _ ->
-                          (if best.(union) = None then
-                             by_size.(s) <- union :: by_size.(s));
+                          (if best.(union) = None then begin
+                             Obs.incr entries_c 1;
+                             by_size.(s) <- union :: by_size.(s)
+                           end);
                           best.(union) <- Some candidate)
                   | _ -> ()
                 end
@@ -63,7 +74,7 @@ let run ?(allow_cp = false) ~oracle d =
   done;
   (best.(Qbase.full g), !inspected)
 
-let plan ?allow_cp ~oracle d = fst (run ?allow_cp ~oracle d)
+let plan ?obs ?allow_cp ~oracle d = fst (run ?obs ?allow_cp ~oracle d)
 
 let pairs_considered ?allow_cp d =
   snd (run ?allow_cp ~oracle:(fun _ -> 1) d)

@@ -12,12 +12,15 @@ open Mj_hypergraph
 open Multijoin
 
 val plan :
+  ?obs:Mj_obs.Obs.sink ->
   ?allow_cp:bool ->
   oracle:Estimate.oracle ->
   Hypergraph.t ->
   Optimal.result option
 (** [None] only when [allow_cp:false] and the scheme is unconnected.
-    [allow_cp] defaults to [false]. *)
+    [allow_cp] defaults to [false].  [obs] records a [dpsize] span and
+    the search-effort counters [opt.pairs_inspected], [opt.dp_entries],
+    [opt.plans_pruned] and [opt.estimate_calls]. *)
 
 val pairs_considered :
   ?allow_cp:bool -> Hypergraph.t -> int

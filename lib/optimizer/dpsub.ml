@@ -1,6 +1,12 @@
 open Multijoin
+module Obs = Mj_obs.Obs
 
-let run ?(allow_cp = false) ~oracle d =
+let run ?(obs = Obs.noop) ?(allow_cp = false) ~oracle d =
+  let pairs_c = Obs.counter obs "opt.pairs_inspected" in
+  let entries_c = Obs.counter obs "opt.dp_entries" in
+  let pruned_c = Obs.counter obs "opt.plans_pruned" in
+  let estimates_c = Obs.counter obs "opt.estimate_calls" in
+  Obs.span obs "dpsub" @@ fun () ->
   let g = Qbase.make d in
   let n = g.Qbase.n in
   if n > 22 then invalid_arg "subset DP: too many relations (max 22)";
@@ -13,7 +19,11 @@ let run ?(allow_cp = false) ~oracle d =
   let inspected = ref 0 in
   for mask = 1 to size - 1 do
     if Qbase.popcount mask >= 2 then begin
-      let here = lazy (oracle (Qbase.schemes_of_mask g mask)) in
+      let here =
+        lazy
+          (Obs.incr estimates_c 1;
+           oracle (Qbase.schemes_of_mask g mask))
+      in
       (* Anchor the lowest bit in the left part so each unordered split is
          inspected once. *)
       let lowest = mask land -mask in
@@ -21,6 +31,7 @@ let run ?(allow_cp = false) ~oracle d =
           if m1 land lowest <> 0 then begin
             let m2 = mask lxor m1 in
             incr inspected;
+            Obs.incr pairs_c 1;
             if allow_cp || Qbase.linked g m1 m2 then
               match best.(m1), best.(m2) with
               | Some p1, Some p2 ->
@@ -28,8 +39,10 @@ let run ?(allow_cp = false) ~oracle d =
                     p1.Optimal.cost + p2.Optimal.cost + Lazy.force here
                   in
                   (match best.(mask) with
-                  | Some b when b.Optimal.cost <= cost -> ()
+                  | Some b when b.Optimal.cost <= cost ->
+                      Obs.incr pruned_c 1
                   | _ ->
+                      if best.(mask) = None then Obs.incr entries_c 1;
                       best.(mask) <-
                         Some
                           {
@@ -44,5 +57,5 @@ let run ?(allow_cp = false) ~oracle d =
   done;
   (best.(Qbase.full g), !inspected)
 
-let plan ?allow_cp ~oracle d = fst (run ?allow_cp ~oracle d)
+let plan ?obs ?allow_cp ~oracle d = fst (run ?obs ?allow_cp ~oracle d)
 let pairs_considered ?allow_cp d = snd (run ?allow_cp ~oracle:(fun _ -> 1) d)

@@ -10,11 +10,14 @@ open Mj_hypergraph
 open Multijoin
 
 val plan :
+  ?obs:Mj_obs.Obs.sink ->
   ?allow_cp:bool ->
   oracle:Estimate.oracle ->
   Hypergraph.t ->
   Optimal.result option
-(** [allow_cp] defaults to [false]. *)
+(** [allow_cp] defaults to [false].  [obs] records a [dpsub] span and
+    the [opt.pairs_inspected] / [opt.dp_entries] / [opt.plans_pruned] /
+    [opt.estimate_calls] counters. *)
 
 val pairs_considered : ?allow_cp:bool -> Hypergraph.t -> int
 (** Number of (submask, complement) splits inspected. *)

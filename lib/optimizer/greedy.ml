@@ -2,11 +2,16 @@ open Mj_relation
 open Mj_hypergraph
 open Multijoin
 
+module Obs = Mj_obs.Obs
+
 let join_cost ~oracle s1 s2 =
   oracle (Scheme.Set.union (Strategy.schemes s1) (Strategy.schemes s2))
 
-let goo ?(allow_cp = false) ~oracle d =
+let goo ?(obs = Obs.noop) ?(allow_cp = false) ~oracle d =
   if Scheme.Set.is_empty d then invalid_arg "Greedy.goo: empty scheme";
+  let pairs_c = Obs.counter obs "opt.pairs_inspected" in
+  let estimates_c = Obs.counter obs "opt.estimate_calls" in
+  Obs.span obs "greedy-goo" @@ fun () ->
   let forest = ref (List.map Strategy.leaf (Scheme.Set.elements d)) in
   let total = ref 0 in
   while List.length !forest > 1 do
@@ -23,7 +28,9 @@ let goo ?(allow_cp = false) ~oracle d =
                   (not linked_only)
                   || Hypergraph.linked (Strategy.schemes s1) (Strategy.schemes s2)
                 in
+                Obs.incr pairs_c 1;
                 if ok then begin
+                  Obs.incr estimates_c 1;
                   let c = join_cost ~oracle s1 s2 in
                   match !best with
                   | Some (c', _, _) when c' <= c -> ()
@@ -51,8 +58,11 @@ let goo ?(allow_cp = false) ~oracle d =
   done;
   { Optimal.strategy = List.hd !forest; cost = !total }
 
-let smallest_first ~oracle d =
+let smallest_first ?(obs = Obs.noop) ~oracle d =
   if Scheme.Set.is_empty d then invalid_arg "Greedy.smallest_first: empty scheme";
+  let pairs_c = Obs.counter obs "opt.pairs_inspected" in
+  let estimates_c = Obs.counter obs "opt.estimate_calls" in
+  Obs.span obs "greedy-smallest-first" @@ fun () ->
   let singletons =
     List.map (fun s -> (s, oracle (Scheme.Set.singleton s))) (Scheme.Set.elements d)
   in
@@ -77,6 +87,8 @@ let smallest_first ~oracle d =
       let best =
         Scheme.Set.fold
           (fun s acc ->
+            Obs.incr pairs_c 1;
+            Obs.incr estimates_c 1;
             let c = oracle (Scheme.Set.add s joined) in
             match acc with
             | Some (c', _) when c' <= c -> acc

@@ -12,11 +12,20 @@ open Mj_hypergraph
 open Multijoin
 
 val goo :
-  ?allow_cp:bool -> oracle:Estimate.oracle -> Hypergraph.t -> Optimal.result
+  ?obs:Mj_obs.Obs.sink ->
+  ?allow_cp:bool ->
+  oracle:Estimate.oracle ->
+  Hypergraph.t ->
+  Optimal.result
 (** With [allow_cp:false] (default) only linked pairs are considered,
     falling back to a product when no linked pair remains (unconnected
-    schemes). *)
+    schemes).  [obs] records a [greedy-goo] span and the
+    [opt.pairs_inspected] / [opt.estimate_calls] counters. *)
 
 val smallest_first :
-  oracle:Estimate.oracle -> Hypergraph.t -> Optimal.result
-(** Linear heuristic; products only when forced. *)
+  ?obs:Mj_obs.Obs.sink ->
+  oracle:Estimate.oracle ->
+  Hypergraph.t ->
+  Optimal.result
+(** Linear heuristic; products only when forced.  [obs] records a
+    [greedy-smallest-first] span and the same counters as {!goo}. *)

@@ -1,4 +1,5 @@
 open Multijoin
+module Obs = Mj_obs.Obs
 
 (* A module (in the IKKBZ sense): a sequence of node indices with its
    aggregate T and C under the ASI cost recurrences
@@ -24,9 +25,10 @@ let rec merge_chains ch1 ch2 =
 
 (* Restore ascending ranks after prepending a parent module: merge the
    head into its successor while it out-ranks it. *)
-let rec settle_head = function
+let rec settle_head merges_c = function
   | m1 :: m2 :: rest when rank m1 > rank m2 ->
-      settle_head (merge_modules m1 m2 :: rest)
+      Obs.incr merges_c 1;
+      settle_head merges_c (merge_modules m1 m2 :: rest)
   | chain -> chain
 
 let tree_structure g =
@@ -59,7 +61,10 @@ let tree_structure g =
     done;
     (parent, children)
 
-let order ~card ~selectivity d =
+let order ?(obs = Obs.noop) ~card ~selectivity d =
+  let roots_c = Obs.counter obs "opt.roots_tried" in
+  let merges_c = Obs.counter obs "opt.rank_merges" in
+  Obs.span obs "ikkbz" @@ fun () ->
   let g = Qbase.make d in
   let n = g.Qbase.n in
   if n = 1 then [ g.Qbase.nodes.(0) ]
@@ -67,6 +72,7 @@ let order ~card ~selectivity d =
     let orient = tree_structure g in
     let best = ref None in
     for root = 0 to n - 1 do
+      Obs.incr roots_c 1;
       let parent, children = orient root in
       let node_module i =
         let sel = selectivity g.Qbase.nodes.(i) g.Qbase.nodes.(parent.(i)) in
@@ -76,7 +82,8 @@ let order ~card ~selectivity d =
       let rec normalize v =
         let child_chains = List.map normalize children.(v) in
         let merged = List.fold_left merge_chains [] child_chains in
-        if v = root then merged else settle_head (node_module v :: merged)
+        if v = root then merged
+        else settle_head merges_c (node_module v :: merged)
       in
       let chain = normalize root in
       let order_ids = root :: List.concat_map (fun m -> m.seq) chain in
@@ -100,14 +107,17 @@ let order ~card ~selectivity d =
     | None -> assert false
   end
 
-let plan ~card ~selectivity d =
-  let ord = order ~card ~selectivity d in
+let plan ?obs ~card ~selectivity d =
+  let ord = order ?obs ~card ~selectivity d in
   let strategy = Strategy.left_deep ord in
   let oracle = Estimate.graph_model ~card ~selectivity d in
   { Optimal.strategy; cost = Cost.tau_oracle oracle strategy }
 
 (* Kruskal over ascending selectivity: union-find on node indices. *)
-let order_on_spanning_tree ~card ~selectivity d =
+let order_on_spanning_tree ?(obs = Obs.noop) ~card ~selectivity d =
+  let roots_c = Obs.counter obs "opt.roots_tried" in
+  let merges_c = Obs.counter obs "opt.rank_merges" in
+  Obs.span obs "ikkbz-spanning-tree" @@ fun () ->
   let g = Qbase.make d in
   let n = g.Qbase.n in
   if not (Qbase.is_connected g (Qbase.full g)) then
@@ -163,6 +173,7 @@ let order_on_spanning_tree ~card ~selectivity d =
     in
     let best = ref None in
     for root = 0 to n - 1 do
+      Obs.incr roots_c 1;
       let parent, children = orient root in
       let node_module i =
         let sel = selectivity g.Qbase.nodes.(i) g.Qbase.nodes.(parent.(i)) in
@@ -172,7 +183,8 @@ let order_on_spanning_tree ~card ~selectivity d =
       let rec normalize v =
         let child_chains = List.map normalize children.(v) in
         let merged = List.fold_left merge_chains [] child_chains in
-        if v = root then merged else settle_head (node_module v :: merged)
+        if v = root then merged
+        else settle_head merges_c (node_module v :: merged)
       in
       let chain = normalize root in
       let order_ids = root :: List.concat_map (fun m -> m.seq) chain in

@@ -15,15 +15,18 @@ open Mj_hypergraph
 open Multijoin
 
 val order :
+  ?obs:Mj_obs.Obs.sink ->
   card:(Scheme.t -> float) ->
   selectivity:(Scheme.t -> Scheme.t -> float) ->
   Hypergraph.t ->
   Scheme.t list
-(** The optimal left-deep order.
+(** The optimal left-deep order.  [obs] records an [ikkbz] span and the
+    [opt.roots_tried] / [opt.rank_merges] counters.
     @raise Invalid_argument if the query graph is not a tree (cyclic or
     unconnected). *)
 
 val plan :
+  ?obs:Mj_obs.Obs.sink ->
   card:(Scheme.t -> float) ->
   selectivity:(Scheme.t -> Scheme.t -> float) ->
   Hypergraph.t ->
@@ -32,6 +35,7 @@ val plan :
     {!Estimate.graph_model} oracle. *)
 
 val order_on_spanning_tree :
+  ?obs:Mj_obs.Obs.sink ->
   card:(Scheme.t -> float) ->
   selectivity:(Scheme.t -> Scheme.t -> float) ->
   Hypergraph.t ->

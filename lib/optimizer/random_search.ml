@@ -50,30 +50,46 @@ let random_neighbor ~rng s =
 
 let cost_of oracle s = Cost.tau_oracle oracle s
 
-let hill_climb ~oracle start =
+module Obs = Mj_obs.Obs
+
+(* Shared counter bundle for the two walks. *)
+let search_counters obs =
+  ( Obs.counter obs "opt.cost_evals",
+    Obs.counter obs "opt.neighbors_generated",
+    Obs.counter obs "opt.moves_accepted" )
+
+let hill_climb ~counters:(evals_c, neigh_c, moves_c) ~oracle start =
   let rec descend current current_cost =
+    let ns = neighbors current in
+    Obs.incr neigh_c (List.length ns);
     let best_step =
       List.fold_left
         (fun acc s' ->
+          Obs.incr evals_c 1;
           let c = cost_of oracle s' in
           match acc with
           | Some (_, c') when c' <= c -> acc
           | _ when c < current_cost -> Some (s', c)
           | _ -> acc)
-        None (neighbors current)
+        None ns
     in
     match best_step with
-    | Some (s', c) -> descend s' c
+    | Some (s', c) ->
+        Obs.incr moves_c 1;
+        descend s' c
     | None -> (current, current_cost)
   in
+  Obs.incr evals_c 1;
   descend start (cost_of oracle start)
 
-let iterative_improvement ~rng ~oracle ?(restarts = 10) d =
+let iterative_improvement ?(obs = Obs.noop) ~rng ~oracle ?(restarts = 10) d =
   if restarts < 1 then invalid_arg "Random_search: need at least one restart";
+  let counters = search_counters obs in
+  Obs.span obs "iterative-improvement" @@ fun () ->
   let best = ref None in
   for _ = 1 to restarts do
     let start = Enumerate.random_strategy ~rng d in
-    let s, c = hill_climb ~oracle start in
+    let s, c = hill_climb ~counters ~oracle start in
     match !best with
     | Some (_, c') when c' <= c -> ()
     | _ -> best := Some (s, c)
@@ -82,9 +98,12 @@ let iterative_improvement ~rng ~oracle ?(restarts = 10) d =
   | Some (strategy, cost) -> { Optimal.strategy; cost }
   | None -> assert false
 
-let simulated_annealing ~rng ~oracle ?initial_temperature ?(cooling = 0.9)
-    ?(steps_per_temperature = 20) ?(frozen = 1.0) d =
+let simulated_annealing ?(obs = Obs.noop) ~rng ~oracle ?initial_temperature
+    ?(cooling = 0.9) ?(steps_per_temperature = 20) ?(frozen = 1.0) d =
+  let evals_c, neigh_c, moves_c = search_counters obs in
+  Obs.span obs "simulated-annealing" @@ fun () ->
   let current = ref (Enumerate.random_strategy ~rng d) in
+  Obs.incr evals_c 1;
   let current_cost = ref (cost_of oracle !current) in
   let best = ref !current and best_cost = ref !current_cost in
   let temperature =
@@ -96,6 +115,8 @@ let simulated_annealing ~rng ~oracle ?initial_temperature ?(cooling = 0.9)
   while !temperature >= frozen do
     for _ = 1 to steps_per_temperature do
       let candidate = random_neighbor ~rng !current in
+      Obs.incr neigh_c 1;
+      Obs.incr evals_c 1;
       let c = cost_of oracle candidate in
       let delta = float_of_int (c - !current_cost) in
       let accept =
@@ -103,6 +124,7 @@ let simulated_annealing ~rng ~oracle ?initial_temperature ?(cooling = 0.9)
         || Random.State.float rng 1.0 < Float.exp (-.delta /. !temperature)
       in
       if accept then begin
+        Obs.incr moves_c 1;
         current := candidate;
         current_cost := c;
         if c < !best_cost then begin

@@ -25,15 +25,19 @@ val random_neighbor : rng:Random.State.t -> Strategy.t -> Strategy.t
     it has no neighbours (fewer than three relations). *)
 
 val iterative_improvement :
+  ?obs:Mj_obs.Obs.sink ->
   rng:Random.State.t ->
   oracle:Estimate.oracle ->
   ?restarts:int ->
   Hypergraph.t ->
   Optimal.result
 (** Hill-climb to a local minimum from a random start, [restarts] times
-    (default 10); returns the best local minimum found. *)
+    (default 10); returns the best local minimum found.  [obs] records
+    an [iterative-improvement] span and the [opt.cost_evals] /
+    [opt.neighbors_generated] / [opt.moves_accepted] counters. *)
 
 val simulated_annealing :
+  ?obs:Mj_obs.Obs.sink ->
   rng:Random.State.t ->
   oracle:Estimate.oracle ->
   ?initial_temperature:float ->
@@ -47,4 +51,5 @@ val simulated_annealing :
     cost of the initial random strategy), multiplies by [cooling]
     (default 0.9) after [steps_per_temperature] moves (default 20), and
     the walk stops when [t < frozen] (default 1.0).  Returns the best
-    strategy ever visited. *)
+    strategy ever visited.  [obs] records a [simulated-annealing] span
+    and the same counters as {!iterative_improvement}. *)

@@ -2,7 +2,14 @@ open Multijoin
 
 type cp_policy = [ `Never | `When_needed | `Always ]
 
-let run ?(cp = `When_needed) ~oracle d =
+module Obs = Mj_obs.Obs
+
+let run ?(obs = Obs.noop) ?(cp = `When_needed) ~oracle d =
+  let pairs_c = Obs.counter obs "opt.pairs_inspected" in
+  let entries_c = Obs.counter obs "opt.dp_entries" in
+  let pruned_c = Obs.counter obs "opt.plans_pruned" in
+  let estimates_c = Obs.counter obs "opt.estimate_calls" in
+  Obs.span obs "selinger" @@ fun () ->
   let g = Qbase.make d in
   let n = g.Qbase.n in
   if n > 22 then invalid_arg "subset DP: too many relations (max 22)";
@@ -17,7 +24,11 @@ let run ?(cp = `When_needed) ~oracle d =
      smaller. *)
   for mask = 1 to size - 1 do
     if Qbase.popcount mask >= 2 then begin
-      let here = lazy (oracle (Qbase.schemes_of_mask g mask)) in
+      let here =
+        lazy
+          (Obs.incr estimates_c 1;
+           oracle (Qbase.schemes_of_mask g mask))
+      in
       let candidates = ref [] in
       for i = 0 to n - 1 do
         let v = 1 lsl i in
@@ -40,14 +51,17 @@ let run ?(cp = `When_needed) ~oracle d =
       in
       List.iter
         (fun (v, rest, _) ->
+          Obs.incr pairs_c 1;
           match best.(rest) with
           | None -> ()
           | Some p ->
               let leaf_index = Qbase.popcount (v - 1) in
               let cost = p.Optimal.cost + Lazy.force here in
               (match best.(mask) with
-              | Some b when b.Optimal.cost <= cost -> ()
+              | Some b when b.Optimal.cost <= cost ->
+                  Obs.incr pruned_c 1
               | _ ->
+                  if best.(mask) = None then Obs.incr entries_c 1;
                   best.(mask) <-
                     Some
                       {
@@ -61,7 +75,7 @@ let run ?(cp = `When_needed) ~oracle d =
   done;
   best.(Qbase.full g)
 
-let plan ?cp ~oracle d = run ?cp ~oracle d
+let plan ?obs ?cp ~oracle d = run ?obs ?cp ~oracle d
 
 let best_order ?cp ~oracle d =
   Option.map

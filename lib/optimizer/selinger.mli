@@ -17,13 +17,16 @@ open Multijoin
 type cp_policy = [ `Never | `When_needed | `Always ]
 
 val plan :
+  ?obs:Mj_obs.Obs.sink ->
   ?cp:cp_policy ->
   oracle:Estimate.oracle ->
   Hypergraph.t ->
   Optimal.result option
 (** Cheapest left-deep plan under the policy (default [`When_needed]).
     [None] only under [`Never] on schemes admitting no product-free
-    linear order. *)
+    linear order.  [obs] records a [selinger] span and the
+    [opt.pairs_inspected] / [opt.dp_entries] / [opt.plans_pruned] /
+    [opt.estimate_calls] counters. *)
 
 val best_order :
   ?cp:cp_policy ->

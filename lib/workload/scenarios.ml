@@ -206,6 +206,65 @@ let supply_chain_fds =
     fd [ "lk" ] [ "ok"; "qty" ];
   ]
 
+(* ------------------------------------------------------------------ *)
+(* University: Example 5's registrar, one relation wider                *)
+(* ------------------------------------------------------------------ *)
+
+(* Schemes: MS (major, student), SC (student, course), CI (course,
+   instructor), ID (instructor, department), CL (course, laboratory).
+   A 5-relation chain query over the university registrar of Section 4,
+   extending Example 5 with the laboratory assignments of Example 3.
+   Labs exist only for some courses and Einstein still has no
+   department, so join sizes shrink and grow along the chain — a
+   scenario where estimated and actual cardinalities split visibly,
+   used by the [explain] CLI smoke test. *)
+let university =
+  Database.of_rows
+    [
+      ( "MS",
+        [
+          [ s "Math"; s "Mokhtar" ];
+          [ s "Phy"; s "Lin" ];
+          [ s "Phy"; s "Katina" ];
+          [ s "CS"; s "Sundram" ];
+        ] );
+      ( "SC",
+        [
+          [ s "Mokhtar"; s "Phy311" ];
+          [ s "Mokhtar"; s "Math200" ];
+          [ s "Lin"; s "Math200" ];
+          [ s "Lin"; s "Phy102" ];
+          [ s "Katina"; s "Math200" ];
+          [ s "Sundram"; s "Phy411" ];
+          [ s "Sundram"; s "Math51" ];
+        ] );
+      ( "CI",
+        [
+          [ s "Phy311"; s "Newton" ];
+          [ s "Phy411"; s "Newton" ];
+          [ s "Math200"; s "Lorentz" ];
+          [ s "Math5"; s "Lorentz" ];
+          [ s "Math200"; s "Einstein" ];
+          [ s "Math51"; s "Einstein" ];
+          [ s "Phy102"; s "Einstein" ];
+          [ s "Math200"; s "Turing" ];
+          [ s "Phy103"; s "Turing" ];
+        ] );
+      ( "ID",
+        [
+          [ s "Newton"; s "Phy" ];
+          [ s "Lorentz"; s "Math" ];
+          [ s "Turing"; s "Math" ];
+        ] );
+      ( "CL",
+        [
+          [ s "Phy311"; s "Fermi" ];
+          [ s "Phy102"; s "Fermi" ];
+          [ s "Math200"; s "Hilbert" ];
+          [ s "Phy411"; s "Cavendish" ];
+        ] );
+    ]
+
 let all =
   [
     ("ex1", example1);
@@ -215,4 +274,5 @@ let all =
     ("ex4", example4);
     ("ex5", example5);
     ("supply", supply_chain);
+    ("university", university);
   ]

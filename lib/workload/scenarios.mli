@@ -64,5 +64,14 @@ val supply_chain : Database.t
 val supply_chain_fds : Fd.t
 (** The key dependencies of {!supply_chain}. *)
 
+val university : Database.t
+(** The university registrar of Section 4, one relation wider than
+    Example 5: [{MS, SC, CI, ID, CL}] — majors, enrolments, instructors,
+    departments and laboratory assignments.  Connected, with join sizes
+    both shrinking and growing along the graph, so estimated and actual
+    cardinalities split visibly; the [mjoin explain] smoke test runs on
+    it. *)
+
 val all : (string * Database.t) list
-(** Every scenario keyed by a short name ([ex1], [ex2a], ..., [supply]). *)
+(** Every scenario keyed by a short name ([ex1], [ex2a], ...,
+    [university]). *)

@@ -14,6 +14,16 @@ trap 'rm -rf "$TMP"' EXIT
 "$MJOIN" optimize --shape cycle -n 5 --regime skewed > /dev/null
 "$MJOIN" plan ex1 '(AB * BC) * (DE * FG)' > /dev/null
 
+# Observability: EXPLAIN ANALYZE trees and JSONL trace export.
+"$MJOIN" explain --scenario university > /dev/null
+"$MJOIN" explain --scenario ex1 --strategy '(AB * BC) * (DE * FG)' \
+  --algo hash --trace "$TMP/explain.jsonl" > /dev/null
+test -s "$TMP/explain.jsonl"
+"$MJOIN" explain --shape chain --size 5 --regime skewed > /dev/null
+"$MJOIN" optimize --shape star --size 6 --trace "$TMP/opt.jsonl" > /dev/null
+test -s "$TMP/opt.jsonl"
+grep -q 'opt.pairs_inspected' "$TMP/opt.jsonl"
+
 cat > "$TMP/db.txt" <<DB
 = users
 U,N

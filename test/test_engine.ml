@@ -120,6 +120,32 @@ let test_hash_probes () =
   let _, stats = Exec.execute ex1 plan in
   Alcotest.(check int) "one probe per left tuple" 4 stats.Exec.hash_probes
 
+let test_sort_merge_comparisons () =
+  (* AB ⋈ BC on example 1: both sides sort to keys [0;0;0;1], so the
+     merge does one key test per group boundary (2) and one test per
+     tuple pair of each matched group (3*3 + 1*1) — the same pair
+     counting as the loop joins. *)
+  let s = Strategy.of_string "AB * BC" in
+  let plan = Physical.of_strategy ~algo:(fun _ _ -> Physical.Sort_merge) s in
+  let _, stats = Exec.execute ex1 plan in
+  Alcotest.(check int) "2 key tests + 10 pair tests" 12 stats.Exec.comparisons
+
+let test_bnl_large_input () =
+  (* Regression: [take] used to recurse once per taken element, so a
+     block covering a few hundred thousand tuples overflowed the stack. *)
+  let rows = List.init 300_000 (fun k -> [ Value.int k; Value.int 0 ]) in
+  let db =
+    Database.of_rows
+      [ ("AB", rows); ("BC", [ [ Value.int 0; Value.int 7 ] ]) ]
+  in
+  let s = Strategy.of_string "AB * BC" in
+  let plan =
+    Physical.of_strategy ~algo:(fun _ _ -> Physical.Block_nested_loop 500_000) s
+  in
+  let result, stats = Exec.execute db plan in
+  Alcotest.(check int) "every row joins" 300_000 (Relation.cardinality result);
+  Alcotest.(check int) "one comparison per pair" 300_000 stats.Exec.comparisons
+
 let test_block_size_validated () =
   let s = Strategy.of_string "AB * BC" in
   let plan =
@@ -263,6 +289,40 @@ let prop_pipeline_total_equals_tau =
       let _, stats = Exec.execute_pipelined db s in
       List.fold_left ( + ) 0 stats.Exec.emitted_per_stage = Cost.tau db s)
 
+(* A random linear strategy whose leaves attach on either side of the
+   spine — Join (leaf, spine) is linear too and must pipeline. *)
+let random_linear ~rng d =
+  let shuffled =
+    Scheme.Set.elements d
+    |> List.map (fun s -> (Random.State.bits rng, s))
+    |> List.sort compare |> List.map snd
+  in
+  match shuffled with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun acc sch ->
+          if Random.State.bool rng then Strategy.join acc (Strategy.leaf sch)
+          else Strategy.join (Strategy.leaf sch) acc)
+        (Strategy.leaf first) rest
+
+let prop_pipeline_matches_ground_truth =
+  qtest "pipelined = materializing = algebra; stages = step costs" ~count:60
+    QCheck2.Gen.(pair (int_range 2 5) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; n; 95 |] in
+      let d = Querygraph.random ~extra_edge_prob:0.3 ~rng n in
+      let db = Dbgen.uniform_db ~rng ~rows:5 ~domain:3 d in
+      let s = random_linear ~rng d in
+      (* The independent ground truth: the algebra's per-step sizes. *)
+      let truth = List.map snd (Cost.step_costs db s) in
+      let piped, pstats = Exec.execute_pipelined db s in
+      let mat, mstats = Exec.execute db (Physical.of_strategy s) in
+      Relation.equal piped mat
+      && Relation.equal piped (Database.join_all db)
+      && pstats.Exec.emitted_per_stage = truth
+      && List.map snd mstats.Exec.per_step = truth)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -286,6 +346,10 @@ let () =
           Alcotest.test_case "nested-loop comparisons" `Quick
             test_nested_loop_comparisons;
           Alcotest.test_case "hash probes" `Quick test_hash_probes;
+          Alcotest.test_case "sort-merge comparisons" `Quick
+            test_sort_merge_comparisons;
+          Alcotest.test_case "block-nested-loop large input" `Quick
+            test_bnl_large_input;
           Alcotest.test_case "block size validated" `Quick
             test_block_size_validated;
           Alcotest.test_case "missing scheme" `Quick test_missing_scheme;
@@ -310,5 +374,6 @@ let () =
           Alcotest.test_case "rejects bushy" `Quick test_pipeline_rejects_bushy;
           prop_pipeline_equals_materializing;
           prop_pipeline_total_equals_tau;
+          prop_pipeline_matches_ground_truth;
         ] );
     ]

@@ -1,0 +1,361 @@
+(* Tests for the observability layer: the JSON printer/parser
+   round-trips, spans nest (and survive exceptions) under a
+   deterministic clock, sink counters reproduce the engine's legacy
+   [Exec.stats] on a fixed scenario, the JSONL exporter's output
+   matches golden lines and re-parses line by line, and the optimizer
+   search-effort counters agree with the closed-form pair counts. *)
+
+open Mj_relation
+open Mj_hypergraph
+open Multijoin
+open Mj_engine
+open Mj_obs
+module Scenarios = Mj_workload.Scenarios
+
+(* A clock returning 0.0, 1.0, 2.0, … — [Obs.make] consumes the first
+   tick as the epoch, so the first span starts at 1.0. *)
+let ticking () =
+  let t = ref (-1.0) in
+  fun () ->
+    t := !t +. 1.0;
+    !t
+
+let fixed_trace () =
+  let obs = Obs.make ~clock:(ticking ()) () in
+  Obs.span obs ~attrs:[ ("k", Json.str "v") ] "outer" (fun () ->
+      Obs.span obs "inner" (fun () -> ()));
+  Obs.add obs "widgets" 3;
+  obs
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sample =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.bool true);
+      ("n", Json.int 42);
+      ("x", Json.float 2.5);
+      ("s", Json.str "a \"quote\", a \\, a \ttab and a \nnewline");
+      ("arr", Json.Arr [ Json.int (-1); Json.Null; Json.str "" ]);
+      ("nested", Json.Obj [ ("deep", Json.Arr [ Json.Obj [] ]) ]);
+    ]
+
+let test_json_roundtrip () =
+  let s = Json.to_string sample in
+  Alcotest.(check string)
+    "print-parse-print is stable" s
+    (Json.to_string (Json.of_string s))
+
+let test_json_parser_accepts_standard () =
+  let t = Json.of_string {|  {"a": [1, 2.5e2, -3], "b": "A\n"}  |} in
+  Alcotest.(check (option string))
+    "unicode escape decoded"
+    (Some "A\n")
+    (match Json.member "b" t with Some (Json.Str s) -> Some s | _ -> None);
+  Alcotest.(check bool)
+    "exponent parsed" true
+    (Json.member "a" t = Some (Json.Arr [ Json.int 1; Json.int 250; Json.int (-3) ]))
+
+let test_json_parser_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "rejects %S" bad) None
+        (Option.map Json.to_string (Json.of_string_opt bad)))
+    [ ""; "{"; "[1,]"; "{\"a\":1} trailing"; "nul"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let obs = fixed_trace () in
+  match Obs.trace obs with
+  | [ outer ] ->
+      Alcotest.(check string) "root name" "outer" outer.Obs.name;
+      Alcotest.(check (float 1e-9)) "root start" 1.0 outer.Obs.start;
+      Alcotest.(check (float 1e-9)) "root duration" 3.0 outer.Obs.duration;
+      Alcotest.(check bool)
+        "root attrs" true
+        (outer.Obs.attrs = [ ("k", Json.str "v") ]);
+      (match outer.Obs.children with
+      | [ inner ] ->
+          Alcotest.(check string) "child name" "inner" inner.Obs.name;
+          Alcotest.(check (float 1e-9)) "child start" 2.0 inner.Obs.start;
+          Alcotest.(check (float 1e-9)) "child duration" 1.0 inner.Obs.duration
+      | kids ->
+          Alcotest.failf "expected one child, got %d" (List.length kids))
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_span_exception_safe () =
+  let obs = Obs.make ~clock:(ticking ()) () in
+  (try
+     Obs.span obs "boom" (fun () ->
+         Obs.span obs "inner" (fun () -> failwith "kaboom"))
+   with Failure _ -> ());
+  match Obs.trace obs with
+  | [ { Obs.name = "boom"; duration; children = [ inner ]; _ } ] ->
+      Alcotest.(check (float 1e-9)) "outer closed" 3.0 duration;
+      Alcotest.(check (float 1e-9)) "inner closed" 1.0 inner.Obs.duration
+  | _ -> Alcotest.fail "span tree corrupted by exception"
+
+let test_event_and_set_attr () =
+  let obs = Obs.make ~clock:(ticking ()) () in
+  Obs.span obs "region" (fun () ->
+      Obs.event obs ~attrs:[ ("i", Json.int 7) ] "tick";
+      Obs.set_attr obs "rows" (Json.int 99));
+  match Obs.trace obs with
+  | [ { Obs.attrs; children = [ ev ]; _ } ] ->
+      Alcotest.(check bool)
+        "late attr attached" true
+        (List.assoc_opt "rows" attrs = Some (Json.int 99));
+      Alcotest.(check string) "event recorded" "tick" ev.Obs.name;
+      Alcotest.(check (float 1e-9)) "event has no duration" 0.0 ev.Obs.duration
+  | _ -> Alcotest.fail "expected one root with one event child"
+
+(* ------------------------------------------------------------------ *)
+(* Counters and registries                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_semantics () =
+  let reg = Obs.registry () in
+  let a = Obs.reg_counter reg "a" in
+  let a' = Obs.reg_counter reg "a" in
+  let b = Obs.reg_counter reg "b" in
+  Obs.incr a 2;
+  Obs.incr a' 3;
+  Obs.record_max b 7;
+  Obs.record_max b 4;
+  Alcotest.(check int) "registration is idempotent" 5 (Obs.value a);
+  Alcotest.(check int) "record_max keeps the max" 7 (Obs.value b);
+  Alcotest.(check (list (pair string int)))
+    "registration order preserved"
+    [ ("a", 5); ("b", 7) ]
+    (Obs.counter_list reg)
+
+let test_noop_sink () =
+  Alcotest.(check bool) "noop disabled" false (Obs.enabled Obs.noop);
+  Alcotest.(check bool) "active enabled" true (Obs.enabled (Obs.make ()));
+  let c = Obs.counter Obs.noop "ghost" in
+  Obs.incr c 5;
+  Obs.add Obs.noop "ghost" 5;
+  Obs.span Obs.noop "ghost" (fun () -> ());
+  Alcotest.(check (list (pair string int)))
+    "noop records nothing" [] (Obs.counters Obs.noop);
+  Alcotest.(check bool) "noop has no trace" true (Obs.trace Obs.noop = [])
+
+let test_merge_registry () =
+  let obs = Obs.make () in
+  Obs.add obs "shared" 1;
+  let reg = Obs.registry () in
+  Obs.incr (Obs.reg_counter reg "shared") 2;
+  Obs.incr (Obs.reg_counter reg "fresh") 4;
+  Obs.observe (Obs.reg_histogram reg "h") 1.5;
+  Obs.merge_registry obs reg;
+  Alcotest.(check (option int))
+    "existing counter folded" (Some 3)
+    (List.assoc_opt "shared" (Obs.counters obs));
+  Alcotest.(check (option int))
+    "new counter imported" (Some 4)
+    (List.assoc_opt "fresh" (Obs.counters obs));
+  match List.assoc_opt "h" (Obs.histograms obs) with
+  | Some h ->
+      Alcotest.(check int) "histogram count merged" 1 h.Obs.count;
+      Alcotest.(check (float 1e-9)) "histogram sum merged" 1.5 h.Obs.sum
+  | None -> Alcotest.fail "histogram not merged"
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration: sink counters = legacy stats                     *)
+(* ------------------------------------------------------------------ *)
+
+let exec_with_sink () =
+  let obs = Obs.make () in
+  let plan = Physical.of_strategy (Strategy.of_string "AB * BC") in
+  let _, stats = Exec.execute ~obs Scenarios.example1 plan in
+  (obs, stats)
+
+let test_counters_match_stats () =
+  let obs, stats = exec_with_sink () in
+  let v name =
+    match List.assoc_opt name (Obs.counters obs) with
+    | Some n -> n
+    | None -> Alcotest.failf "counter %s missing from sink" name
+  in
+  Alcotest.(check int) "scanned" stats.Exec.tuples_scanned
+    (v "exec.tuples_scanned");
+  Alcotest.(check int) "generated" stats.Exec.tuples_generated
+    (v "exec.tuples_generated");
+  Alcotest.(check int) "comparisons" stats.Exec.comparisons
+    (v "exec.comparisons");
+  Alcotest.(check int) "hash probes" stats.Exec.hash_probes
+    (v "exec.hash_probes");
+  Alcotest.(check int) "index builds" stats.Exec.index_builds
+    (v "exec.index_builds");
+  Alcotest.(check int) "index hits" stats.Exec.index_hits
+    (v "exec.index_hits");
+  Alcotest.(check int) "max materialized" stats.Exec.max_materialized
+    (v "exec.max_materialized");
+  (* And the strategy's tau really is what the counter holds. *)
+  Alcotest.(check int) "generated = tau"
+    (Cost.tau Scenarios.example1 (Strategy.of_string "AB * BC"))
+    (v "exec.tuples_generated")
+
+let test_execute_trace_shape () =
+  let obs, _ = exec_with_sink () in
+  match Obs.trace obs with
+  | [ { Obs.name = "execute"; children = [ join ]; _ } ] ->
+      Alcotest.(check string) "root join span" "join" join.Obs.name;
+      Alcotest.(check int) "two scans under the join" 2
+        (List.length join.Obs.children);
+      Alcotest.(check bool)
+        "join output cardinality recorded" true
+        (List.assoc_opt "rows" join.Obs.attrs = Some (Json.int 10))
+  | _ -> Alcotest.fail "expected execute > join > [scan; scan]"
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let golden_lines =
+  [
+    {|{"name":"outer","cat":"mjoin","ph":"X","pid":1,"tid":1,"ts":1000000,"dur":3000000,"args":{"k":"v"}}|};
+    {|{"name":"inner","cat":"mjoin","ph":"X","pid":1,"tid":1,"ts":2000000,"dur":1000000,"args":{}}|};
+    {|{"name":"widgets","ph":"C","pid":1,"tid":1,"ts":0,"args":{"value":3}}|};
+  ]
+
+let test_jsonl_golden () =
+  Alcotest.(check (list string))
+    "exported lines match golden" golden_lines
+    (Export.jsonl_lines (fixed_trace ()))
+
+let test_jsonl_lines_parse () =
+  (* A real execution trace: every exported line must be valid JSON
+     with the Chrome-trace phase field. *)
+  let obs, _ = exec_with_sink () in
+  let lines = Export.jsonl_lines obs in
+  Alcotest.(check bool) "trace is non-trivial" true (List.length lines > 5);
+  List.iter
+    (fun line ->
+      let t = Json.of_string line in
+      match Json.member "ph" t with
+      | Some (Json.Str ("X" | "C")) -> ()
+      | _ -> Alcotest.failf "line lacks a trace phase: %s" line)
+    lines
+
+let test_write_jsonl_file () =
+  let obs, _ = exec_with_sink () in
+  let path = Filename.temp_file "mj_obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Export.write_jsonl path obs;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check (list string))
+        "file contents = jsonl_lines"
+        (Export.jsonl_lines obs)
+        (List.rev !lines))
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_render_smoke () =
+  let s = Export.to_string (exec_with_sink () |> fst) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "render mentions %s" needle)
+        true (contains_sub s needle))
+    [ "execute"; "join"; "scan"; "counters:"; "exec.tuples_generated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer search-effort counters                                     *)
+(* ------------------------------------------------------------------ *)
+
+let oracle ss = 1 + (2 * Scheme.Set.cardinal ss)
+
+let test_dpccp_pair_counter () =
+  let d = Querygraph.chain 6 in
+  let obs = Obs.make () in
+  (match Mj_optimizer.Dpccp.plan ~obs ~oracle d with
+  | Some _ -> ()
+  | None -> Alcotest.fail "chain is connected");
+  Alcotest.(check (option int))
+    "pairs_inspected = Ono-Lohman count"
+    (Some (Mj_optimizer.Dpccp.count_csg_cmp_pairs d))
+    (List.assoc_opt "opt.pairs_inspected" (Obs.counters obs))
+
+let test_dpsize_pair_counter () =
+  let d = Querygraph.star 5 in
+  let obs = Obs.make () in
+  (match Mj_optimizer.Dpsize.plan ~obs ~oracle d with
+  | Some _ -> ()
+  | None -> Alcotest.fail "star is connected");
+  Alcotest.(check (option int))
+    "pairs_inspected = pairs_considered"
+    (Some (Mj_optimizer.Dpsize.pairs_considered d))
+    (List.assoc_opt "opt.pairs_inspected" (Obs.counters obs));
+  Alcotest.(check bool)
+    "dpsize span recorded" true
+    (List.exists (fun s -> s.Obs.name = "dpsize") (Obs.trace obs))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "accepts standard JSON" `Quick
+            test_json_parser_accepts_standard;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_json_parser_rejects_garbage;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting under a deterministic clock" `Quick
+            test_span_nesting;
+          Alcotest.test_case "closed on exception" `Quick
+            test_span_exception_safe;
+          Alcotest.test_case "events and late attributes" `Quick
+            test_event_and_set_attr;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "noop sink records nothing" `Quick test_noop_sink;
+          Alcotest.test_case "merge_registry" `Quick test_merge_registry;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "sink counters = Exec.stats" `Quick
+            test_counters_match_stats;
+          Alcotest.test_case "trace shape of execute" `Quick
+            test_execute_trace_shape;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "JSONL golden lines" `Quick test_jsonl_golden;
+          Alcotest.test_case "every JSONL line parses" `Quick
+            test_jsonl_lines_parse;
+          Alcotest.test_case "write_jsonl round-trips" `Quick
+            test_write_jsonl_file;
+          Alcotest.test_case "human renderer" `Quick test_render_smoke;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "dpccp counter = csg-cmp count" `Quick
+            test_dpccp_pair_counter;
+          Alcotest.test_case "dpsize counter = pairs_considered" `Quick
+            test_dpsize_pair_counter;
+        ] );
+    ]

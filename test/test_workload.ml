@@ -152,7 +152,7 @@ let test_consistent_acyclic_rejects_cyclic () =
 (* ------------------------------------------------------------------ *)
 
 let test_scenarios_inventory () =
-  Alcotest.(check int) "seven scenarios" 7 (List.length Scenarios.all);
+  Alcotest.(check int) "eight scenarios" 8 (List.length Scenarios.all);
   List.iter
     (fun (name, db) ->
       Alcotest.(check bool)
