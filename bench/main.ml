@@ -13,6 +13,11 @@ open Mj_optimizer
 module Scenarios = Mj_workload.Scenarios
 module Dbgen = Mj_workload.Dbgen
 module Yannakakis = Mj_yannakakis.Yannakakis
+module Pool = Mj_pool.Pool
+module Kernel_bench = Mj_benchkit.Kernel_bench
+
+(* Set by the --quick flag: trims the KERNEL grid to CI-smoke scale. *)
+let quick = ref false
 
 let section id title =
   Printf.printf "\n%s\n[%s] %s\n%s\n" (String.make 74 '=') id title
@@ -273,20 +278,25 @@ let theorem_experiment id which =
   List.iter
     (fun (regime_name, gen) ->
       let tally = fresh_tally () in
-      for seed = 1 to samples do
-        let rng = Random.State.make [| seed; which |] in
-        let n = 4 + (seed mod 2) in
-        let d = Querygraph.random ~extra_edge_prob:0.3 ~rng n in
-        let db : Database.t = gen ~rng d in
-        let r = Theorems.verify db in
-        let status, conclusion =
-          match which with
-          | 1 -> (r.theorem1, r.theorem1_conclusion)
-          | 2 -> (r.theorem2, r.theorem2_conclusion)
-          | _ -> (r.theorem3, r.theorem3_conclusion)
-        in
-        record tally status conclusion
-      done;
+      (* Trials fan out over domains; each derives everything from its
+         own seed and results merge in seed order, so the tally (and
+         the printed table) is identical at any domain count. *)
+      let outcomes =
+        Pool.init samples (fun i ->
+            let seed = i + 1 in
+            let rng = Random.State.make [| seed; which |] in
+            let n = 4 + (seed mod 2) in
+            let d = Querygraph.random ~extra_edge_prob:0.3 ~rng n in
+            let db : Database.t = gen ~rng d in
+            let r = Theorems.verify db in
+            match which with
+            | 1 -> (r.theorem1, r.theorem1_conclusion)
+            | 2 -> (r.theorem2, r.theorem2_conclusion)
+            | _ -> (r.theorem3, r.theorem3_conclusion))
+      in
+      Array.iter
+        (fun (status, conclusion) -> record tally status conclusion)
+        outcomes;
       Printf.printf "  %-10s %-8d %-11d %-6d %-8d %-22d\n" regime_name samples
         tally.applicable tally.holds tally.refuted tally.vacuous_and_fails;
       if tally.refuted > 0 then check "NO REFUTATIONS" false)
@@ -404,28 +414,34 @@ let gamma () =
     (fun (shape_name, shape) ->
       List.iter
         (fun (regime_name, gen) ->
-          let ratios = ref [] in
-          let optimal = ref 0 in
-          for seed = 1 to samples do
-            let rng =
-              Random.State.make [| seed; 7; Hashtbl.hash shape_name |]
-            in
-            let db : Database.t = gen ~rng (shape 6) in
-            let best_all = (Optimal.optimum_exn db).cost in
-            let best_linear =
-              (Optimal.optimum_exn ~subspace:Enumerate.Linear db).cost
-            in
-            let ratio =
-              if best_all = 0 then 1.0
-              else float_of_int best_linear /. float_of_int best_all
-            in
-            ratios := ratio :: !ratios;
-            if best_linear = best_all then incr optimal
-          done;
-          let mean = List.fold_left ( +. ) 0.0 !ratios /. float_of_int samples in
-          let worst = List.fold_left Float.max 1.0 !ratios in
+          (* Seed-per-trial fan-out; the prepend fold rebuilds the exact
+             descending-seed list the sequential loop accumulated, so the
+             float summation order (and the output) is unchanged. *)
+          let results =
+            Pool.init samples (fun i ->
+                let seed = i + 1 in
+                let rng =
+                  Random.State.make [| seed; 7; Hashtbl.hash shape_name |]
+                in
+                let db : Database.t = gen ~rng (shape 6) in
+                let best_all = (Optimal.optimum_exn db).cost in
+                let best_linear =
+                  (Optimal.optimum_exn ~subspace:Enumerate.Linear db).cost
+                in
+                let ratio =
+                  if best_all = 0 then 1.0
+                  else float_of_int best_linear /. float_of_int best_all
+                in
+                (ratio, best_linear = best_all))
+          in
+          let ratios = Array.fold_left (fun acc (r, _) -> r :: acc) [] results in
+          let optimal =
+            Array.fold_left (fun n (_, hit) -> if hit then n + 1 else n) 0 results
+          in
+          let mean = List.fold_left ( +. ) 0.0 ratios /. float_of_int samples in
+          let worst = List.fold_left Float.max 1.0 ratios in
           Printf.printf "  %-8s %-10s %-9d %-11.3f %-11.3f %d/%d\n" shape_name
-            regime_name samples mean worst !optimal samples)
+            regime_name samples mean worst optimal samples)
         [
           ("superkey", fun ~rng d -> Dbgen.superkey_db ~rng ~rows:6 ~domain:10 d);
           ("uniform", fun ~rng d -> Dbgen.uniform_db ~rng ~rows:6 ~domain:3 d);
@@ -596,22 +612,29 @@ let est () =
       List.iter
         (fun (regime_name, gen) ->
           let summarize make_oracle =
-            let regrets = ref [] and hits = ref 0 in
-            for seed = 1 to samples do
-              let rng =
-                Random.State.make [| seed; 9; Hashtbl.hash shape_name |]
-              in
-              let d = shape 6 in
-              let db : Database.t = gen ~rng d in
-              let regret, hit = run_estimator db d make_oracle in
-              regrets := regret :: !regrets;
-              if hit then incr hits
-            done;
-            let mean =
-              List.fold_left ( +. ) 0.0 !regrets /. float_of_int samples
+            (* Same fan-out/merge discipline as GAMMA: per-seed tasks,
+               results folded back in the sequential loop's order. *)
+            let results =
+              Pool.init samples (fun i ->
+                  let seed = i + 1 in
+                  let rng =
+                    Random.State.make [| seed; 9; Hashtbl.hash shape_name |]
+                  in
+                  let d = shape 6 in
+                  let db : Database.t = gen ~rng d in
+                  run_estimator db d make_oracle)
             in
-            let worst = List.fold_left Float.max 1.0 !regrets in
-            Printf.sprintf "%.3f/%.3f/%d" mean worst !hits
+            let regrets =
+              Array.fold_left (fun acc (r, _) -> r :: acc) [] results
+            in
+            let hits =
+              Array.fold_left (fun n (_, h) -> if h then n + 1 else n) 0 results
+            in
+            let mean =
+              List.fold_left ( +. ) 0.0 regrets /. float_of_int samples
+            in
+            let worst = List.fold_left Float.max 1.0 regrets in
+            Printf.sprintf "%.3f/%.3f/%d" mean worst hits
           in
           let uniform_cell =
             summarize (fun db -> Estimate.of_catalog (Catalog.of_database db))
@@ -1088,6 +1111,37 @@ let obs_metrics () =
      = Some (Dpccp.count_csg_cmp_pairs d))
 
 (* ------------------------------------------------------------------ *)
+(* KERNEL: bitmask subset kernel vs the legacy path                     *)
+(* ------------------------------------------------------------------ *)
+
+let kernel () =
+  section "KERNEL"
+    "Bitmask subset kernel vs preserved legacy path (same oracle, equal \
+     results)";
+  let t = Kernel_bench.run ~quick:!quick () in
+  Printf.printf "  domains: %d%s\n" t.domains
+    (if !quick then " (quick grid)" else "");
+  Printf.printf "  %-12s %-7s %-4s %-5s %-12s %-12s %-9s %-6s\n" "workload"
+    "shape" "n" "reps" "legacy ms" "kernel ms" "speedup" "equal";
+  List.iter
+    (fun (r : Kernel_bench.row) ->
+      Printf.printf "  %-12s %-7s %-4d %-5d %-12.3f %-12.3f %-9s %s\n"
+        r.experiment r.shape r.n r.reps r.legacy_ms r.kernel_ms
+        (Printf.sprintf "%.1fx" r.speedup)
+        (if r.equal then "OK" else "FAIL"))
+    t.rows;
+  Printf.printf
+    "  shared tau-oracle cache (Theorems.verify, uniform chain5): %d hits, %d \
+     misses\n"
+    t.cache_hits t.cache_misses;
+  check "legacy and kernel paths agree on every row"
+    (List.for_all (fun (r : Kernel_bench.row) -> r.equal) t.rows);
+  Printf.printf "  BENCH_JSON %s\n"
+    (Mj_obs.Json.to_string (Kernel_bench.bench_json t));
+  Kernel_bench.write_file "BENCH_KERNEL.json" t;
+  print_endline "  (full report written to BENCH_KERNEL.json)"
+
+(* ------------------------------------------------------------------ *)
 (* PERF: optimizer timings (bechamel)                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1163,14 +1217,22 @@ let experiments =
     ("SK", sk); ("SPACE", space); ("GAMMA", gamma); ("MONO", mono);
     ("SETOP", setop); ("YANN", yann); ("EST", est); ("RAND", rand);
     ("PIPE", pipe); ("LEM", lem); ("COST", cost_models); ("C4JT", c4jt); ("CASE", case); ("PAR", par); ("LOSS", loss);
-    ("OBS", obs_metrics); ("PERF", perf);
+    ("OBS", obs_metrics); ("KERNEL", kernel); ("PERF", perf);
   ]
 
 let () =
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst experiments
+    match args with [] -> List.map fst experiments | ids -> ids
   in
   List.iter
     (fun id ->

@@ -171,7 +171,14 @@ let run_verify scenario (shape_name, shape) n seed rows domain regime =
           n regime seed;
         make_db ~regime ~rng ~rows ~domain d
   in
-  Format.printf "%a@." Theorems.pp_report (Theorems.verify db)
+  let obs = Obs.make () in
+  Format.printf "%a@." Theorems.pp_report (Theorems.verify ~obs db);
+  let counter name =
+    match List.assoc_opt name (Obs.counters obs) with Some v -> v | None -> 0
+  in
+  Format.printf "tau cache: %d hits, %d misses@."
+    (counter "cost.cache_hits")
+    (counter "cost.cache_misses")
 
 let verify_cmd =
   let scenario =

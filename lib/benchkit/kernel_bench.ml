@@ -1,0 +1,238 @@
+open Mj_relation
+open Mj_hypergraph
+open Multijoin
+open Mj_optimizer
+module Dbgen = Mj_workload.Dbgen
+module Pool = Mj_pool.Pool
+module Obs = Mj_obs.Obs
+module Json = Mj_obs.Json
+
+type row = {
+  experiment : string;
+  shape : string;
+  n : int;
+  reps : int;
+  legacy_ms : float;
+  kernel_ms : float;
+  speedup : float;
+  legacy_value : int;
+  kernel_value : int;
+  equal : bool;
+}
+
+type t = {
+  domains : int;
+  rows : row list;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+(* Deterministic synthetic statistics: the oracle is pure arithmetic, so
+   the timing isolates the subset machinery (Set/string legacy path vs
+   mask kernel) rather than join evaluation. *)
+let oracle_for d =
+  let cat =
+    Catalog.synthetic
+      (List.mapi
+         (fun i s -> (s, 32 + (17 * i mod 41), []))
+         (Scheme.Set.elements d))
+  in
+  Estimate.of_catalog cat
+
+let time reps f =
+  let t0 = Unix.gettimeofday () in
+  let result = ref (f ()) in
+  for _ = 2 to reps do
+    result := f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  ((t1 -. t0) *. 1000.0 /. float_of_int reps, !result)
+
+(* The kernel-path twin of [Legacy.conditions_checksum]: same
+   configuration spaces and τ folds, driven by the bitmask kernel. *)
+let kernel_conditions_checksum d ~oracle =
+  let u = Bitdb.make d in
+  let conn = Bitdb.connected_subsets u (Bitdb.full u) in
+  let acc = ref 0 and count = ref 0 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun e1 ->
+          if e land e1 = 0 && Bitdb.linked u e e1 then
+            List.iter
+              (fun e2 ->
+                if
+                  e land e2 = 0
+                  && e1 land e2 = 0
+                  && not (Bitdb.linked u e e2)
+                then begin
+                  let t1 = oracle (Bitdb.set_of_mask u (e lor e1)) in
+                  let t2 = oracle (Bitdb.set_of_mask u (e lor e2)) in
+                  acc := !acc + (3 * t1) + t2;
+                  incr count
+                end)
+              conn)
+        conn)
+    conn;
+  List.iter
+    (fun e1 ->
+      List.iter
+        (fun e2 ->
+          if e1 land e2 = 0 && Bitdb.linked u e1 e2 then begin
+            let tj = oracle (Bitdb.set_of_mask u (e1 lor e2)) in
+            let t1 = oracle (Bitdb.set_of_mask u e1) in
+            let t2 = oracle (Bitdb.set_of_mask u e2) in
+            acc := !acc + (5 * tj) + (2 * t1) + t2;
+            incr count
+          end)
+        conn)
+    conn;
+  (!count, !acc)
+
+let shape_of = function
+  | "chain" -> Querygraph.chain
+  | "cycle" -> Querygraph.cycle
+  | "star" -> Querygraph.star
+  | s -> invalid_arg ("Kernel_bench: unknown shape " ^ s)
+
+let dp_row (shape, n, reps) =
+  let d = shape_of shape n in
+  let oracle = oracle_for d in
+  let legacy_ms, legacy_r =
+    time reps (fun () ->
+        Legacy.optimum_with_oracle ~subspace:Enumerate.All ~oracle d)
+  in
+  let kernel_ms, kernel_r =
+    time reps (fun () ->
+        Optimal.optimum_with_oracle ~subspace:Enumerate.All ~oracle d)
+  in
+  let legacy_value = (Option.get legacy_r).Optimal.cost in
+  let kernel_value = (Option.get kernel_r).Optimal.cost in
+  {
+    experiment = "dp-bushy";
+    shape;
+    n;
+    reps;
+    legacy_ms;
+    kernel_ms;
+    speedup = (if kernel_ms > 0.0 then legacy_ms /. kernel_ms else 0.0);
+    legacy_value;
+    kernel_value;
+    equal = legacy_value = kernel_value;
+  }
+
+let conditions_row (shape, n, reps) =
+  let d = shape_of shape n in
+  let oracle = oracle_for d in
+  let legacy_ms, (lc, lv) =
+    time reps (fun () -> Legacy.conditions_checksum d ~oracle)
+  in
+  let kernel_ms, (kc, kv) =
+    time reps (fun () -> kernel_conditions_checksum d ~oracle)
+  in
+  {
+    experiment = "conditions";
+    shape;
+    n;
+    reps;
+    legacy_ms;
+    kernel_ms;
+    speedup = (if kernel_ms > 0.0 then legacy_ms /. kernel_ms else 0.0);
+    legacy_value = lv;
+    kernel_value = kv;
+    equal = lc = kc && lv = kv;
+  }
+
+let cache_stats () =
+  let rng = Random.State.make [| 1; 1990 |] in
+  let db = Dbgen.uniform_db ~rng ~rows:5 ~domain:3 (Querygraph.chain 5) in
+  let obs = Obs.make () in
+  let (_ : Theorems.report) = Theorems.verify ~obs db in
+  let get name =
+    match List.assoc_opt name (Obs.counters obs) with Some v -> v | None -> 0
+  in
+  (get "cost.cache_hits", get "cost.cache_misses")
+
+let run ?domains ?(quick = false) () =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Pool.default_domains ()
+  in
+  let dp_specs =
+    if quick then [ ("chain", 8, 5); ("chain", 9, 5) ]
+    else
+      [
+        ("chain", 8, 20); ("chain", 10, 5); ("chain", 12, 1); ("chain", 14, 1);
+        ("cycle", 8, 20); ("cycle", 10, 5); ("cycle", 12, 1);
+      ]
+  in
+  let cond_specs =
+    if quick then [ ("chain", 8, 2) ]
+    else [ ("chain", 8, 10); ("chain", 10, 2); ("chain", 12, 1) ]
+  in
+  (* One task per row; results merge in task order, so the report is
+     identical at any domain count (wall times aside). *)
+  let tasks =
+    Array.of_list
+      (List.map (fun spec () -> dp_row spec) dp_specs
+      @ List.map (fun spec () -> conditions_row spec) cond_specs)
+  in
+  let rows = Array.to_list (Pool.run ~domains tasks) in
+  let cache_hits, cache_misses = cache_stats () in
+  { domains; rows; cache_hits; cache_misses }
+
+let row_json ~timings r =
+  Json.Obj
+    ([
+       ("experiment", Json.str r.experiment);
+       ("shape", Json.str r.shape);
+       ("n", Json.int r.n);
+     ]
+    @ (if timings then
+         [
+           ("reps", Json.int r.reps);
+           ("legacy_ms", Json.float r.legacy_ms);
+           ("kernel_ms", Json.float r.kernel_ms);
+           ("speedup", Json.float r.speedup);
+         ]
+       else [])
+    @ [
+        ("legacy_value", Json.int r.legacy_value);
+        ("kernel_value", Json.int r.kernel_value);
+        ("equal", Json.bool r.equal);
+      ])
+
+let bench_json t =
+  Json.Obj
+    [
+      ("experiment", Json.str "KERNEL");
+      ("domains", Json.int t.domains);
+      ("rows", Json.Arr (List.map (row_json ~timings:true) t.rows));
+      ( "tau_cache",
+        Json.Obj
+          [
+            ("hits", Json.int t.cache_hits);
+            ("misses", Json.int t.cache_misses);
+          ] );
+    ]
+
+(* Wall times (and the domain count) vary run to run; everything else is
+   deterministic — the 1-vs-N pool determinism test compares exactly
+   this projection. *)
+let deterministic_json t =
+  Json.Obj
+    [
+      ("experiment", Json.str "KERNEL");
+      ("rows", Json.Arr (List.map (row_json ~timings:false) t.rows));
+      ( "tau_cache",
+        Json.Obj
+          [
+            ("hits", Json.int t.cache_hits);
+            ("misses", Json.int t.cache_misses);
+          ] );
+    ]
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string (bench_json t));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,346 @@
+(* The pre-kernel implementations, preserved verbatim as the baseline
+   for the KERNEL benchmark and the equivalence tests: subset machinery
+   on Scheme.Set values, DP memoization on concatenated scheme strings,
+   cardinality memoization on string lists.  Everything here reproduces
+   the historical observable behaviour — including enumeration order,
+   which the DP's tie-breaking exposes. *)
+
+open Mj_relation
+open Multijoin
+
+(* ------------------------------------------------------------------ *)
+(* Hypergraph machinery (Scheme.Set BFS / enumerate-then-filter)        *)
+(* ------------------------------------------------------------------ *)
+
+let reachable_from d seed =
+  let rec grow frontier seen =
+    if Scheme.Set.is_empty frontier then seen
+    else
+      let next =
+        Scheme.Set.filter
+          (fun s ->
+            (not (Scheme.Set.mem s seen))
+            && Scheme.Set.exists
+                 (fun s' -> not (Attr.Set.disjoint s s'))
+                 frontier)
+          d
+      in
+      grow next (Scheme.Set.union seen next)
+  in
+  let seed_set = Scheme.Set.singleton seed in
+  grow seed_set seed_set
+
+let connected d =
+  match Scheme.Set.choose_opt d with
+  | None -> true
+  | Some seed -> Scheme.Set.equal (reachable_from d seed) d
+
+let components d =
+  let rec peel remaining acc =
+    match Scheme.Set.choose_opt remaining with
+    | None -> List.rev acc
+    | Some seed ->
+        let comp = reachable_from remaining seed in
+        peel (Scheme.Set.diff remaining comp) (comp :: acc)
+  in
+  let comps = peel d [] in
+  List.sort
+    (fun c1 c2 -> Scheme.compare (Scheme.Set.min_elt c1) (Scheme.Set.min_elt c2))
+    comps
+
+let subsets d =
+  let elems = Scheme.Set.elements d in
+  let k = List.length elems in
+  if k > 20 then invalid_arg "Legacy.subsets: database scheme too large";
+  let arr = Array.of_list elems in
+  let rec build mask acc =
+    if mask = 0 then acc
+    else
+      let sub = ref Scheme.Set.empty in
+      Array.iteri
+        (fun idx s ->
+          if mask land (1 lsl idx) <> 0 then sub := Scheme.Set.add s !sub)
+        arr;
+      build (mask - 1) (!sub :: acc)
+  in
+  build ((1 lsl k) - 1) []
+
+let connected_subsets d = List.filter connected (subsets d)
+
+let binary_partitions d =
+  let elems = Scheme.Set.elements d in
+  match elems with
+  | [] | [ _ ] -> []
+  | anchor :: rest ->
+      let arr = Array.of_list rest in
+      let k = Array.length arr in
+      if k > 20 then
+        invalid_arg "Legacy.binary_partitions: database scheme too large";
+      let rec build mask acc =
+        if mask < 0 then acc
+        else begin
+          let left = ref (Scheme.Set.singleton anchor) in
+          let right = ref Scheme.Set.empty in
+          Array.iteri
+            (fun idx s ->
+              if mask land (1 lsl idx) <> 0 then left := Scheme.Set.add s !left
+              else right := Scheme.Set.add s !right)
+            arr;
+          build (mask - 1) ((!left, !right) :: acc)
+        end
+      in
+      build ((1 lsl k) - 2) []
+
+(* ------------------------------------------------------------------ *)
+(* Cost oracle (string-list-keyed memo)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cardinality_oracle db =
+  let memo = Hashtbl.create 64 in
+  fun schemes ->
+    let key = List.map Scheme.to_string (Scheme.Set.elements schemes) in
+    match Hashtbl.find_opt memo key with
+    | Some c -> c
+    | None ->
+        let sub = Database.restrict db schemes in
+        let c = Relation.cardinality (Database.join_all sub) in
+        Hashtbl.add memo key c;
+        c
+
+(* ------------------------------------------------------------------ *)
+(* Optimum DP (string-keyed memo on Scheme.Set sub-databases)           *)
+(* ------------------------------------------------------------------ *)
+
+let key d = String.concat "|" (List.map Scheme.to_string (Scheme.Set.elements d))
+
+let better a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some (r1 : Optimal.result), Some r2 -> if r1.cost <= r2.cost then a else b
+
+let subset_dp ~oracle ~partitions d =
+  let memo = Hashtbl.create 64 in
+  let rec best d' =
+    match Hashtbl.find_opt memo (key d') with
+    | Some r -> r
+    | None ->
+        let r =
+          match Scheme.Set.elements d' with
+          | [] -> invalid_arg "Legacy: empty sub-database"
+          | [ s ] -> Some { Optimal.strategy = Strategy.leaf s; cost = 0 }
+          | _ ->
+              let here = oracle d' in
+              List.fold_left
+                (fun acc (d1, d2) ->
+                  match best d1, best d2 with
+                  | Some (r1 : Optimal.result), Some r2 ->
+                      better acc
+                        (Some
+                           {
+                             Optimal.strategy =
+                               Strategy.join r1.strategy r2.strategy;
+                             cost = r1.cost + r2.cost + here;
+                           })
+                  | _ -> acc)
+                None (partitions d')
+        in
+        Hashtbl.add memo (key d') r;
+        r
+  in
+  best d
+
+let all_partitions d' = binary_partitions d'
+
+let linear_partitions d' =
+  Scheme.Set.fold
+    (fun s acc -> (Scheme.Set.remove s d', Scheme.Set.singleton s) :: acc)
+    d' []
+
+let connected_partitions d' =
+  List.filter
+    (fun (d1, d2) -> connected d1 && connected d2)
+    (binary_partitions d')
+
+let linear_connected_partitions d' =
+  List.filter (fun (rest, _) -> connected rest) (linear_partitions d')
+
+let optimum_cp_free ~oracle d =
+  let comps = components d in
+  let comp_best =
+    List.map
+      (fun c -> subset_dp ~oracle ~partitions:connected_partitions c)
+      comps
+  in
+  if List.exists (fun r -> r = None) comp_best then None
+  else begin
+    let comp_best =
+      List.map (function Some r -> r | None -> assert false) comp_best
+    in
+    match comps, comp_best with
+    | [ _ ], [ r ] -> Some r
+    | _ ->
+        let comps = Array.of_list comps in
+        let base = Array.of_list comp_best in
+        let m = Array.length comps in
+        let union_of mask =
+          let acc = ref Scheme.Set.empty in
+          for i = 0 to m - 1 do
+            if mask land (1 lsl i) <> 0 then
+              acc := Scheme.Set.union !acc comps.(i)
+          done;
+          !acc
+        in
+        let memo = Hashtbl.create 64 in
+        let rec best mask =
+          match Hashtbl.find_opt memo mask with
+          | Some r -> r
+          | None ->
+              let r =
+                let bits =
+                  List.filter
+                    (fun i -> mask land (1 lsl i) <> 0)
+                    (List.init m Fun.id)
+                in
+                match bits with
+                | [ i ] -> base.(i)
+                | _ ->
+                    let here = oracle (union_of mask) in
+                    let anchor = List.hd bits in
+                    let others = List.tl bits in
+                    let rec splits = function
+                      | [] -> [ (1 lsl anchor, 0) ]
+                      | i :: rest ->
+                          List.concat_map
+                            (fun (l, r) ->
+                              [ (l lor (1 lsl i), r); (l, r lor (1 lsl i)) ])
+                            (splits rest)
+                    in
+                    List.fold_left
+                      (fun acc (l, r) ->
+                        if r = 0 then acc
+                        else
+                          let rl = best l and rr = best r in
+                          better acc
+                            (Some
+                               {
+                                 Optimal.strategy =
+                                   Strategy.join rl.Optimal.strategy
+                                     rr.Optimal.strategy;
+                                 cost = rl.cost + rr.cost + here;
+                               }))
+                      None (splits others)
+                    |> Option.get
+              in
+              Hashtbl.add memo mask r;
+              r
+        in
+        Some (best ((1 lsl m) - 1))
+  end
+
+let optimum_with_oracle ?(subspace = Enumerate.All) ~oracle d =
+  if Scheme.Set.is_empty d then invalid_arg "Legacy: empty database scheme";
+  match subspace with
+  | Enumerate.All -> subset_dp ~oracle ~partitions:all_partitions d
+  | Enumerate.Linear -> subset_dp ~oracle ~partitions:linear_partitions d
+  | Enumerate.Cp_free -> optimum_cp_free ~oracle d
+  | Enumerate.Linear_cp_free ->
+      if connected d then
+        subset_dp ~oracle ~partitions:linear_connected_partitions d
+      else begin
+        match Enumerate.linear_cp_free d with
+        | [] -> None
+        | strategies ->
+            List.fold_left
+              (fun acc s ->
+                better acc
+                  (Some { Optimal.strategy = s; cost = Cost.tau_oracle oracle s }))
+              None strategies
+      end
+
+let optimum ?subspace db =
+  optimum_with_oracle ?subspace
+    ~oracle:(cardinality_oracle db)
+    (Database.schemes db)
+
+(* ------------------------------------------------------------------ *)
+(* Condition checkers (Scheme.Set triple/pair loops)                    *)
+(* ------------------------------------------------------------------ *)
+
+let hyper_linked d1 d2 =
+  not (Attr.Set.disjoint (Scheme.Set.universe d1) (Scheme.Set.universe d2))
+
+let iter_triples d oracle f =
+  let conn = connected_subsets d in
+  let continue = ref true in
+  List.iter
+    (fun e ->
+      if !continue then
+        List.iter
+          (fun e1 ->
+            if !continue && Scheme.Set.disjoint e e1 && hyper_linked e e1 then
+              List.iter
+                (fun e2 ->
+                  if
+                    !continue
+                    && Scheme.Set.disjoint e e2
+                    && Scheme.Set.disjoint e1 e2
+                    && not (hyper_linked e e2)
+                  then begin
+                    let t1 = oracle (Scheme.Set.union e e1) in
+                    let t2 = oracle (Scheme.Set.union e e2) in
+                    if not (f t1 t2) then continue := false
+                  end)
+                conn)
+          conn)
+    conn
+
+let iter_pairs d oracle f =
+  let conn = connected_subsets d in
+  let continue = ref true in
+  List.iter
+    (fun e1 ->
+      if !continue then
+        List.iter
+          (fun e2 ->
+            if !continue && Scheme.Set.disjoint e1 e2 && hyper_linked e1 e2
+            then begin
+              let tj = oracle (Scheme.Set.union e1 e2) in
+              let t1 = oracle e1 in
+              let t2 = oracle e2 in
+              if not (f tj t1 t2) then continue := false
+            end)
+          conn)
+    conn
+
+let summarize_oracle d ~oracle : Conditions.summary =
+  let c1 = ref true and c1_strict = ref true in
+  iter_triples d oracle (fun t1 t2 ->
+      if t1 > t2 then c1 := false;
+      if t1 >= t2 then c1_strict := false;
+      !c1 || !c1_strict);
+  let c2 = ref true and c3 = ref true and c4 = ref true in
+  iter_pairs d oracle (fun tj t1 t2 ->
+      if tj > t1 && tj > t2 then c2 := false;
+      if tj > t1 || tj > t2 then c3 := false;
+      if tj < t1 || tj < t2 then c4 := false;
+      !c2 || !c3 || !c4);
+  { c1 = !c1; c1_strict = !c1_strict; c2 = !c2; c3 = !c3; c4 = !c4 }
+
+let summarize db =
+  summarize_oracle (Database.schemes db) ~oracle:(cardinality_oracle db)
+
+(* A timing workload for the KERNEL bench: exhaust both quantifier
+   spaces and fold the τ values into a checksum, so the whole
+   enumeration runs and the result certifies agreement with the kernel
+   path. *)
+let conditions_checksum d ~oracle =
+  let acc = ref 0 and count = ref 0 in
+  iter_triples d oracle (fun t1 t2 ->
+      acc := !acc + (3 * t1) + t2;
+      incr count;
+      true);
+  iter_pairs d oracle (fun tj t1 t2 ->
+      acc := !acc + (5 * tj) + (2 * t1) + t2;
+      incr count;
+      true);
+  (!count, !acc)

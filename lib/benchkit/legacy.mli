@@ -1,0 +1,51 @@
+(** The pre-kernel (seed) implementations, preserved as the baseline the
+    KERNEL benchmark and the equivalence tests compare against.
+
+    Subset machinery operates on [Scheme.Set] values (BFS connectivity,
+    enumerate-then-filter subsets), the DP memoizes on concatenated
+    scheme strings, and cardinalities memoize on string lists — exactly
+    the historical code paths, including enumeration order, which the
+    DP's tie-breaking makes observable.  Nothing here should be used
+    outside benchmarks and tests. *)
+
+open Mj_relation
+open Mj_hypergraph
+open Multijoin
+
+(** {1 Hypergraph machinery} *)
+
+val connected : Scheme.Set.t -> bool
+val components : Scheme.Set.t -> Scheme.Set.t list
+
+val hyper_linked : Scheme.Set.t -> Scheme.Set.t -> bool
+(** The paper's "linked": the attribute universes intersect. *)
+
+val connected_subsets : Scheme.Set.t -> Scheme.Set.t list
+(** @raise Invalid_argument beyond 20 relations. *)
+
+val binary_partitions : Scheme.Set.t -> (Scheme.Set.t * Scheme.Set.t) list
+(** @raise Invalid_argument beyond 21 relations. *)
+
+(** {1 Cost oracle} *)
+
+val cardinality_oracle : Database.t -> Scheme.Set.t -> int
+
+(** {1 Optimum DP} *)
+
+val optimum_with_oracle :
+  ?subspace:Enumerate.subspace ->
+  oracle:(Scheme.Set.t -> int) ->
+  Hypergraph.t ->
+  Optimal.result option
+
+val optimum : ?subspace:Enumerate.subspace -> Database.t -> Optimal.result option
+
+(** {1 Condition checkers} *)
+
+val summarize : Database.t -> Conditions.summary
+
+val conditions_checksum :
+  Hypergraph.t -> oracle:(Scheme.Set.t -> int) -> int * int
+(** Exhausts the C1 triple space and the C2/C3/C4 pair space, returning
+    [(configurations, τ-checksum)] — the timing workload of the KERNEL
+    bench's condition-checker rows. *)

@@ -66,6 +66,12 @@ type summary = {
 val summarize : Database.t -> summary
 (** All five conditions in one pass (sharing the cardinality memo). *)
 
+val summarize_cached : Cost.Cache.t -> summary
+(** Same, against a caller-supplied {!Cost.Cache} — the theorem
+    validators pass the cache they also run the optimum DPs on, so
+    every sub-database join is materialized at most once across the
+    whole verification. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 val pp_triple_witness : Format.formatter -> triple_witness -> unit
 val pp_pair_witness : Format.formatter -> pair_witness -> unit

@@ -1,4 +1,5 @@
 open Mj_relation
+open Mj_hypergraph
 
 let base db scheme =
   match Database.find db scheme with
@@ -35,14 +36,50 @@ let rec tau_oracle card = function
   | Strategy.Join n ->
       tau_oracle card n.left + tau_oracle card n.right + card n.schemes
 
-let cardinality_oracle db =
-  let memo = Hashtbl.create 64 in
-  fun schemes ->
-    let key = List.map Scheme.to_string (Scheme.Set.elements schemes) in
-    match Hashtbl.find_opt memo key with
-    | Some c -> c
+module Cache = struct
+  module Obs = Mj_obs.Obs
+
+  type t = {
+    db : Database.t;
+    univ : Bitdb.t;
+    table : (int, int) Hashtbl.t;
+    hits : Obs.counter;
+    misses : Obs.counter;
+  }
+
+  let create ?(obs = Obs.noop) db =
+    {
+      db;
+      univ = Bitdb.make (Database.schemes db);
+      table = Hashtbl.create 256;
+      hits = Obs.counter obs "cost.cache_hits";
+      misses = Obs.counter obs "cost.cache_misses";
+    }
+
+  let database c = c.db
+  let universe c = c.univ
+
+  let card_mask c mask =
+    match Hashtbl.find_opt c.table mask with
+    | Some n ->
+        Obs.incr c.hits 1;
+        n
     | None ->
-        let sub = Database.restrict db schemes in
-        let c = Relation.cardinality (Database.join_all sub) in
-        Hashtbl.add memo key c;
-        c
+        Obs.incr c.misses 1;
+        let sub = Database.restrict c.db (Bitdb.set_of_mask c.univ mask) in
+        let n = Relation.cardinality (Database.join_all sub) in
+        Hashtbl.add c.table mask n;
+        n
+
+  let card c schemes =
+    match Bitdb.mask_of_set c.univ schemes with
+    | mask -> card_mask c mask
+    | exception Not_found ->
+        invalid_arg "Cost.Cache: scheme not in the database"
+  let hits c = Obs.value c.hits
+  let misses c = Obs.value c.misses
+  let entries c = Hashtbl.length c.table
+end
+
+let cached_oracle ?obs db = Cache.card (Cache.create ?obs db)
+let cardinality_oracle db = cached_oracle db

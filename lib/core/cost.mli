@@ -11,6 +11,7 @@
     costs (see [Mj_optimizer]) plug into the same formula. *)
 
 open Mj_relation
+open Mj_hypergraph
 
 val eval : Database.t -> Strategy.t -> Relation.t
 (** [eval db s] is [R_{D'}] for the strategy's scheme set: the join of
@@ -30,7 +31,42 @@ val tau_oracle : (Scheme.Set.t -> int) -> Strategy.t -> int
 (** [tau_oracle card s] sums [card] over the scheme set of every step.
     [tau db s = tau_oracle (fun d -> cardinality of the joined states) s]. *)
 
+(** The shared τ-oracle cache: exact sub-database cardinalities
+    hash-consed on their {!Bitdb} mask over the database's universe.
+
+    One cache can back the subset DP, the condition checkers and the
+    theorem validators of a single database at once, so the same
+    sub-database join is never materialized twice across them.  Cache
+    traffic is observable: pass an {!Mj_obs.Obs.sink} and the counters
+    [cost.cache_hits] / [cost.cache_misses] record the savings. *)
+module Cache : sig
+  type t
+
+  val create : ?obs:Mj_obs.Obs.sink -> Database.t -> t
+  val database : t -> Database.t
+
+  val universe : t -> Bitdb.t
+  (** The indexed universe over [Database.schemes db]; masks passed to
+      {!card_mask} are interpreted against it. *)
+
+  val card_mask : t -> int -> int
+  (** Exact cardinality of the joined sub-database denoted by a mask,
+      materializing it on first request. *)
+
+  val card : t -> Scheme.Set.t -> int
+  (** [Scheme.Set] edge of the same cache.
+      @raise Invalid_argument if a scheme is not in the database. *)
+
+  val hits : t -> int
+  val misses : t -> int
+  val entries : t -> int
+end
+
+val cached_oracle : ?obs:Mj_obs.Obs.sink -> Database.t -> Scheme.Set.t -> int
+(** A fresh {!Cache.t} exposed as a plain oracle function. *)
+
 val cardinality_oracle : Database.t -> Scheme.Set.t -> int
 (** The exact oracle: materializes the join of the sub-database.  Results
-    are memoized per returned closure, so sharing one oracle across many
-    strategies for the same database avoids recomputation. *)
+    are memoized per returned closure (an alias of {!cached_oracle}), so
+    sharing one oracle across many strategies for the same database
+    avoids recomputation. *)

@@ -42,7 +42,44 @@ let all d =
   in
   go d
 
-let fold_all d ~init ~f = List.fold_left f init (all d)
+(* Stream the full space: sub-database strategy lists are still memoized
+   and shared, but the top level — the bulk of the [(2k-3)!!] space — is
+   folded without ever being materialized.  Emission order is identical
+   to [all]. *)
+let fold_all d ~init ~f =
+  if Scheme.Set.is_empty d then invalid_arg "Enumerate.all: empty scheme";
+  match Scheme.Set.elements d with
+  | [ s ] -> f init (Strategy.leaf s)
+  | _ ->
+      let memo = Hashtbl.create 64 in
+      let rec go d =
+        match Hashtbl.find_opt memo (key d) with
+        | Some r -> r
+        | None ->
+            let result =
+              match Scheme.Set.elements d with
+              | [ s ] -> [ Strategy.leaf s ]
+              | _ ->
+                  List.concat_map
+                    (fun (d1, d2) ->
+                      List.concat_map
+                        (fun s1 -> List.map (Strategy.join s1) (go d2))
+                        (go d1))
+                    (Hypergraph.binary_partitions d)
+            in
+            Hashtbl.add memo (key d) result;
+            result
+      in
+      List.fold_left
+        (fun acc (d1, d2) ->
+          List.fold_left
+            (fun acc s1 ->
+              List.fold_left
+                (fun acc s2 -> f acc (Strategy.join s1 s2))
+                acc (go d2))
+            acc (go d1))
+        init
+        (Hypergraph.binary_partitions d)
 
 (* ------------------------------------------------------------------ *)
 (* Linear strategies                                                    *)
@@ -148,6 +185,56 @@ let enumerate = function
   | Linear -> linear
   | Cp_free -> cp_free
   | Linear_cp_free -> linear_cp_free
+
+(* ------------------------------------------------------------------ *)
+(* Streaming folds                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Each fold visits exactly the strategies of the corresponding list
+   enumeration, in the same order, without materializing the top-level
+   list.  [Optimal.all_optima] folds these to keep only the ties. *)
+
+let fold_linear d ~init ~f =
+  if Scheme.Set.is_empty d then invalid_arg "Enumerate.linear: empty scheme";
+  let rec orders chosen remaining acc =
+    if Scheme.Set.is_empty remaining then
+      f acc (Strategy.left_deep (List.rev chosen))
+    else
+      let candidates = Scheme.Set.elements remaining in
+      let candidates =
+        match chosen with
+        | [ first ] ->
+            List.filter (fun s -> Scheme.compare first s < 0) candidates
+        | _ -> candidates
+      in
+      List.fold_left
+        (fun acc s -> orders (s :: chosen) (Scheme.Set.remove s remaining) acc)
+        acc candidates
+  in
+  orders [] d init
+
+let fold_cp_free d ~init ~f =
+  if Scheme.Set.is_empty d then invalid_arg "Enumerate.cp_free: empty scheme";
+  let comps = Hypergraph.components d in
+  let per_component = List.map connected_strategies comps in
+  (* Stream the Cartesian product of per-component choices; combination
+     trees are built per choice (a small list for realistic comp counts). *)
+  let rec choices picked options acc =
+    match options with
+    | [] -> List.fold_left f acc (combination_trees (List.rev picked))
+    | opts :: rest ->
+        List.fold_left (fun acc s -> choices (s :: picked) rest acc) acc opts
+  in
+  choices [] per_component init
+
+let fold_strategies subspace d ~init ~f =
+  match subspace with
+  | All -> fold_all d ~init ~f
+  | Linear -> fold_linear d ~init ~f
+  | Cp_free -> fold_cp_free d ~init ~f
+  | Linear_cp_free ->
+      fold_linear d ~init ~f:(fun acc s ->
+          if Strategy.avoids_cartesian s then f acc s else acc)
 
 (* ------------------------------------------------------------------ *)
 (* Counting                                                             *)

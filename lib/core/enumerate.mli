@@ -45,6 +45,13 @@ val enumerate : subspace -> Hypergraph.t -> Strategy.t list
 val fold_all : Hypergraph.t -> init:'a -> f:('a -> Strategy.t -> 'a) -> 'a
 (** Fold over the full space without building the list. *)
 
+val fold_strategies :
+  subspace -> Hypergraph.t -> init:'a -> f:('a -> Strategy.t -> 'a) -> 'a
+(** Fold over a subspace, visiting exactly the strategies of
+    [enumerate subspace d] in the same order, without materializing the
+    top-level list (sub-database lists are still shared internally).
+    @raise Invalid_argument on an empty scheme. *)
+
 val count_all : int -> int
 (** [(2k-3)!! = 1·3·5···(2k-3)]; [count_all 4 = 15]. *)
 

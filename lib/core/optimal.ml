@@ -6,76 +6,105 @@ type result = {
   cost : int;
 }
 
-let key d = String.concat "|" (List.map Scheme.to_string (Scheme.Set.elements d))
-
 let better a b =
   match a, b with
   | None, x | x, None -> x
   | Some r1, Some r2 -> if r1.cost <= r2.cost then a else b
 
-(* Generic subset DP.  [partitions d'] yields the allowed root steps of a
-   sub-database; a singleton is always a (free) leaf. *)
-let subset_dp ~oracle ~partitions d =
+(* ------------------------------------------------------------------ *)
+(* Mask-level partition iterators                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Each iterator emits the same (left, right) pairs, in the same order,
+   as the historical Scheme.Set enumeration — the DP breaks cost ties in
+   favour of the first partition seen, so the order is part of the
+   observable result. *)
+
+let iter_all_partitions u m f =
+  if Bitdb.popcount m > 21 then
+    invalid_arg "Hypergraph.binary_partitions: database scheme too large";
+  Bitdb.iter_binary_partitions u m f
+
+(* One side must be a single relation; singletons are peeled in
+   decreasing scheme order (the historical Scheme.Set.fold + prepend). *)
+let iter_linear_partitions u m f =
+  for i = Bitdb.size u - 1 downto 0 do
+    let b = 1 lsl i in
+    if m land b <> 0 then f (m lxor b) b
+  done
+
+let iter_connected_partitions u m f =
+  iter_all_partitions u m (fun m1 m2 ->
+      if Bitdb.is_connected u m1 && Bitdb.is_connected u m2 then f m1 m2)
+
+let iter_linear_connected_partitions u m f =
+  iter_linear_partitions u m (fun rest b ->
+      if Bitdb.is_connected u rest then f rest b)
+
+(* ------------------------------------------------------------------ *)
+(* Subset DP on masks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Generic subset DP, memoized on the sub-database's mask.  [partitions]
+   yields the allowed root steps of a sub-database; a singleton is
+   always a (free) leaf. *)
+let subset_dp ~univ ~card ~partitions mask =
   let memo = Hashtbl.create 64 in
-  let rec best d' =
-    match Hashtbl.find_opt memo (key d') with
+  let rec best m =
+    match Hashtbl.find_opt memo m with
     | Some r -> r
     | None ->
         let r =
-          match Scheme.Set.elements d' with
-          | [] -> invalid_arg "Optimal: empty sub-database"
-          | [ s ] -> Some { strategy = Strategy.leaf s; cost = 0 }
-          | _ ->
-              let here = oracle d' in
-              List.fold_left
-                (fun acc (d1, d2) ->
-                  match best d1, best d2 with
-                  | Some r1, Some r2 ->
-                      better acc
-                        (Some
-                           {
-                             strategy = Strategy.join r1.strategy r2.strategy;
-                             cost = r1.cost + r2.cost + here;
-                           })
-                  | _ -> acc)
-                None (partitions d')
+          if m = 0 then invalid_arg "Optimal: empty sub-database"
+          else if m land (m - 1) = 0 then
+            Some
+              {
+                strategy = Strategy.leaf (Bitdb.scheme univ (Bitdb.bit_index m));
+                cost = 0;
+              }
+          else begin
+            let here = card m in
+            (* Track the cheapest (first-on-tie, like the historical
+               fold) child pair and build the join node once at the end
+               — Strategy.join unions scheme sets, far too expensive to
+               run per candidate partition. *)
+            let best_cost = ref max_int and best_pair = ref None in
+            partitions univ m (fun m1 m2 ->
+                match best m1, best m2 with
+                | Some r1, Some r2 ->
+                    let c = r1.cost + r2.cost + here in
+                    if c < !best_cost then begin
+                      best_cost := c;
+                      best_pair := Some (r1, r2)
+                    end
+                | _ -> ());
+            match !best_pair with
+            | None -> None
+            | Some (r1, r2) ->
+                Some
+                  {
+                    strategy = Strategy.join r1.strategy r2.strategy;
+                    cost = !best_cost;
+                  }
+          end
         in
-        Hashtbl.add memo (key d') r;
+        Hashtbl.add memo m r;
         r
   in
-  best d
+  best mask
 
-let all_partitions d' = Hypergraph.binary_partitions d'
-
-let linear_partitions d' =
-  (* One side must be a single relation. *)
-  Scheme.Set.fold
-    (fun s acc ->
-      (Scheme.Set.remove s d', Scheme.Set.singleton s) :: acc)
-    d' []
-
-let connected_partitions d' =
-  List.filter
-    (fun (d1, d2) -> Hypergraph.connected d1 && Hypergraph.connected d2)
-    (Hypergraph.binary_partitions d')
-
-let linear_connected_partitions d' =
-  List.filter
-    (fun (rest, _) -> Hypergraph.connected rest)
-    (linear_partitions d')
-
-(* Avoid-CP optimum for an arbitrary (possibly unconnected) scheme:
+(* Avoid-CP optimum for an arbitrary (possibly unconnected) mask:
    optimum connected strategy per component, then the best Cartesian
    combination tree over complete components.  We run a second DP whose
    "units" are the components. *)
-let optimum_cp_free ~oracle d =
-  let comps = Hypergraph.components d in
+let optimum_cp_free ~univ ~card mask =
+  let comps = Bitdb.components univ mask in
   let comp_best =
     List.map
-      (fun c -> subset_dp ~oracle ~partitions:connected_partitions c)
+      (fun c -> subset_dp ~univ ~card ~partitions:iter_connected_partitions c)
       comps
   in
-  if List.exists (fun r -> r = None) comp_best then None
+  if List.exists Option.is_none comp_best then None
   else begin
     let comp_best =
       List.map (function Some r -> r | None -> assert false) comp_best
@@ -89,26 +118,26 @@ let optimum_cp_free ~oracle d =
         let comps = Array.of_list comps in
         let base = Array.of_list comp_best in
         let m = Array.length comps in
-        let union_of mask =
-          let acc = ref Scheme.Set.empty in
+        let union_of cmask =
+          let acc = ref 0 in
           for i = 0 to m - 1 do
-            if mask land (1 lsl i) <> 0 then acc := Scheme.Set.union !acc comps.(i)
+            if cmask land (1 lsl i) <> 0 then acc := !acc lor comps.(i)
           done;
           !acc
         in
         let memo = Hashtbl.create 64 in
-        let rec best mask =
-          match Hashtbl.find_opt memo mask with
+        let rec best cmask =
+          match Hashtbl.find_opt memo cmask with
           | Some r -> r
           | None ->
               let r =
-                let bits = List.filter (fun i -> mask land (1 lsl i) <> 0)
+                let bits = List.filter (fun i -> cmask land (1 lsl i) <> 0)
                     (List.init m Fun.id)
                 in
                 match bits with
                 | [ i ] -> base.(i)
                 | _ ->
-                    let here = oracle (union_of mask) in
+                    let here = card (union_of cmask) in
                     (* Split the mask anchored on its lowest bit. *)
                     let anchor = List.hd bits in
                     let others = List.tl bits in
@@ -134,58 +163,81 @@ let optimum_cp_free ~oracle d =
                       None (splits others)
                     |> Option.get
               in
-              Hashtbl.add memo mask r;
+              Hashtbl.add memo cmask r;
               r
         in
         Some (best ((1 lsl m) - 1))
   end
 
+(* Rare case: the linear-cp-free subspace of an unconnected scheme may be
+   empty (when a non-first component has two or more relations); fall
+   back to enumeration at the Scheme.Set level. *)
+let linear_cp_free_fallback ~oracle d =
+  match Enumerate.linear_cp_free d with
+  | [] -> None
+  | strategies ->
+      List.fold_left
+        (fun acc s ->
+          better acc (Some { strategy = s; cost = Cost.tau_oracle oracle s }))
+        None strategies
+
+let optimum_masked ~subspace ~univ ~card mask =
+  match subspace with
+  | Enumerate.All -> subset_dp ~univ ~card ~partitions:iter_all_partitions mask
+  | Enumerate.Linear ->
+      subset_dp ~univ ~card ~partitions:iter_linear_partitions mask
+  | Enumerate.Cp_free -> optimum_cp_free ~univ ~card mask
+  | Enumerate.Linear_cp_free ->
+      subset_dp ~univ ~card ~partitions:iter_linear_connected_partitions mask
+
 let optimum_with_oracle ?(subspace = Enumerate.All) ~oracle d =
   if Scheme.Set.is_empty d then invalid_arg "Optimal: empty database scheme";
   match subspace with
-  | Enumerate.All -> subset_dp ~oracle ~partitions:all_partitions d
-  | Enumerate.Linear -> subset_dp ~oracle ~partitions:linear_partitions d
-  | Enumerate.Cp_free -> optimum_cp_free ~oracle d
-  | Enumerate.Linear_cp_free ->
-      if Hypergraph.connected d then
-        subset_dp ~oracle ~partitions:linear_connected_partitions d
-      else begin
-        (* Rare case: enumerate and take the minimum (the subspace may be
-           empty when a non-first component has two or more relations). *)
-        match Enumerate.linear_cp_free d with
-        | [] -> None
-        | strategies ->
-            let cost s = Cost.tau_oracle oracle s in
-            let best =
-              List.fold_left
-                (fun acc s ->
-                  let c = cost s in
-                  better acc (Some { strategy = s; cost = c }))
-                None strategies
-            in
-            best
-      end
+  | Enumerate.Linear_cp_free when not (Hypergraph.connected d) ->
+      linear_cp_free_fallback ~oracle d
+  | _ ->
+      let univ = Bitdb.make d in
+      let card m = oracle (Bitdb.set_of_mask univ m) in
+      optimum_masked ~subspace ~univ ~card (Bitdb.full univ)
 
-let optimum ?subspace db =
-  optimum_with_oracle ?subspace
-    ~oracle:(Cost.cardinality_oracle db)
-    (Database.schemes db)
+let optimum_cached ?(subspace = Enumerate.All) cache =
+  let d = Database.schemes (Cost.Cache.database cache) in
+  if Scheme.Set.is_empty d then invalid_arg "Optimal: empty database scheme";
+  let univ = Cost.Cache.universe cache in
+  match subspace with
+  | Enumerate.Linear_cp_free when not (Bitdb.is_connected univ (Bitdb.full univ))
+    ->
+      linear_cp_free_fallback ~oracle:(Cost.Cache.card cache) d
+  | _ ->
+      optimum_masked ~subspace ~univ ~card:(Cost.Cache.card_mask cache)
+        (Bitdb.full univ)
+
+let optimum ?subspace db = optimum_cached ?subspace (Cost.Cache.create db)
 
 let optimum_exn ?subspace db =
   match optimum ?subspace db with
   | Some r -> r
   | None -> invalid_arg "Optimal.optimum_exn: empty strategy subspace"
 
+(* Stream the subspace instead of materializing it: a single fold tracks
+   the best cost and the ties seen so far, in enumeration order. *)
+let all_optima_with_oracle ~subspace ~oracle d =
+  let _, ties =
+    Enumerate.fold_strategies subspace d ~init:(max_int, [])
+      ~f:(fun (best, ties) s ->
+        let c = Cost.tau_oracle oracle s in
+        if c < best then (c, [ { strategy = s; cost = c } ])
+        else if c = best then (best, { strategy = s; cost = c } :: ties)
+        else (best, ties))
+  in
+  List.rev ties
+
 let all_optima ?(subspace = Enumerate.All) db =
-  let d = Database.schemes db in
-  let oracle = Cost.cardinality_oracle db in
-  let strategies = Enumerate.enumerate subspace d in
-  match strategies with
-  | [] -> []
-  | _ ->
-      let with_costs =
-        List.map (fun s -> { strategy = s; cost = Cost.tau_oracle oracle s })
-          strategies
-      in
-      let best = List.fold_left (fun m r -> min m r.cost) max_int with_costs in
-      List.filter (fun r -> r.cost = best) with_costs
+  all_optima_with_oracle ~subspace
+    ~oracle:(Cost.cardinality_oracle db)
+    (Database.schemes db)
+
+let all_optima_cached ?(subspace = Enumerate.All) cache =
+  all_optima_with_oracle ~subspace
+    ~oracle:(Cost.Cache.card cache)
+    (Database.schemes (Cost.Cache.database cache))

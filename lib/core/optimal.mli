@@ -32,10 +32,20 @@ val optimum : ?subspace:Enumerate.subspace -> Database.t -> result option
 (** Exact τ-optimum against the materialized cardinalities of the
     database. *)
 
+val optimum_cached : ?subspace:Enumerate.subspace -> Cost.Cache.t -> result option
+(** Same, against a caller-supplied shared {!Cost.Cache}: the DP is
+    memoized directly on the cache's bitmasks, and repeated calls (or
+    calls interleaved with the condition checkers) reuse every
+    sub-database cardinality already materialized. *)
+
 val optimum_exn : ?subspace:Enumerate.subspace -> Database.t -> result
 (** @raise Invalid_argument when the subspace is empty. *)
 
 val all_optima : ?subspace:Enumerate.subspace -> Database.t -> result list
-(** {e Every} cheapest strategy of the subspace (by full enumeration —
-    small databases only).  Used by Theorem 1's validator, which
-    quantifies over all optimal linear strategies. *)
+(** {e Every} cheapest strategy of the subspace (by streaming the
+    enumeration — small databases only).  Used by Theorem 1's validator,
+    which quantifies over all optimal linear strategies. *)
+
+val all_optima_cached :
+  ?subspace:Enumerate.subspace -> Cost.Cache.t -> result list
+(** Same, costing strategies against a shared {!Cost.Cache}. *)

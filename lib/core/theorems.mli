@@ -39,9 +39,17 @@ type report = {
   theorem3_conclusion : bool;  (** [min_linear_cp_free = Some min_all] *)
 }
 
-val verify : Database.t -> report
+val verify : ?obs:Mj_obs.Obs.sink -> Database.t -> report
 (** Full verification by exhaustive enumeration and DP; exponential in
-    [|D|], for databases of up to ~8 relations. *)
+    [|D|], for databases of up to ~8 relations.  One shared
+    {!Cost.Cache} backs the condition checkers, the four optimum DPs
+    and the Theorem 1 enumeration; pass [obs] to record its
+    [cost.cache_hits] / [cost.cache_misses] counters. *)
+
+val verify_many : ?domains:int -> Database.t list -> report list
+(** [verify] over a batch, fanned out on a {!Mj_pool.Pool} of domains
+    (default {!Mj_pool.Pool.default_domains}).  Reports are returned in
+    input order regardless of the domain count. *)
 
 val lemma5_consistent : Database.t -> bool
 (** Lemma 5 sanity: if [R_D ≠ ∅] and C3 holds then C1 holds.  Returns

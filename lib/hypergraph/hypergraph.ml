@@ -10,7 +10,8 @@ let linked d1 d2 =
 let disjoint d1 d2 = Scheme.Set.disjoint d1 d2
 
 (* Breadth-first closure from a seed scheme, walking shared-attribute
-   adjacency inside [d]. *)
+   adjacency inside [d].  Fallback for universes too wide for the
+   bitmask kernel (> 62 schemes). *)
 let reachable_from d seed =
   let rec grow frontier seen =
     if Scheme.Set.is_empty frontier then seen
@@ -29,23 +30,35 @@ let reachable_from d seed =
   let seed_set = Scheme.Set.singleton seed in
   grow seed_set seed_set
 
+let fits_kernel d = Scheme.Set.cardinal d <= 62
+
 let connected d =
-  match Scheme.Set.choose_opt d with
-  | None -> true
-  | Some seed -> Scheme.Set.equal (reachable_from d seed) d
+  if fits_kernel d then
+    let u = Bitdb.make d in
+    Bitdb.is_connected u (Bitdb.full u)
+  else
+    match Scheme.Set.choose_opt d with
+    | None -> true
+    | Some seed -> Scheme.Set.equal (reachable_from d seed) d
 
 let components d =
-  let rec peel remaining acc =
-    match Scheme.Set.choose_opt remaining with
-    | None -> List.rev acc
-    | Some seed ->
-        let comp = reachable_from remaining seed in
-        peel (Scheme.Set.diff remaining comp) (comp :: acc)
-  in
-  let comps = peel d [] in
-  List.sort
-    (fun c1 c2 -> Scheme.compare (Scheme.Set.min_elt c1) (Scheme.Set.min_elt c2))
-    comps
+  if fits_kernel d then
+    let u = Bitdb.make d in
+    List.map (Bitdb.set_of_mask u) (Bitdb.components u (Bitdb.full u))
+  else begin
+    let rec peel remaining acc =
+      match Scheme.Set.choose_opt remaining with
+      | None -> List.rev acc
+      | Some seed ->
+          let comp = reachable_from remaining seed in
+          peel (Scheme.Set.diff remaining comp) (comp :: acc)
+    in
+    let comps = peel d [] in
+    List.sort
+      (fun c1 c2 ->
+        Scheme.compare (Scheme.Set.min_elt c1) (Scheme.Set.min_elt c2))
+      comps
+  end
 
 let comp d = List.length (components d)
 
@@ -72,34 +85,21 @@ let subsets d =
   in
   build ((1 lsl k) - 1) []
 
-let connected_subsets d = List.filter connected (subsets d)
+let connected_subsets d =
+  (* Kernel path: one universe, DPccp-style neighborhood expansion, then
+     a sort into the canonical increasing-mask order (identical to the
+     historical enumerate-then-BFS-filter output). *)
+  if Scheme.Set.cardinal d > 20 then
+    invalid_arg "Hypergraph.subsets: database scheme too large";
+  let u = Bitdb.make d in
+  List.map (Bitdb.set_of_mask u) (Bitdb.connected_subsets u (Bitdb.full u))
 
 let binary_partitions d =
-  let elems = Scheme.Set.elements d in
-  match elems with
-  | [] | [ _ ] -> []
-  | anchor :: rest ->
-      let arr = Array.of_list rest in
-      let k = Array.length arr in
-      if k > 20 then
-        invalid_arg "Hypergraph.binary_partitions: database scheme too large";
-      (* The anchor always sits in the left half, so each unordered
-         partition appears exactly once.  The mask ranges over the proper
-         subsets of [rest] joining the anchor; the complement must be
-         non-empty, hence the upper bound. *)
-      let rec build mask acc =
-        if mask < 0 then acc
-        else begin
-          let left = ref (Scheme.Set.singleton anchor) in
-          let right = ref Scheme.Set.empty in
-          Array.iteri
-            (fun idx s ->
-              if mask land (1 lsl idx) <> 0 then left := Scheme.Set.add s !left
-              else right := Scheme.Set.add s !right)
-            arr;
-          build (mask - 1) ((!left, !right) :: acc)
-        end
-      in
-      build ((1 lsl k) - 2) []
+  if Scheme.Set.cardinal d > 21 then
+    invalid_arg "Hypergraph.binary_partitions: database scheme too large";
+  let u = Bitdb.make d in
+  List.map
+    (fun (l, r) -> (Bitdb.set_of_mask u l, Bitdb.set_of_mask u r))
+    (Bitdb.binary_partitions u (Bitdb.full u))
 
 let pp = Scheme.Set.pp

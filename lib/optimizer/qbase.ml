@@ -1,62 +1,22 @@
 open Mj_relation
+open Mj_hypergraph
 
-type t = {
+(* A thin re-export of the hypergraph bitmask kernel: the DP enumerators
+   predate [Bitdb] and keep their field-level access (g.Qbase.n, ...),
+   but the universe construction and all mask arithmetic now live in one
+   place. *)
+type t = Bitdb.t = {
   nodes : Scheme.t array;
   n : int;
   adj : int array;
+  full : int;
 }
 
-let make d =
-  let nodes = Array.of_list (Scheme.Set.elements d) in
-  let n = Array.length nodes in
-  if n > 62 then invalid_arg "Qbase.make: more than 62 relations";
-  let adj = Array.make n 0 in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      if i <> j && not (Attr.Set.disjoint nodes.(i) nodes.(j)) then
-        adj.(i) <- adj.(i) lor (1 lsl j)
-    done
-  done;
-  { nodes; n; adj }
-
-let full g = (1 lsl g.n) - 1
-
-let schemes_of_mask g mask =
-  let acc = ref Scheme.Set.empty in
-  for i = 0 to g.n - 1 do
-    if mask land (1 lsl i) <> 0 then acc := Scheme.Set.add g.nodes.(i) !acc
-  done;
-  !acc
-
-let neighborhood g mask =
-  let acc = ref 0 in
-  for i = 0 to g.n - 1 do
-    if mask land (1 lsl i) <> 0 then acc := !acc lor g.adj.(i)
-  done;
-  !acc land lnot mask
-
-let linked g m1 m2 = neighborhood g m1 land m2 <> 0
-
-let is_connected g mask =
-  if mask = 0 then true
-  else begin
-    let seed = mask land -mask in
-    let rec grow seen =
-      let next = seen lor (neighborhood g seen land mask) in
-      if next = seen then seen else grow next
-    in
-    grow seed = mask
-  end
-
-let popcount mask =
-  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
-  go mask 0
-
-let iter_subsets mask f =
-  (* All non-empty proper submasks via the standard (s-1) land mask
-     walk, visited in decreasing order. *)
-  let s = ref ((mask - 1) land mask) in
-  while !s <> 0 do
-    f !s;
-    s := (!s - 1) land mask
-  done
+let make = Bitdb.make
+let full = Bitdb.full
+let schemes_of_mask = Bitdb.set_of_mask
+let neighborhood = Bitdb.neighborhood
+let linked = Bitdb.linked
+let is_connected = Bitdb.is_connected
+let popcount = Bitdb.popcount
+let iter_subsets = Bitdb.iter_subsets

@@ -1,4 +1,5 @@
-(** Bitmask machinery shared by the DP enumerators.
+(** Bitmask machinery shared by the DP enumerators — a re-export of the
+    hypergraph bitmask kernel {!Mj_hypergraph.Bitdb}.
 
     Relations are numbered in {!Mj_relation.Scheme.compare} order; a
     subset of relations is an [int] bitmask.  The query graph's
@@ -7,10 +8,11 @@
 open Mj_relation
 open Mj_hypergraph
 
-type t = {
+type t = Bitdb.t = {
   nodes : Scheme.t array;
   n : int;
   adj : int array;  (** [adj.(i)]: mask of nodes sharing an attribute with [i] *)
+  full : int;       (** the mask of all relations *)
 }
 
 val make : Hypergraph.t -> t

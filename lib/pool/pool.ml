@@ -1,0 +1,49 @@
+let default_domains () =
+  match Sys.getenv_opt "MJ_DOMAINS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let run ?domains tasks =
+  let n = Array.length tasks in
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  let d = min d n in
+  if d <= 1 then Array.map (fun task -> task ()) tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Work-stealing by shared counter: each slot is written by exactly
+       one worker, and [Domain.join] publishes those writes before the
+       merge below reads them.  Results are merged in task-index order,
+       so the output is deterministic whatever the interleaving. *)
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (tasks.(i) ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+    let self_exn = (try worker (); None with e -> Some e) in
+    let joined_exn =
+      Array.fold_left
+        (fun acc dom ->
+          match Domain.join dom with
+          | () -> acc
+          | exception e -> ( match acc with None -> Some e | some -> some))
+        None spawned
+    in
+    (match self_exn, joined_exn with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_array ?domains f xs = run ?domains (Array.map (fun x () -> f x) xs)
+
+let map_list ?domains f xs =
+  Array.to_list (map_array ?domains f (Array.of_list xs))
+
+let init ?domains n f = run ?domains (Array.init n (fun i () -> f i))

@@ -1,0 +1,30 @@
+(** A small Domain-based worker pool (OCaml 5 stdlib only).
+
+    Built for the embarrassingly parallel trial loops of the bench
+    harness and the theorem validators: each trial seeds its own
+    [Random.State], touches no shared mutable state, and returns a
+    value.  The pool distributes trials over domains with a shared
+    atomic counter and merges results {e in task-index order}, so the
+    output is deterministic — identical at 1 and at N domains — as long
+    as the tasks themselves are (the determinism rule: a task must
+    derive all randomness from its own index/seed and must not mutate
+    state shared with other tasks).
+
+    With [domains = 1] (or a single task) everything runs in the calling
+    domain and no domain is spawned.  If any task raises, the pool joins
+    all workers and re-raises one of the exceptions. *)
+
+val default_domains : unit -> int
+(** [MJ_DOMAINS] when set, else [Domain.recommended_domain_count]
+    capped at 8. *)
+
+val run : ?domains:int -> (unit -> 'a) array -> 'a array
+(** [run tasks] evaluates every task and returns their results indexed
+    like the input.  [domains] defaults to {!default_domains}. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [init n f] is [run [| fun () -> f 0; ...; fun () -> f (n-1) |]] —
+    the seed-per-trial idiom. *)

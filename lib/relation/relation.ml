@@ -1,4 +1,5 @@
 module Tuple_set = Stdlib.Set.Make (Tuple)
+module Vset = Stdlib.Set.Make (Value)
 
 type t = {
   scheme : Attr.Set.t;
@@ -55,7 +56,6 @@ let distinct_values r a =
       (Printf.sprintf "Relation.distinct_values: %s not in scheme %s"
          (Attr.to_string a)
          (Attr.Set.to_string r.scheme));
-  let module Vset = Stdlib.Set.Make (Value) in
   Vset.elements (fold (fun tu acc -> Vset.add (Tuple.get tu a) acc) r Vset.empty)
 
 (* A hash-join keyed on the restriction of each tuple to the common
@@ -66,24 +66,38 @@ let join_key common tu = Tuple.bindings (Tuple.restrict tu common)
 let natural_join r1 r2 =
   let common = Attr.Set.inter r1.scheme r2.scheme in
   let out_scheme = Attr.Set.union r1.scheme r2.scheme in
-  (* Index the smaller operand to bound the hash table size. *)
-  let small, large =
-    if cardinality r1 <= cardinality r2 then (r1, r2) else (r2, r1)
-  in
-  let index = Hashtbl.create (max 16 (cardinality small)) in
-  iter
-    (fun tu -> Hashtbl.add index (join_key common tu) tu)
-    small;
-  let out =
-    fold
-      (fun tu acc ->
-        let matches = Hashtbl.find_all index (join_key common tu) in
-        List.fold_left
-          (fun acc tu' -> Tuple_set.add (Tuple.merge tu tu') acc)
-          acc matches)
-      large Tuple_set.empty
-  in
-  { scheme = out_scheme; tuples = out }
+  if Attr.Set.is_empty common then
+    (* Cartesian product: every pair matches, so the hash index would be
+       a single degenerate bucket — pair the tuples directly instead. *)
+    let out =
+      fold
+        (fun tu acc ->
+          fold
+            (fun tu' acc -> Tuple_set.add (Tuple.merge tu tu') acc)
+            r2 acc)
+        r1 Tuple_set.empty
+    in
+    { scheme = out_scheme; tuples = out }
+  else begin
+    (* Index the smaller operand to bound the hash table size. *)
+    let small, large =
+      if cardinality r1 <= cardinality r2 then (r1, r2) else (r2, r1)
+    in
+    let index = Hashtbl.create (max 16 (cardinality small)) in
+    iter
+      (fun tu -> Hashtbl.add index (join_key common tu) tu)
+      small;
+    let out =
+      fold
+        (fun tu acc ->
+          let matches = Hashtbl.find_all index (join_key common tu) in
+          List.fold_left
+            (fun acc tu' -> Tuple_set.add (Tuple.merge tu tu') acc)
+            acc matches)
+        large Tuple_set.empty
+    in
+    { scheme = out_scheme; tuples = out }
+  end
 
 let product r1 r2 =
   if not (Attr.Set.disjoint r1.scheme r2.scheme) then
