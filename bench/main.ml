@@ -15,6 +15,7 @@ module Dbgen = Mj_workload.Dbgen
 module Yannakakis = Mj_yannakakis.Yannakakis
 module Pool = Mj_pool.Pool
 module Kernel_bench = Mj_benchkit.Kernel_bench
+module Frame_bench = Mj_benchkit.Frame_bench
 
 (* Set by the --quick flag: trims the KERNEL grid to CI-smoke scale. *)
 let quick = ref false
@@ -1142,6 +1143,41 @@ let kernel () =
   print_endline "  (full report written to BENCH_KERNEL.json)"
 
 (* ------------------------------------------------------------------ *)
+(* FRAME: columnar data plane vs the seed tuple path                     *)
+(* ------------------------------------------------------------------ *)
+
+let frame () =
+  section "FRAME"
+    "Columnar dictionary-encoded frames vs seed Relation/Exec data plane \
+     (equal results certified)";
+  let t = Frame_bench.run ~quick:!quick () in
+  Printf.printf "  domains: %d (on %d core%s), dict: %d values%s\n" t.domains
+    t.cores
+    (if t.cores = 1 then "" else "s")
+    t.dict_size
+    (if !quick then " (quick grid)" else "");
+  Printf.printf "  %-12s %-9s %-7s %-5s %-12s %-12s %-9s %-6s\n" "workload"
+    "shape" "n" "reps" "seed ms" "frame ms" "speedup" "equal";
+  List.iter
+    (fun (r : Frame_bench.row) ->
+      Printf.printf "  %-12s %-9s %-7d %-5d %-12.3f %-12.3f %-9s %s\n"
+        r.experiment r.shape r.n r.reps r.seed_ms r.frame_ms
+        (Printf.sprintf "%.1fx" r.speedup)
+        (if r.equal then "OK" else "FAIL"))
+    t.rows;
+  check "seed and frame data planes agree on every row"
+    (List.for_all (fun (r : Frame_bench.row) -> r.equal) t.rows);
+  Printf.printf "  BENCH_JSON %s\n"
+    (Mj_obs.Json.to_string (Frame_bench.bench_json t));
+  Frame_bench.write_file "BENCH_FRAME.json" t;
+  print_endline "  (full report written to BENCH_FRAME.json)";
+  print_endline
+    "  (join-radix compares the columnar join at 1 domain vs the pool's\n\
+    \   domain count and certifies bit-identical frames; wall-clock gains\n\
+    \   need >1 physical core.  tau-gamma/tau-thm certify bit-identical\n\
+    \   tau tables)"
+
+(* ------------------------------------------------------------------ *)
 (* PERF: optimizer timings (bechamel)                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1217,7 +1253,7 @@ let experiments =
     ("SK", sk); ("SPACE", space); ("GAMMA", gamma); ("MONO", mono);
     ("SETOP", setop); ("YANN", yann); ("EST", est); ("RAND", rand);
     ("PIPE", pipe); ("LEM", lem); ("COST", cost_models); ("C4JT", c4jt); ("CASE", case); ("PAR", par); ("LOSS", loss);
-    ("OBS", obs_metrics); ("KERNEL", kernel); ("PERF", perf);
+    ("OBS", obs_metrics); ("KERNEL", kernel); ("FRAME", frame); ("PERF", perf);
   ]
 
 let () =

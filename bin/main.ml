@@ -501,7 +501,7 @@ let q_error ~est ~actual =
   Float.max (e /. a) (a /. e)
 
 let run_explain scenario (shape_name, shape) n seed rows domain regime
-    strategy_text algo_name trace_file =
+    strategy_text algo_name engine_name trace_file =
   let name, db =
     match scenario with
     | Some (nm, db) -> (nm, db)
@@ -545,7 +545,6 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
     | "inl" -> Some (fun _ _ -> Mj_engine.Physical.Index_nested_loop)
     | a -> failwith (Printf.sprintf "unknown algorithm %s" a)
   in
-  let plan = Mj_engine.Physical.of_strategy ?algo strategy in
   (* Estimated cardinality of every plan subtree, keyed like the span
      attributes so the tree walk below can pair est with act. *)
   let est_tbl = Hashtbl.create 16 in
@@ -553,9 +552,42 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
     (fun d' -> Hashtbl.replace est_tbl (scheme_key d') (est_oracle d'))
     (Strategy.subtree_schemes strategy);
   let obs = Obs.make () in
-  let result, stats = Mj_engine.Exec.execute ~obs db plan in
-  Format.printf "Scenario %s@.plan: %s@.@." name (Strategy.to_string strategy);
   let max_q = ref 1.0 and join_steps = ref 0 in
+  (* Abstract over the two data planes: the seed materializing engine on
+     a physical plan, or the columnar frame engine straight on the
+     strategy.  Both emit the same scan/join spans, so the tree walk
+     below is engine-agnostic; only the summary tail differs. *)
+  let summary_tail =
+    match engine_name with
+    | "seed" ->
+        let plan = Mj_engine.Physical.of_strategy ?algo strategy in
+        let result, stats = Mj_engine.Exec.execute ~obs db plan in
+        ( fun tau' ->
+            Format.printf
+              "@.summary: %d join steps, tau=%d (est %d), result=%d rows, max \
+               q-error=%.2f, scanned=%d, peak=%d@."
+              !join_steps stats.Mj_engine.Exec.tuples_generated tau'
+              (Relation.cardinality result)
+              !max_q stats.Mj_engine.Exec.tuples_scanned
+              stats.Mj_engine.Exec.max_materialized )
+    | "frame" ->
+        if algo_name <> "hash" then
+          failwith "--engine frame supports only --algo hash";
+        let _result, fs = Mj_engine.Frame_engine.execute ~obs db strategy in
+        ( fun tau' ->
+            Format.printf
+              "@.summary: %d join steps [frame], tau=%d (est %d), result=%d \
+               rows, max q-error=%.2f, dict=%d values, probes=%d (%d hits), \
+               partitions=%d@."
+              !join_steps fs.Mj_engine.Frame_engine.tuples_generated tau'
+              fs.Mj_engine.Frame_engine.result_rows !max_q
+              fs.Mj_engine.Frame_engine.dict_size
+              fs.Mj_engine.Frame_engine.probes
+              fs.Mj_engine.Frame_engine.probe_hits
+              fs.Mj_engine.Frame_engine.partitions )
+    | e -> failwith (Printf.sprintf "unknown engine %s (expected seed or frame)" e)
+  in
+  Format.printf "Scenario %s@.plan: %s@.@." name (Strategy.to_string strategy);
   let rec show indent (sp : Obs.span_tree) =
     (match sp.Obs.name with
     | ("scan" | "join") as kind ->
@@ -596,13 +628,7 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
       0
       (Strategy.subtree_schemes strategy)
   in
-  Format.printf
-    "@.summary: %d join steps, tau=%d (est %d), result=%d rows, max \
-     q-error=%.2f, scanned=%d, peak=%d@."
-    !join_steps stats.Mj_engine.Exec.tuples_generated est_tau
-    (Relation.cardinality result)
-    !max_q stats.Mj_engine.Exec.tuples_scanned
-    stats.Mj_engine.Exec.max_materialized;
+  summary_tail est_tau;
   match trace_file with
   | Some path ->
       Export.write_jsonl path obs;
@@ -634,6 +660,15 @@ let explain_cmd =
       & info [ "algo" ]
           ~doc:"Join algorithm: hash, nl, bnl, merge, inl.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt string "seed"
+      & info [ "engine" ]
+          ~doc:
+            "Data plane: 'seed' (materializing tuple engine) or 'frame' \
+             (columnar dictionary-encoded engine).")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
@@ -642,10 +677,10 @@ let explain_cmd =
           and Q-error")
     Term.(
       const
-        (fun sc sh n seed rows domain regime st algo tr ->
-          graceful (run_explain sc sh n seed rows domain regime st algo) tr)
+        (fun sc sh n seed rows domain regime st algo engine tr ->
+          graceful (run_explain sc sh n seed rows domain regime st algo engine) tr)
       $ scenario $ shape_arg $ n_arg $ seed_arg $ rows_arg $ domain_arg
-      $ regime_arg $ strategy $ algo $ trace_arg)
+      $ regime_arg $ strategy $ algo $ engine $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -1,0 +1,258 @@
+open Mj_relation
+open Mj_hypergraph
+open Multijoin
+module Dbgen = Mj_workload.Dbgen
+module Pool = Mj_pool.Pool
+module Json = Mj_obs.Json
+
+type row = {
+  experiment : string;
+  shape : string;
+  n : int;
+  reps : int;
+  seed_ms : float;
+  frame_ms : float;
+  speedup : float;
+  seed_value : int;
+  frame_value : int;
+  equal : bool;
+}
+
+type t = {
+  domains : int;
+  cores : int; (* Domain.recommended_domain_count at run time *)
+  dict_size : int;
+  rows : row list;
+}
+
+let time reps f =
+  (* Settle the heap first so GC slices triggered inside [f] don't
+     charge one contender for marking the other's live data, then
+     report the median rep — GC pauses land as outliers, and the
+     median is robust to them where the mean is not. *)
+  Gc.full_major ();
+  let samples = Array.make reps 0.0 in
+  let result = ref None in
+  for i = 0 to reps - 1 do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    samples.(i) <- (Unix.gettimeofday () -. t0) *. 1000.0;
+    result := Some r
+  done;
+  Array.sort compare samples;
+  (samples.(reps / 2), Option.get !result)
+
+let shape_of = function
+  | "chain" -> Querygraph.chain
+  | "cycle" -> Querygraph.cycle
+  | "star" -> Querygraph.star
+  | s -> invalid_arg ("Frame_bench: unknown shape " ^ s)
+
+(* One relation-per-key-ish database: [n] tuples per relation over a
+   domain of [n] values keeps join outputs near [n] rows, so the micro
+   rows measure join machinery rather than output explosion. *)
+let micro_db shape n =
+  let rng = Random.State.make [| n; 1990; Hashtbl.hash shape |] in
+  Dbgen.uniform_db ~rng ~rows:n ~domain:(max 2 n) (shape_of shape 3)
+
+let mk_row experiment shape n reps (seed_ms, seed_value) (frame_ms, frame_value)
+    equal =
+  {
+    experiment;
+    shape;
+    n;
+    reps;
+    seed_ms;
+    frame_ms;
+    speedup = (if frame_ms > 0.0 then seed_ms /. frame_ms else 0.0);
+    seed_value;
+    frame_value;
+    equal;
+  }
+
+(* Seed Relation.natural_join fold vs the columnar join, both pinned to
+   one domain so the row isolates the kernel, not parallelism. *)
+let join_micro_row dict_size (shape, n, reps) =
+  let db = micro_db shape n in
+  let fdb = Frame.Db.of_database db in
+  dict_size := max !dict_size (Frame.Dict.size (Frame.Db.dict fdb));
+  let frame_ms, frame_f = time reps (fun () -> Frame.Db.join_all ~domains:1 fdb) in
+  let seed_ms, seed_r = time reps (fun () -> Database.join_all db) in
+  let equal = Relation.equal seed_r (Frame.to_relation frame_f) in
+  mk_row "join-micro" shape n reps
+    (seed_ms, Relation.cardinality seed_r)
+    (frame_ms, Frame.cardinality frame_f)
+    equal
+
+(* Columnar join at one domain vs the pool's domain count with the radix
+   partitioner forced on; speedup is the parallel scaling and equality
+   is bit-identical frames (the determinism argument). *)
+let join_radix_row ~domains (shape, n, reps) =
+  let db = micro_db shape n in
+  let fdb = Frame.Db.of_database db in
+  let one_ms, one_f = time reps (fun () -> Frame.Db.join_all ~domains:1 fdb) in
+  let par_ms, par_f =
+    time reps (fun () -> Frame.Db.join_all ~domains ~par_threshold:1 fdb)
+  in
+  mk_row "join-radix" shape n reps
+    (one_ms, Frame.cardinality one_f)
+    (par_ms, Frame.cardinality par_f)
+    (Frame.equal one_f par_f)
+
+(* Full engine comparison on an optimized plan: the materializing Exec
+   (hash joins) vs Frame_engine, equal result relations and equal τ. *)
+let exec_engine_row n =
+  let rng = Random.State.make [| n; 42; 1990 |] in
+  let db = Dbgen.uniform_db ~rng ~rows:n ~domain:(max 2 (n / 3)) (Querygraph.chain 5) in
+  let strategy = Strategy.left_deep (Database.scheme_list db) in
+  let plan = Mj_engine.Physical.of_strategy strategy in
+  let reps = 5 in
+  let seed_ms, (seed_r, seed_stats) =
+    time reps (fun () -> Mj_engine.Exec.execute db plan)
+  in
+  let frame_ms, (frame_r, frame_stats) =
+    time reps (fun () -> Mj_engine.Frame_engine.execute db strategy)
+  in
+  let equal =
+    Relation.equal seed_r frame_r
+    && seed_stats.Mj_engine.Exec.tuples_generated
+       = frame_stats.Mj_engine.Frame_engine.tuples_generated
+  in
+  mk_row "exec-engine" "chain" n reps
+    (seed_ms, seed_stats.Mj_engine.Exec.tuples_generated)
+    (frame_ms, frame_stats.Mj_engine.Frame_engine.tuples_generated)
+    equal
+
+(* Regimes of the GAMMA/THM experiments. *)
+let regime_gen = function
+  | "uniform" -> fun ~rng d -> Dbgen.uniform_db ~rng ~rows:6 ~domain:3 d
+  | "skewed" -> fun ~rng d -> Dbgen.skewed_db ~rng ~rows:6 ~domain:4 ~skew:1.5 d
+  | "superkey" -> fun ~rng d -> Dbgen.superkey_db ~rng ~rows:6 ~domain:10 d
+  | r -> invalid_arg ("Frame_bench: unknown regime " ^ r)
+
+let trial_dbs regime trials =
+  List.init trials (fun i ->
+      let rng = Random.State.make [| i + 1; 7; Hashtbl.hash regime |] in
+      regime_gen regime ~rng (Querygraph.chain 6))
+
+(* The GAMMA inner loop under one cache backend: both DP optima plus the
+   complete τ table (every non-empty sub-database cardinality), so
+   equality of the returned traces is bit-identical-τ-table equality. *)
+let gamma_trace backend dbs =
+  List.concat_map
+    (fun db ->
+      let cache = Cost.Cache.create ~backend db in
+      let best_all = (Option.get (Optimal.optimum_cached cache)).Optimal.cost in
+      let best_linear =
+        (Option.get (Optimal.optimum_cached ~subspace:Enumerate.Linear cache))
+          .Optimal.cost
+      in
+      let u = Cost.Cache.universe cache in
+      let taus =
+        List.init (Bitdb.full u) (fun m -> Cost.Cache.card_mask cache (m + 1))
+      in
+      best_all :: best_linear :: taus)
+    dbs
+
+let tau_gamma_row regime trials =
+  let dbs = trial_dbs regime trials in
+  let seed_ms, seed_trace = time 1 (fun () -> gamma_trace Cost.Cache.Seed dbs) in
+  let frame_ms, frame_trace =
+    time 1 (fun () -> gamma_trace Cost.Cache.Frame dbs)
+  in
+  mk_row "tau-gamma" regime trials 1
+    (seed_ms, List.fold_left ( + ) 0 seed_trace)
+    (frame_ms, List.fold_left ( + ) 0 frame_trace)
+    (seed_trace = frame_trace)
+
+let tau_thm_row regime trials =
+  let dbs = trial_dbs regime trials in
+  let verify_all backend () =
+    List.map (fun db -> Theorems.verify ~backend db) dbs
+  in
+  let seed_ms, seed_reports = time 1 (verify_all Cost.Cache.Seed) in
+  let frame_ms, frame_reports = time 1 (verify_all Cost.Cache.Frame) in
+  let sum rs =
+    List.fold_left (fun acc (r : Theorems.report) -> acc + r.min_all) 0 rs
+  in
+  mk_row "tau-thm" regime trials 1
+    (seed_ms, sum seed_reports)
+    (frame_ms, sum frame_reports)
+    (seed_reports = frame_reports)
+
+let run ?domains ?(quick = false) () =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Pool.default_domains ()
+  in
+  let micro_specs =
+    if quick then [ ("chain", 2_000, 3); ("star", 2_000, 3) ]
+    else
+      [ ("chain", 10_000, 9); ("star", 10_000, 9); ("chain", 100_000, 3) ]
+  in
+  let radix_specs =
+    if quick then [ ("chain", 2_000, 3) ] else [ ("chain", 100_000, 3) ]
+  in
+  let trials = if quick then 2 else 8 in
+  let engine_n = if quick then 60 else 200 in
+  (* Certification rows fan out over the pool (merged in task order);
+     the timing-sensitive join rows run sequentially afterwards so their
+     wall clocks are not polluted by sibling rows. *)
+  let tau_tasks =
+    Array.of_list
+      (List.map (fun r () -> tau_gamma_row r trials)
+         [ "uniform"; "skewed"; "superkey" ]
+      @ List.map (fun r () -> tau_thm_row r trials) [ "uniform"; "skewed" ])
+  in
+  let tau_rows = Array.to_list (Pool.run ~domains tau_tasks) in
+  let dict_size = ref 0 in
+  let micro_rows = List.map (join_micro_row dict_size) micro_specs in
+  let radix_rows = List.map (join_radix_row ~domains) radix_specs in
+  let engine_rows = [ exec_engine_row engine_n ] in
+  { domains; cores = Domain.recommended_domain_count ();
+    dict_size = !dict_size;
+    rows = micro_rows @ radix_rows @ engine_rows @ tau_rows }
+
+let row_json ~timings r =
+  Json.Obj
+    ([
+       ("experiment", Json.str r.experiment);
+       ("shape", Json.str r.shape);
+       ("n", Json.int r.n);
+     ]
+    @ (if timings then
+         [
+           ("reps", Json.int r.reps);
+           ("seed_ms", Json.float r.seed_ms);
+           ("frame_ms", Json.float r.frame_ms);
+           ("speedup", Json.float r.speedup);
+         ]
+       else [])
+    @ [
+        ("seed_value", Json.int r.seed_value);
+        ("frame_value", Json.int r.frame_value);
+        ("equal", Json.bool r.equal);
+      ])
+
+let bench_json t =
+  Json.Obj
+    [
+      ("experiment", Json.str "FRAME");
+      ("domains", Json.int t.domains);
+      ("cores", Json.int t.cores);
+      ("dict_size", Json.int t.dict_size);
+      ("rows", Json.Arr (List.map (row_json ~timings:true) t.rows));
+    ]
+
+let deterministic_json t =
+  Json.Obj
+    [
+      ("experiment", Json.str "FRAME");
+      ("dict_size", Json.int t.dict_size);
+      ("rows", Json.Arr (List.map (row_json ~timings:false) t.rows));
+    ]
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string (bench_json t));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,61 @@
+(** The FRAME benchmark: seed data plane vs columnar frames, head to head.
+
+    The data-plane twin of {!Kernel_bench}.  Each row times one workload
+    through the seed [Relation]/[Exec]/[Cost.Cache Seed] path and
+    through the columnar {!Mj_relation.Frame} path, and certifies both
+    produce identical results:
+
+    - ["join-micro"] — natural-join fold over a generated chain/star
+      database of [n] tuples per relation, frames pinned to one domain;
+      certifies [Relation.equal] of the decoded result.
+    - ["join-radix"] — the same columnar join at 1 domain vs the pool's
+      domain count with the radix partitioner forced on; the speedup
+      column is the parallel scaling, and equality is bit-identical
+      frames.
+    - ["exec-engine"] — [Exec.execute] (hash plan) vs
+      [Frame_engine.execute] on an optimized strategy; certifies equal
+      result relations and equal τ.
+    - ["tau-gamma"] — a GAMMA-style trial loop (exact optimum + linear
+      optimum per seeded database) driven once by a [Cost.Cache Seed]
+      and once by a [Cost.Cache Frame]; certifies bit-identical τ tables
+      (every sub-database cardinality) and identical optimum costs.
+    - ["tau-thm"] — [Theorems.verify] per seeded database under both
+      backends; certifies identical reports.
+
+    Certification rows fan out over a {!Mj_pool.Pool} and merge in row
+    order; the timing-sensitive join rows run sequentially so wall
+    times are not polluted by sibling rows. *)
+
+type row = {
+  experiment : string;
+  shape : string;
+  n : int;          (** tuples per relation, or trial count for tau rows *)
+  reps : int;
+  seed_ms : float;
+      (** median rep wall time of the seed path (for ["join-radix"]:
+          1-domain frames) *)
+  frame_ms : float;  (** median rep wall time of the frame path *)
+  speedup : float;  (** [seed_ms /. frame_ms] *)
+  seed_value : int;
+  frame_value : int;
+  equal : bool;
+}
+
+type t = {
+  domains : int;
+  cores : int;  (** [Domain.recommended_domain_count] at run time *)
+  dict_size : int;  (** interned values of the largest join-micro database *)
+  rows : row list;
+}
+
+val run : ?domains:int -> ?quick:bool -> unit -> t
+(** [quick] (default [false]) trims sizes to CI-smoke scale.  [domains]
+    defaults to {!Mj_pool.Pool.default_domains}. *)
+
+val bench_json : t -> Mj_obs.Json.t
+val deterministic_json : t -> Mj_obs.Json.t
+(** {!bench_json} minus wall times and domain count — identical across
+    runs and domain counts; the pool determinism test compares this. *)
+
+val write_file : string -> t -> unit
+(** Write {!bench_json} (one line) to a file, e.g. [BENCH_FRAME.json]. *)

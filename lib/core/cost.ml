@@ -39,25 +39,48 @@ let rec tau_oracle card = function
 module Cache = struct
   module Obs = Mj_obs.Obs
 
+  type backend = Seed | Frame
+
+  let backend_of_env () =
+    match Sys.getenv_opt "MJ_DATA_PLANE" with
+    | Some s when String.lowercase_ascii (String.trim s) = "frame" -> Frame
+    | _ -> Seed
+
   type t = {
     db : Database.t;
     univ : Bitdb.t;
     table : (int, int) Hashtbl.t;
+    backend : backend;
+    mutable fdb : Mj_relation.Frame.Db.t option; (* built on first miss *)
     hits : Obs.counter;
     misses : Obs.counter;
   }
 
-  let create ?(obs = Obs.noop) db =
+  let create ?(obs = Obs.noop) ?backend db =
+    let backend =
+      match backend with Some b -> b | None -> backend_of_env ()
+    in
     {
       db;
       univ = Bitdb.make (Database.schemes db);
       table = Hashtbl.create 256;
+      backend;
+      fdb = None;
       hits = Obs.counter obs "cost.cache_hits";
       misses = Obs.counter obs "cost.cache_misses";
     }
 
   let database c = c.db
   let universe c = c.univ
+  let backend c = c.backend
+
+  let frame_db c =
+    match c.fdb with
+    | Some fdb -> fdb
+    | None ->
+        let fdb = Frame.Db.of_database c.db in
+        c.fdb <- Some fdb;
+        fdb
 
   let card_mask c mask =
     match Hashtbl.find_opt c.table mask with
@@ -66,8 +89,14 @@ module Cache = struct
         n
     | None ->
         Obs.incr c.misses 1;
-        let sub = Database.restrict c.db (Bitdb.set_of_mask c.univ mask) in
-        let n = Relation.cardinality (Database.join_all sub) in
+        let schemes = Bitdb.set_of_mask c.univ mask in
+        let n =
+          match c.backend with
+          | Seed ->
+              Relation.cardinality
+                (Database.join_all (Database.restrict c.db schemes))
+          | Frame -> Frame.Db.cardinality_oracle (frame_db c) schemes
+        in
         Hashtbl.add c.table mask n;
         n
 
@@ -81,5 +110,5 @@ module Cache = struct
   let entries c = Hashtbl.length c.table
 end
 
-let cached_oracle ?obs db = Cache.card (Cache.create ?obs db)
+let cached_oracle ?obs ?backend db = Cache.card (Cache.create ?obs ?backend db)
 let cardinality_oracle db = cached_oracle db

@@ -42,8 +42,23 @@ val tau_oracle : (Scheme.Set.t -> int) -> Strategy.t -> int
 module Cache : sig
   type t
 
-  val create : ?obs:Mj_obs.Obs.sink -> Database.t -> t
+  type backend =
+    | Seed   (** materialize through the seed [Relation] algebra *)
+    | Frame  (** count through the columnar {!Mj_relation.Frame} path *)
+
+  val backend_of_env : unit -> backend
+  (** [Frame] when the [MJ_DATA_PLANE] environment variable is set to
+      ["frame"] (case-insensitive), else [Seed] — the default backend
+      for {!create}. *)
+
+  val create : ?obs:Mj_obs.Obs.sink -> ?backend:backend -> Database.t -> t
+  (** Both backends produce identical cardinalities (certified by
+      [bench FRAME] and the qcheck equivalence suite); [Frame] encodes
+      the database once on the first miss and joins flat int rows
+      thereafter. *)
+
   val database : t -> Database.t
+  val backend : t -> backend
 
   val universe : t -> Bitdb.t
   (** The indexed universe over [Database.schemes db]; masks passed to
@@ -62,7 +77,9 @@ module Cache : sig
   val entries : t -> int
 end
 
-val cached_oracle : ?obs:Mj_obs.Obs.sink -> Database.t -> Scheme.Set.t -> int
+val cached_oracle :
+  ?obs:Mj_obs.Obs.sink -> ?backend:Cache.backend -> Database.t ->
+  Scheme.Set.t -> int
 (** A fresh {!Cache.t} exposed as a plain oracle function. *)
 
 val cardinality_oracle : Database.t -> Scheme.Set.t -> int

@@ -32,14 +32,14 @@ let classify hypotheses conclusion =
   | Some (_, name) -> Vacuous name
   | None -> if conclusion then Holds else Refuted
 
-let verify ?obs db =
+let verify ?obs ?backend db =
   let d = Database.schemes db in
   let connected = Hypergraph.connected d in
   let nonempty_result = not (Relation.is_empty (Database.join_all db)) in
   (* One shared τ-oracle cache backs the condition checkers, all four
      optimum DPs and the Theorem 1 enumeration: every sub-database join
      is materialized at most once for the whole report. *)
-  let cache = Cost.Cache.create ?obs db in
+  let cache = Cost.Cache.create ?obs ?backend db in
   let conditions = Conditions.summarize_cached cache in
   let cost_of subspace =
     Option.map
@@ -86,10 +86,10 @@ let verify ?obs db =
     theorem3_conclusion;
   }
 
-let verify_many ?domains dbs =
+let verify_many ?domains ?backend dbs =
   (* Each database gets its own cache; reports merge in input order, so
      the output is independent of the domain count. *)
-  Mj_pool.Pool.map_list ?domains (fun db -> verify db) dbs
+  Mj_pool.Pool.map_list ?domains (fun db -> verify ?backend db) dbs
 
 let lemma5_consistent db =
   let nonempty = not (Relation.is_empty (Database.join_all db)) in

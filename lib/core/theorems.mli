@@ -39,14 +39,18 @@ type report = {
   theorem3_conclusion : bool;  (** [min_linear_cp_free = Some min_all] *)
 }
 
-val verify : ?obs:Mj_obs.Obs.sink -> Database.t -> report
+val verify : ?obs:Mj_obs.Obs.sink -> ?backend:Cost.Cache.backend -> Database.t -> report
 (** Full verification by exhaustive enumeration and DP; exponential in
     [|D|], for databases of up to ~8 relations.  One shared
     {!Cost.Cache} backs the condition checkers, the four optimum DPs
     and the Theorem 1 enumeration; pass [obs] to record its
-    [cost.cache_hits] / [cost.cache_misses] counters. *)
+    [cost.cache_hits] / [cost.cache_misses] counters.  [backend] selects
+    the data plane the cache counts through (default: seed [Relation]s,
+    or columnar frames under [MJ_DATA_PLANE=frame]); both produce
+    identical reports. *)
 
-val verify_many : ?domains:int -> Database.t list -> report list
+val verify_many :
+  ?domains:int -> ?backend:Cost.Cache.backend -> Database.t list -> report list
 (** [verify] over a batch, fanned out on a {!Mj_pool.Pool} of domains
     (default {!Mj_pool.Pool.default_domains}).  Reports are returned in
     input order regardless of the domain count. *)

@@ -14,10 +14,10 @@ type stats = {
   per_step : (Scheme.Set.t * int) list;
 }
 
-(* A base-relation index: join-key (canonical binding list of the shared
-   attributes) to matching tuples.  The cache is keyed by
-   "scheme|attributes". *)
-type index_cache = (string, ((Attr.t * Value.t) list, Tuple.t) Hashtbl.t) Hashtbl.t
+(* A base-relation index: join-key (values of the shared attributes in
+   increasing attribute order) to matching tuples.  The cache is keyed
+   by "scheme|attributes". *)
+type index_cache = (string, (Value.t list, Tuple.t) Hashtbl.t) Hashtbl.t
 
 (* Execution statistics live in an Mj_obs registry; the handles below
    are mutable records, so bumping one is a field assignment — the same
@@ -51,7 +51,12 @@ let fresh () =
 
 let note_materialized c n = Obs.record_max c.peak n
 
-let join_key common tu = Tuple.bindings (Tuple.restrict tu common)
+(* The join-key extractor is compiled once per join: the common
+   attributes are listed once, so each probe reads the values directly
+   instead of re-deriving a restricted map and its binding list. *)
+let key_extractor common =
+  let attrs = Attr.Set.elements common in
+  fun tu -> List.map (fun a -> Tuple.get tu a) attrs
 
 (* The join algorithms, each consuming and producing tuple lists (the
    materializing engine keeps children as lists). *)
@@ -102,8 +107,9 @@ let block_nested_loop c out_scheme block left right =
 
 let hash_join c common left right =
   (* Build on the right, probe with the left. *)
+  let key = key_extractor common in
   let table = Hashtbl.create (max 16 (List.length right)) in
-  List.iter (fun t2 -> Hashtbl.add table (join_key common t2) t2) right;
+  List.iter (fun t2 -> Hashtbl.add table (key t2) t2) right;
   note_materialized c (List.length right);
   let acc = ref [] in
   List.iter
@@ -111,12 +117,13 @@ let hash_join c common left right =
       Obs.incr c.probed 1;
       List.iter
         (fun t2 -> acc := Tuple.merge t1 t2 :: !acc)
-        (Hashtbl.find_all table (join_key common t1)))
+        (Hashtbl.find_all table (key t1)))
     left;
   List.rev !acc
 
 let sort_merge c common left right =
-  let keyed side = List.map (fun t -> (join_key common t, t)) side in
+  let key = key_extractor common in
+  let keyed side = List.map (fun t -> (key t, t)) side in
   let sort side = List.sort (fun (k1, _) (k2, _) -> compare k1 k2) (keyed side) in
   let ls = sort left and rs = sort right in
   note_materialized c (List.length left + List.length right);
@@ -174,8 +181,9 @@ let base_index c cache db s common =
       table
   | None ->
       let r = base_relation db s in
+      let key = key_extractor common in
       let table = Hashtbl.create (max 16 (Relation.cardinality r)) in
-      Relation.iter (fun t -> Hashtbl.add table (join_key common t) t) r;
+      Relation.iter (fun t -> Hashtbl.add table (key t) t) r;
       Obs.incr c.built 1;
       Obs.incr c.scanned (Relation.cardinality r);
       note_materialized c (Relation.cardinality r);
@@ -184,13 +192,14 @@ let base_index c cache db s common =
 
 let index_join c cache db left common inner_scheme =
   let table = base_index c cache db inner_scheme common in
+  let key = key_extractor common in
   let acc = ref [] in
   List.iter
     (fun t1 ->
       Obs.incr c.probed 1;
       List.iter
         (fun t2 -> acc := Tuple.merge t1 t2 :: !acc)
-        (Hashtbl.find_all table (join_key common t1)))
+        (Hashtbl.find_all table (key t1)))
     left;
   List.rev !acc
 
@@ -308,10 +317,9 @@ let execute_pipelined ?(obs = Obs.noop) db strategy =
             Obs.span obs "pipeline-stage" (fun () ->
                 let r = base s in
                 let common = Attr.Set.inter acc_scheme s in
+                let key = key_extractor common in
                 let table = Hashtbl.create (max 16 (Relation.cardinality r)) in
-                Relation.iter
-                  (fun t -> Hashtbl.add table (join_key common t) t)
-                  r;
+                Relation.iter (fun t -> Hashtbl.add table (key t) t) r;
                 peak := max !peak (Relation.cardinality r);
                 if Obs.enabled obs then begin
                   Obs.set_attr obs "scheme" (Json.str (Scheme.to_string s));
@@ -325,7 +333,7 @@ let execute_pipelined ?(obs = Obs.noop) db strategy =
                     (fun t1 ->
                       List.to_seq
                         (List.map (Tuple.merge t1)
-                           (Hashtbl.find_all table (join_key common t1))))
+                           (Hashtbl.find_all table (key t1))))
                     seq
                 in
                 counts := emitted :: !counts;

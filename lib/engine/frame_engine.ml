@@ -1,0 +1,74 @@
+open Mj_relation
+open Multijoin
+module Obs = Mj_obs.Obs
+module Json = Mj_obs.Json
+
+type stats = {
+  tuples_generated : int;
+  result_rows : int;
+  dict_size : int;
+  probes : int;
+  probe_hits : int;
+  partitions : int;
+  per_step : (Scheme.Set.t * int) list;
+}
+
+let scheme_key d = Format.asprintf "%a" Scheme.Set.pp d
+
+let execute ?(obs = Obs.noop) ?domains ?par_threshold db strategy =
+  let fdb = Frame.Db.of_database db in
+  let fstats = Frame.fresh_stats () in
+  let generated = ref 0 in
+  let steps = ref [] in
+  let rec run = function
+    | Strategy.Leaf s ->
+        Obs.span obs "scan" (fun () ->
+            let f =
+              match Frame.Db.find fdb s with
+              | f -> f
+              | exception Not_found ->
+                  invalid_arg
+                    (Printf.sprintf "Frame_engine: scheme %s not in the database"
+                       (Scheme.to_string s))
+            in
+            if Obs.enabled obs then begin
+              Obs.set_attr obs "scheme"
+                (Json.str (scheme_key (Scheme.Set.singleton s)));
+              Obs.set_attr obs "rows" (Json.int (Frame.cardinality f))
+            end;
+            f)
+    | Strategy.Join n ->
+        Obs.span obs "join" (fun () ->
+            if Obs.enabled obs then begin
+              Obs.set_attr obs "algo" (Json.str "frame-hash");
+              Obs.set_attr obs "scheme" (Json.str (scheme_key n.schemes))
+            end;
+            let f1 = run n.left in
+            let f2 = run n.right in
+            let f = Frame.natural_join ?domains ?par_threshold ~stats:fstats f1 f2 in
+            let rows = Frame.cardinality f in
+            generated := !generated + rows;
+            steps := (n.schemes, rows) :: !steps;
+            if Obs.enabled obs then Obs.set_attr obs "rows" (Json.int rows);
+            f)
+  in
+  let f = Obs.span obs "execute-frame" (fun () -> run strategy) in
+  let result = Frame.to_relation f in
+  let dict_size = Frame.Dict.size (Frame.Db.dict fdb) in
+  if Obs.enabled obs then begin
+    Obs.add obs "exec.tuples_generated" !generated;
+    Obs.add obs "frame.dict_size" dict_size;
+    Obs.add obs "frame.partitions" fstats.partitions;
+    Obs.add obs "frame.probes" fstats.probes;
+    Obs.add obs "frame.probe_hits" fstats.probe_hits
+  end;
+  ( result,
+    {
+      tuples_generated = !generated;
+      result_rows = Frame.cardinality f;
+      dict_size;
+      probes = fstats.probes;
+      probe_hits = fstats.probe_hits;
+      partitions = fstats.partitions;
+      per_step = List.rev !steps;
+    } )

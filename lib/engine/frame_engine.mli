@@ -1,0 +1,38 @@
+(** The columnar strategy executor.
+
+    Evaluates a {!Multijoin.Strategy} bottom-up over
+    {!Mj_relation.Frame} frames instead of seed {!Mj_relation.Relation}
+    states: the database is dictionary-encoded once, every step is a
+    compiled-key columnar hash join (radix-partitioned over
+    [Mj_pool.Pool] on large inputs), and the final frame is decoded
+    back, so callers see the same [Relation.t] the materializing
+    {!Exec} engine produces.
+
+    Observability matches [Exec]: every leaf opens a ["scan"] span and
+    every step a ["join"] span carrying ["scheme"] and ["rows"]
+    attributes (so [mjoin explain]'s tree renderer works unchanged),
+    and the frame-specific counters [frame.dict_size],
+    [frame.partitions], [frame.probes] and [frame.probe_hits] are added
+    to the sink. *)
+
+open Mj_relation
+open Multijoin
+
+type stats = {
+  tuples_generated : int;  (** the paper's τ: sum of step output rows *)
+  result_rows : int;
+  dict_size : int;         (** distinct values interned for the database *)
+  probes : int;
+  probe_hits : int;
+  partitions : int;        (** radix partitions opened by parallel joins *)
+  per_step : (Scheme.Set.t * int) list;  (** post-order, like [Cost.step_costs] *)
+}
+
+val execute :
+  ?obs:Mj_obs.Obs.sink -> ?domains:int -> ?par_threshold:int ->
+  Database.t -> Strategy.t -> Relation.t * stats
+(** [execute db s] materializes every step of [s] columnar-side and
+    returns the decoded result.  Agrees with [Exec.execute] on the
+    result relation and with [Cost.tau db s] on [tuples_generated]
+    (certified by the qcheck suite and [bench FRAME]).
+    @raise Invalid_argument if a leaf scheme is missing from [db]. *)

@@ -20,7 +20,10 @@ val default_domains : unit -> int
 
 val run : ?domains:int -> (unit -> 'a) array -> 'a array
 (** [run tasks] evaluates every task and returns their results indexed
-    like the input.  [domains] defaults to {!default_domains}. *)
+    like the input.  [domains] defaults to {!default_domains}; the
+    worker count is additionally capped at
+    [Domain.recommended_domain_count] — oversubscribing cores only adds
+    GC-synchronization overhead and cannot change results. *)
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,528 @@
+(* Columnar relation frames.  See frame.mli for the representation
+   contract: one shared dictionary per database, row-major packed int
+   codes, rows kept canonical (sorted lexicographically by code,
+   duplicate-free). *)
+
+module Dict = struct
+  type t = {
+    codes : (Value.t, int) Hashtbl.t;
+    mutable values : Value.t array; (* decode table, dense prefix *)
+    mutable size : int;
+  }
+
+  let create ?(hint = 256) () =
+    { codes = Hashtbl.create hint; values = Array.make 64 (Value.int 0); size = 0 }
+
+  let size d = d.size
+
+  let intern d v =
+    match Hashtbl.find_opt d.codes v with
+    | Some c -> c
+    | None ->
+        let c = d.size in
+        if c = Array.length d.values then begin
+          let bigger = Array.make (2 * c) (Value.int 0) in
+          Array.blit d.values 0 bigger 0 c;
+          d.values <- bigger
+        end;
+        d.values.(c) <- v;
+        Hashtbl.add d.codes v c;
+        d.size <- c + 1;
+        c
+
+  let code d v = Hashtbl.find_opt d.codes v
+
+  let value d c =
+    if c < 0 || c >= d.size then
+      invalid_arg "Frame.Dict.value: code out of range";
+    d.values.(c)
+end
+
+type t = {
+  scheme : Attr.Set.t;
+  attrs : Attr.t array; (* sorted; attrs.(j) labels column j *)
+  width : int;
+  rows : int;
+  data : int array; (* row-major, length = rows * width, canonical *)
+  dict : Dict.t;
+}
+
+type stats = {
+  mutable probes : int;
+  mutable probe_hits : int;
+  mutable partitions : int;
+}
+
+let fresh_stats () = { probes = 0; probe_hits = 0; partitions = 0 }
+
+let scheme f = f.scheme
+let cardinality f = f.rows
+let is_empty f = f.rows = 0
+let dict f = f.dict
+
+(* ------------------------------------------------------------------ *)
+(* Canonical form                                                      *)
+
+let row_compare data w i j =
+  let bi = i * w and bj = j * w in
+  let rec go k =
+    if k = w then 0
+    else
+      let c = Stdlib.compare (data.(bi + k) : int) data.(bj + k) in
+      if c <> 0 then c else go (k + 1)
+  in
+  go 0
+
+(* Sort-unique [nrows] rows of width [w] held in a possibly larger
+   buffer; returns a freshly packed canonical (rows, data).  Codes are
+   dense dictionary indices, so the lexicographic sort is a stable LSD
+   counting sort per column — O(w * (rows + codes)), no comparator
+   calls. *)
+let canonicalize w nrows data =
+  if nrows = 0 then (0, [||])
+  else begin
+    let maxc = Array.make (max 1 w) 0 in
+    for i = 0 to nrows - 1 do
+      let base = i * w in
+      for c = 0 to w - 1 do
+        if data.(base + c) > maxc.(c) then maxc.(c) <- data.(base + c)
+      done
+    done;
+    let count = Array.make (Array.fold_left max 0 maxc + 2) 0 in
+    let perm = Array.init nrows (fun i -> i) in
+    let tmp = Array.make nrows 0 in
+    for col = w - 1 downto 0 do
+      let m = maxc.(col) + 1 in
+      Array.fill count 0 (m + 1) 0;
+      for i = 0 to nrows - 1 do
+        let v = Array.unsafe_get data ((Array.unsafe_get perm i * w) + col) in
+        Array.unsafe_set count (v + 1) (Array.unsafe_get count (v + 1) + 1)
+      done;
+      for v = 1 to m do
+        Array.unsafe_set count v
+          (Array.unsafe_get count v + Array.unsafe_get count (v - 1))
+      done;
+      for i = 0 to nrows - 1 do
+        let p = Array.unsafe_get perm i in
+        let v = Array.unsafe_get data ((p * w) + col) in
+        Array.unsafe_set tmp (Array.unsafe_get count v) p;
+        Array.unsafe_set count v (Array.unsafe_get count v + 1)
+      done;
+      Array.blit tmp 0 perm 0 nrows
+    done;
+    let kept = ref 1 in
+    for k = 1 to nrows - 1 do
+      if row_compare data w perm.(k - 1) perm.(k) <> 0 then incr kept
+    done;
+    let out = Array.make (!kept * w) 0 in
+    let oi = ref 0 in
+    for k = 0 to nrows - 1 do
+      if k = 0 || row_compare data w perm.(k - 1) perm.(k) <> 0 then begin
+        Array.blit data (perm.(k) * w) out (!oi * w) w;
+        incr oi
+      end
+    done;
+    (!kept, out)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Conversion                                                          *)
+
+let of_relation dict r =
+  let scheme = Relation.scheme r in
+  let attrs = Array.of_list (Attr.Set.elements scheme) in
+  let w = Array.length attrs in
+  let n = Relation.cardinality r in
+  let data = Array.make (max 1 (n * w)) 0 in
+  let i = ref 0 in
+  Relation.iter
+    (fun tu ->
+      let base = !i * w in
+      (* Tuple.bindings is in increasing attribute order = attrs order. *)
+      List.iteri (fun j (_, v) -> data.(base + j) <- Dict.intern dict v)
+        (Tuple.bindings tu);
+      incr i)
+    r;
+  (* Code order need not follow Value order, so re-sort into canonical
+     form (the source set is already duplicate-free). *)
+  let rows, data = canonicalize w n data in
+  { scheme; attrs; width = w; rows; data; dict }
+
+let to_relation f =
+  let tuples = ref [] in
+  for i = f.rows - 1 downto 0 do
+    let base = i * f.width in
+    let bindings =
+      Array.to_list
+        (Array.mapi (fun j a -> (a, Dict.value f.dict f.data.(base + j))) f.attrs)
+    in
+    tuples := Tuple.of_list bindings :: !tuples
+  done;
+  Relation.make f.scheme !tuples
+
+let equal f1 f2 =
+  Attr.Set.equal f1.scheme f2.scheme
+  && f1.rows = f2.rows
+  && f1.data = f2.data
+
+(* ------------------------------------------------------------------ *)
+(* Compiled join specs                                                 *)
+
+let col_of f a =
+  let rec go j = if Attr.equal f.attrs.(j) a then j else go (j + 1) in
+  go 0
+
+(* Everything a join needs, computed once per join: key-column offsets
+   on both sides and the source column of every output column. *)
+type join_spec = {
+  out_scheme : Attr.Set.t;
+  out_attrs : Attr.t array;
+  out_width : int;
+  k1pos : int array; (* common-column offsets in f1 rows *)
+  k2pos : int array; (* common-column offsets in f2 rows *)
+  from1 : int array; (* out column j reads f1 col from1.(j), or -1 *)
+  from2 : int array; (* ... else f2 col from2.(j) *)
+}
+
+let make_spec f1 f2 =
+  let out_scheme = Attr.Set.union f1.scheme f2.scheme in
+  let out_attrs = Array.of_list (Attr.Set.elements out_scheme) in
+  let out_width = Array.length out_attrs in
+  let common = Attr.Set.elements (Attr.Set.inter f1.scheme f2.scheme) in
+  let k1pos = Array.of_list (List.map (col_of f1) common) in
+  let k2pos = Array.of_list (List.map (col_of f2) common) in
+  let from1 = Array.make out_width (-1) in
+  let from2 = Array.make out_width (-1) in
+  Array.iteri
+    (fun j a ->
+      if Attr.Set.mem a f1.scheme then from1.(j) <- col_of f1 a
+      else from2.(j) <- col_of f2 a)
+    out_attrs;
+  { out_scheme; out_attrs; out_width; k1pos; k2pos; from1; from2 }
+
+(* FNV-1a over the key codes, folded to a non-negative int.  Collisions
+   are resolved by [keys_match] below, so the mix only has to spread.
+   Unsafe accesses are bounded by the frame invariant: [base] is a row
+   base in [data] and [pos] holds in-row column offsets. *)
+let key_hash data base pos =
+  (* FNV-1a 64-bit offset basis folded into OCaml's 63-bit int range. *)
+  let h = ref 0x4bf29ce484222325 in
+  for k = 0 to Array.length pos - 1 do
+    h :=
+      (!h lxor Array.unsafe_get data (base + Array.unsafe_get pos k))
+      * 0x100000001b3
+  done;
+  !h land max_int
+
+let keys_match d1 b1 p1 d2 b2 p2 =
+  let k = Array.length p1 in
+  let rec go i =
+    i = k
+    || Array.unsafe_get d1 (b1 + Array.unsafe_get p1 i)
+       = Array.unsafe_get d2 (b2 + Array.unsafe_get p2 i)
+       && go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Output row buffer                                                   *)
+
+type buf = { mutable bdata : int array; mutable blen : int (* in ints *) }
+
+let buf_make hint = { bdata = Array.make (max 64 hint) 0; blen = 0 }
+
+let buf_reserve b extra =
+  if b.blen + extra > Array.length b.bdata then begin
+    let cap = ref (2 * Array.length b.bdata) in
+    while b.blen + extra > !cap do
+      cap := 2 * !cap
+    done;
+    let bigger = Array.make !cap 0 in
+    Array.blit b.bdata 0 bigger 0 b.blen;
+    b.bdata <- bigger
+  end
+
+let emit_merged b spec data1 base1 data2 base2 =
+  buf_reserve b spec.out_width;
+  let d = b.bdata and o = b.blen in
+  for j = 0 to spec.out_width - 1 do
+    let c1 = Array.unsafe_get spec.from1 j in
+    Array.unsafe_set d (o + j)
+      (if c1 >= 0 then Array.unsafe_get data1 (base1 + c1)
+       else Array.unsafe_get data2 (base2 + Array.unsafe_get spec.from2 j))
+  done;
+  b.blen <- o + spec.out_width
+
+(* ------------------------------------------------------------------ *)
+(* Join kernels over row-index selections                              *)
+
+let all_rows f = Array.init f.rows (fun i -> i)
+
+let pow2_at_least n =
+  let p = ref 1 in
+  while !p < n do
+    p := 2 * !p
+  done;
+  !p
+
+(* Hash join of the selected rows.  The index is a chained-array hash
+   table — [head] maps a bucket to its first entry, [next] threads the
+   chain through entry slots — so building and probing allocate nothing
+   beyond two int arrays.  Builds on the smaller selection, probes the
+   larger; emitted rows keep the (f1, f2) orientation regardless of
+   build side. *)
+let hash_join_idx ~stats spec f1 idx1 f2 idx2 b =
+  let swap = Array.length idx1 > Array.length idx2 in
+  let bf, bidx, bpos, pf, pidx, ppos =
+    if swap then (f2, idx2, spec.k2pos, f1, idx1, spec.k1pos)
+    else (f1, idx1, spec.k1pos, f2, idx2, spec.k2pos)
+  in
+  let nb = Array.length bidx in
+  let bmask = pow2_at_least (2 * max 1 nb) - 1 in
+  let head = Array.make (bmask + 1) (-1) in
+  let next = Array.make (max 1 nb) (-1) in
+  for k = 0 to nb - 1 do
+    let h = key_hash bf.data (Array.unsafe_get bidx k * bf.width) bpos land bmask in
+    Array.unsafe_set next k (Array.unsafe_get head h);
+    Array.unsafe_set head h k
+  done;
+  let np = Array.length pidx in
+  stats.probes <- stats.probes + np;
+  for q = 0 to np - 1 do
+    let pb = Array.unsafe_get pidx q * pf.width in
+    let hit = ref false in
+    let k = ref (Array.unsafe_get head (key_hash pf.data pb ppos land bmask)) in
+    while !k >= 0 do
+      let bb = Array.unsafe_get bidx !k * bf.width in
+      if keys_match pf.data pb ppos bf.data bb bpos then begin
+        hit := true;
+        if swap then emit_merged b spec pf.data pb bf.data bb
+        else emit_merged b spec bf.data bb pf.data pb
+      end;
+      k := Array.unsafe_get next !k
+    done;
+    if !hit then stats.probe_hits <- stats.probe_hits + 1
+  done
+
+(* Full-frame specialization of [hash_join_idx]: every row of both
+   frames participates, so the row-index selections need not be
+   materialized and row bases are direct multiples. *)
+let hash_join_full ~stats spec f1 f2 b =
+  let swap = f1.rows > f2.rows in
+  let bf, bpos, pf, ppos =
+    if swap then (f2, spec.k2pos, f1, spec.k1pos)
+    else (f1, spec.k1pos, f2, spec.k2pos)
+  in
+  let nb = bf.rows in
+  let bmask = pow2_at_least (2 * max 1 nb) - 1 in
+  let head = Array.make (bmask + 1) (-1) in
+  let next = Array.make (max 1 nb) (-1) in
+  let bw = bf.width in
+  for k = 0 to nb - 1 do
+    let h = key_hash bf.data (k * bw) bpos land bmask in
+    Array.unsafe_set next k (Array.unsafe_get head h);
+    Array.unsafe_set head h k
+  done;
+  let np = pf.rows in
+  let pw = pf.width in
+  stats.probes <- stats.probes + np;
+  for q = 0 to np - 1 do
+    let pb = q * pw in
+    let hit = ref false in
+    let k = ref (Array.unsafe_get head (key_hash pf.data pb ppos land bmask)) in
+    while !k >= 0 do
+      let bb = !k * bw in
+      if keys_match pf.data pb ppos bf.data bb bpos then begin
+        hit := true;
+        if swap then emit_merged b spec pf.data pb bf.data bb
+        else emit_merged b spec bf.data bb pf.data pb
+      end;
+      k := Array.unsafe_get next !k
+    done;
+    if !hit then stats.probe_hits <- stats.probe_hits + 1
+  done
+
+let product_idx spec f1 idx1 f2 idx2 b =
+  Array.iter
+    (fun i ->
+      let b1 = i * f1.width in
+      Array.iter
+        (fun j -> emit_merged b spec f1.data b1 f2.data (j * f2.width))
+        idx2)
+    idx1
+
+(* ------------------------------------------------------------------ *)
+(* Radix partitioning                                                  *)
+
+let partition_rows f idx pos parts =
+  let mask = parts - 1 in
+  let pid = Array.map (fun i -> key_hash f.data (i * f.width) pos land mask) idx in
+  let counts = Array.make parts 0 in
+  Array.iter (fun p -> counts.(p) <- counts.(p) + 1) pid;
+  let out = Array.init parts (fun p -> Array.make counts.(p) 0) in
+  let fill = Array.make parts 0 in
+  Array.iteri
+    (fun k i ->
+      let p = pid.(k) in
+      out.(p).(fill.(p)) <- i;
+      fill.(p) <- fill.(p) + 1)
+    idx;
+  out
+
+let default_par_threshold = 4096
+
+let natural_join ?domains ?(par_threshold = default_par_threshold) ?stats f1 f2 =
+  if f1.dict != f2.dict then
+    invalid_arg "Frame.natural_join: frames use different dictionaries";
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let spec = make_spec f1 f2 in
+  let w = spec.out_width in
+  let b = buf_make (w * (max f1.rows f2.rows + 16)) in
+  if Array.length spec.k1pos = 0 then
+    (* Cartesian product: a hash index would be one degenerate bucket. *)
+    product_idx spec f1 (all_rows f1) f2 (all_rows f2) b
+  else begin
+    let d =
+      match domains with Some d -> max 1 d | None -> Mj_pool.Pool.default_domains ()
+    in
+    if d > 1 && min f1.rows f2.rows >= par_threshold then begin
+      (* Radix-partitioned parallel join: both sides split by key hash,
+         partition pairs joined on separate domains, partial outputs
+         merged in task-index order.  The final canonical sort makes the
+         result independent of [parts] and [d]. *)
+      let parts = min 256 (pow2_at_least (4 * d)) in
+      stats.partitions <- stats.partitions + parts;
+      let p1 = partition_rows f1 (all_rows f1) spec.k1pos parts in
+      let p2 = partition_rows f2 (all_rows f2) spec.k2pos parts in
+      let results =
+        Mj_pool.Pool.run ~domains:d
+          (Array.init parts (fun p () ->
+               let st = fresh_stats () in
+               let pb =
+                 buf_make (w * (max (Array.length p1.(p)) (Array.length p2.(p)) + 16))
+               in
+               hash_join_idx ~stats:st spec f1 p1.(p) f2 p2.(p) pb;
+               (pb, st)))
+      in
+      Array.iter
+        (fun (pb, st) ->
+          stats.probes <- stats.probes + st.probes;
+          stats.probe_hits <- stats.probe_hits + st.probe_hits;
+          buf_reserve b pb.blen;
+          Array.blit pb.bdata 0 b.bdata b.blen pb.blen;
+          b.blen <- b.blen + pb.blen)
+        results
+    end
+    else hash_join_full ~stats spec f1 f2 b
+  end;
+  let rows, data = canonicalize w (b.blen / w) b.bdata in
+  {
+    scheme = spec.out_scheme;
+    attrs = spec.out_attrs;
+    width = w;
+    rows;
+    data;
+    dict = f1.dict;
+  }
+
+let semijoin ?stats f1 f2 =
+  if f1.dict != f2.dict then
+    invalid_arg "Frame.semijoin: frames use different dictionaries";
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let common = Attr.Set.elements (Attr.Set.inter f1.scheme f2.scheme) in
+  if common = [] then
+    if f2.rows = 0 then { f1 with rows = 0; data = [||] } else f1
+  else begin
+    let k1pos = Array.of_list (List.map (col_of f1) common) in
+    let k2pos = Array.of_list (List.map (col_of f2) common) in
+    let bmask = pow2_at_least (2 * max 1 f2.rows) - 1 in
+    let head = Array.make (bmask + 1) (-1) in
+    let next = Array.make (max 1 f2.rows) (-1) in
+    for i = 0 to f2.rows - 1 do
+      let h = key_hash f2.data (i * f2.width) k2pos land bmask in
+      next.(i) <- head.(h);
+      head.(h) <- i
+    done;
+    let w = f1.width in
+    let out = Array.make (max 1 (f1.rows * w)) 0 in
+    let kept = ref 0 in
+    for i = 0 to f1.rows - 1 do
+      let b1 = i * w in
+      stats.probes <- stats.probes + 1;
+      let matched = ref false in
+      let j = ref head.(key_hash f1.data b1 k1pos land bmask) in
+      while (not !matched) && !j >= 0 do
+        if keys_match f1.data b1 k1pos f2.data (!j * f2.width) k2pos then
+          matched := true
+        else j := next.(!j)
+      done;
+      if !matched then begin
+        stats.probe_hits <- stats.probe_hits + 1;
+        Array.blit f1.data b1 out (!kept * w) w;
+        incr kept
+      end
+    done;
+    (* A subsequence of canonical rows is canonical. *)
+    { f1 with rows = !kept; data = Array.sub out 0 (!kept * w) }
+  end
+
+let project f x =
+  if Attr.Set.is_empty x then
+    invalid_arg "Frame.project: projection onto the empty scheme";
+  if not (Attr.Set.subset x f.scheme) then
+    invalid_arg
+      (Printf.sprintf "Frame.project: %s is not a subset of %s"
+         (Attr.Set.to_string x)
+         (Attr.Set.to_string f.scheme));
+  let attrs = Array.of_list (Attr.Set.elements x) in
+  let pos = Array.map (col_of f) attrs in
+  let w = Array.length attrs in
+  let data = Array.make (max 1 (f.rows * w)) 0 in
+  for i = 0 to f.rows - 1 do
+    let src = i * f.width and dst = i * w in
+    for j = 0 to w - 1 do
+      data.(dst + j) <- f.data.(src + pos.(j))
+    done
+  done;
+  let rows, data = canonicalize w f.rows data in
+  { scheme = x; attrs; width = w; rows; data; dict = f.dict }
+
+(* ------------------------------------------------------------------ *)
+(* Databases of frames                                                 *)
+
+module Db = struct
+  type frame = t
+
+  type t = { ddict : Dict.t; frames : frame Scheme.Map.t }
+
+  let of_database db =
+    let ddict = Dict.create () in
+    let frames =
+      List.fold_left
+        (fun acc r -> Scheme.Map.add (Relation.scheme r) (of_relation ddict r) acc)
+        Scheme.Map.empty (Database.relations db)
+    in
+    { ddict; frames }
+
+  let dict fdb = fdb.ddict
+  let find fdb s = Scheme.Map.find s fdb.frames
+
+  let join_schemes ?domains ?par_threshold ?stats fdb d =
+    match Scheme.Set.elements d with
+    | [] -> invalid_arg "Frame.Db.join_schemes: empty sub-database"
+    | s :: rest ->
+        (* Sorted scheme order — the same left-to-right fold as
+           Database.join_all. *)
+        List.fold_left
+          (fun acc s' ->
+            natural_join ?domains ?par_threshold ?stats acc (find fdb s'))
+          (find fdb s) rest
+
+  let join_all ?domains ?par_threshold ?stats fdb =
+    join_schemes ?domains ?par_threshold ?stats fdb
+      (Scheme.Map.fold (fun s _ acc -> Scheme.Set.add s acc) fdb.frames
+         Scheme.Set.empty)
+
+  let cardinality_oracle ?domains ?stats fdb d =
+    cardinality (join_schemes ?domains ?stats fdb d)
+end

@@ -1,0 +1,134 @@
+(** Columnar relation frames: the dictionary-encoded data plane.
+
+    The seed data plane stores tuples as balanced [Value.t Attr.Map.t]
+    maps and relations as balanced tree sets, so every join probe pays
+    for map surgery and structural hashing of heap-allocated keys.  A
+    {e frame} is the flat, integer-coded twin of a {!Relation}: a
+    per-database {!Dict} interns every [Value.t] to a dense int code,
+    and a relation state becomes one row-major [int array] plus a
+    column-index header (the sorted scheme).  Equality, hashing and
+    joins then work on packed int rows — no per-probe allocation.
+
+    Frames are kept {e canonical}: rows are sorted lexicographically by
+    code and duplicate-free.  Canonical form makes {!equal} a plain
+    array comparison and makes the radix-partitioned parallel join
+    deterministic at any [MJ_DOMAINS] — however the rows were
+    partitioned, the final sort-unique pass yields bit-identical data.
+
+    The public algebra mirrors {!Relation}; [to_relation (of_relation
+    dict r) = r] for every state, and each operation agrees with its
+    seed counterpart (certified by [test/test_frame.ml] and the
+    [bench FRAME] head-to-head). *)
+
+(** {1 Value dictionary} *)
+
+module Dict : sig
+  type t
+  (** A mutable interning table mapping every distinct [Value.t] seen so
+      far to a dense code [0 .. size-1], with the inverse decode array.
+      One dictionary is shared by all frames of a database, so codes are
+      comparable across relations and join keys never need to look at
+      the underlying values. *)
+
+  val create : ?hint:int -> unit -> t
+  val size : t -> int
+
+  val intern : t -> Value.t -> int
+  (** [intern d v] returns the code of [v], assigning the next dense
+      code on first sight. *)
+
+  val code : t -> Value.t -> int option
+  (** [code d v] is [v]'s code if it has been interned. *)
+
+  val value : t -> int -> Value.t
+  (** Decode.  @raise Invalid_argument if the code is out of range. *)
+end
+
+(** {1 Frames} *)
+
+type t
+(** A columnar relation state: sorted attribute header, row-major packed
+    codes in canonical (sorted, duplicate-free) row order, and the
+    dictionary the codes refer to. *)
+
+type stats = {
+  mutable probes : int;      (** hash-table probes during joins *)
+  mutable probe_hits : int;  (** probes that produced ≥ 1 output row *)
+  mutable partitions : int;  (** radix partitions opened by parallel joins *)
+}
+(** Counters threaded through the join kernels ([mj_relation] cannot
+    depend on [mj_obs]; engines fold these into observability
+    counters). *)
+
+val fresh_stats : unit -> stats
+
+val of_relation : Dict.t -> Relation.t -> t
+(** [of_relation dict r] encodes [r], interning its values in [dict]. *)
+
+val to_relation : t -> Relation.t
+(** Decode back to the seed representation.  Round-trip identity:
+    [Relation.equal (to_relation (of_relation d r)) r]. *)
+
+val scheme : t -> Attr.Set.t
+val cardinality : t -> int
+(** The paper's τ: the number of rows. *)
+
+val is_empty : t -> bool
+val dict : t -> Dict.t
+
+val equal : t -> t -> bool
+(** Structural equality of canonical frames (scheme + packed rows).
+    Only meaningful for frames sharing one dictionary. *)
+
+(** {1 Algebra} *)
+
+val natural_join :
+  ?domains:int -> ?par_threshold:int -> ?stats:stats -> t -> t -> t
+(** [natural_join f1 f2] is the columnar [R1 ⋈ R2].  The join key
+    extractor is compiled once per join: common-column offsets are
+    precomputed and multi-column keys are FNV-mixed into one int, so
+    probing allocates nothing.  When both sides have at least
+    [par_threshold] rows (default 4096) and more than one domain is
+    available, the join radix-partitions both sides by key hash, joins
+    the partition pairs on separate domains via [Mj_pool.Pool], and
+    merges in task-index order; the canonical sort-unique pass makes the
+    result bit-identical at any [domains].
+    @raise Invalid_argument if the frames use different dictionaries. *)
+
+val semijoin : ?stats:stats -> t -> t -> t
+(** [semijoin f1 f2] is [R1 ⋉ R2]. *)
+
+val project : t -> Attr.Set.t -> t
+(** [project f x] is [R[X]] with sort-unique dedup on the packed rows.
+    @raise Invalid_argument if [x] is not a non-empty subset of the
+    scheme. *)
+
+(** {1 Databases of frames} *)
+
+module Db : sig
+  type frame := t
+
+  type t
+  (** All relations of one {!Database} encoded against one shared
+      dictionary. *)
+
+  val of_database : Database.t -> t
+  val dict : t -> Dict.t
+  val find : t -> Scheme.t -> frame
+  (** @raise Not_found if the scheme is absent. *)
+
+  val join_schemes :
+    ?domains:int -> ?par_threshold:int -> ?stats:stats ->
+    t -> Scheme.Set.t -> frame
+  (** Join the named sub-database left-to-right over the sorted scheme
+      list — the same order as {!Database.join_all}.
+      @raise Invalid_argument on the empty set. *)
+
+  val join_all : ?domains:int -> ?par_threshold:int -> ?stats:stats -> t -> frame
+
+  val cardinality_oracle :
+    ?domains:int -> ?stats:stats -> t -> Scheme.Set.t -> int
+  (** [cardinality_oracle fdb d] is τ of the join of the sub-database
+      [d], counted through the columnar path — the drop-in backend for
+      [Cost.Cache]. *)
+end

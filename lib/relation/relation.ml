@@ -59,9 +59,14 @@ let distinct_values r a =
   Vset.elements (fold (fun tu acc -> Vset.add (Tuple.get tu a) acc) r Vset.empty)
 
 (* A hash-join keyed on the restriction of each tuple to the common
-   attributes.  The key is the canonical sorted binding list, which is safe
-   for structural hashing (Map internals are not). *)
-let join_key common tu = Tuple.bindings (Tuple.restrict tu common)
+   attributes.  The extractor is compiled once per join: the common
+   attributes are listed once and each probe reads the values directly,
+   so no per-probe map restriction is built.  The resulting value list
+   (in increasing attribute order) is safe for structural hashing (Map
+   internals are not). *)
+let key_extractor common =
+  let attrs = Attr.Set.elements common in
+  fun tu -> List.map (fun a -> Tuple.get tu a) attrs
 
 let natural_join r1 r2 =
   let common = Attr.Set.inter r1.scheme r2.scheme in
@@ -83,14 +88,13 @@ let natural_join r1 r2 =
     let small, large =
       if cardinality r1 <= cardinality r2 then (r1, r2) else (r2, r1)
     in
+    let key = key_extractor common in
     let index = Hashtbl.create (max 16 (cardinality small)) in
-    iter
-      (fun tu -> Hashtbl.add index (join_key common tu) tu)
-      small;
+    iter (fun tu -> Hashtbl.add index (key tu) tu) small;
     let out =
       fold
         (fun tu acc ->
-          let matches = Hashtbl.find_all index (join_key common tu) in
+          let matches = Hashtbl.find_all index (key tu) in
           List.fold_left
             (fun acc tu' -> Tuple_set.add (Tuple.merge tu tu') acc)
             acc matches)
@@ -126,9 +130,10 @@ let semijoin r1 r2 =
     (* With no common attributes every tuple joins iff r2 is non-empty. *)
     if is_empty r2 then { r1 with tuples = Tuple_set.empty } else r1
   else begin
+    let key = key_extractor common in
     let keys = Hashtbl.create (max 16 (cardinality r2)) in
-    iter (fun tu -> Hashtbl.replace keys (join_key common tu) ()) r2;
-    select r1 (fun tu -> Hashtbl.mem keys (join_key common tu))
+    iter (fun tu -> Hashtbl.replace keys (key tu) ()) r2;
+    select r1 (fun tu -> Hashtbl.mem keys (key tu))
   end
 
 let antijoin r1 r2 =
@@ -155,10 +160,17 @@ let diff r1 r2 =
   { r1 with tuples = Tuple_set.diff r1.tuples r2.tuples }
 
 let rename r mapping =
+  (* Pre-build the mapping as a map so each attribute costs one lookup
+     instead of a linear scan of the list (earlier entries win, matching
+     the historical List.find_opt behaviour). *)
+  let map =
+    List.fold_left
+      (fun acc (src, dst) ->
+        if Attr.Map.mem src acc then acc else Attr.Map.add src dst acc)
+      Attr.Map.empty mapping
+  in
   let rename_attr a =
-    match List.find_opt (fun (src, _) -> Attr.equal src a) mapping with
-    | Some (_, dst) -> dst
-    | None -> a
+    match Attr.Map.find_opt a map with Some dst -> dst | None -> a
   in
   let out_scheme = Attr.Set.map rename_attr r.scheme in
   if Attr.Set.cardinal out_scheme <> Attr.Set.cardinal r.scheme then

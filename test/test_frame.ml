@@ -1,0 +1,209 @@
+(* Equivalence suite for the columnar data plane.
+
+   Every property pits a Frame operation against its seed counterpart
+   (balanced-tree Relations) on random chain / star / cycle databases
+   across the uniform / skewed / superkey regimes, and checks the radix
+   join's determinism contract: bit-identical frames at any domain
+   count and partition threshold. *)
+
+open Mj_relation
+open Mj_hypergraph
+open Multijoin
+module Dbgen = Mj_workload.Dbgen
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let shape kind n =
+  match kind with
+  | 0 -> Querygraph.chain n
+  | 1 -> Querygraph.star n
+  | _ -> Querygraph.cycle (max 3 n)
+
+(* A random database over a chain/star/cycle query graph in one of the
+   three data regimes, plus an int used by properties to pick
+   relations, schemes, or projections. *)
+let gen_db_pick =
+  let open QCheck2.Gen in
+  let* kind = int_range 0 2 in
+  let* n = int_range 2 5 in
+  let* regime = int_range 0 2 in
+  let* seed = int_range 0 100_000 in
+  let* pick = int_range 0 1_000_000 in
+  let rng = Random.State.make [| seed; n; kind; regime |] in
+  let d = shape kind n in
+  let db =
+    match regime with
+    | 0 -> Dbgen.uniform_db ~rng ~rows:6 ~domain:3 d
+    | 1 -> Dbgen.skewed_db ~rng ~rows:6 ~domain:4 ~skew:1.5 d
+    | _ -> Dbgen.superkey_db ~rng ~rows:6 ~domain:10 d
+  in
+  return (db, pick)
+
+let gen_db = QCheck2.Gen.map fst gen_db_pick
+
+let pick_two db pick =
+  let rels = Array.of_list (Database.relations db) in
+  let k = Array.length rels in
+  (rels.(pick mod k), rels.(pick / 7 mod k))
+
+(* A non-empty subset selected by the low bits of [pick]. *)
+let pick_subset pick xs =
+  let k = List.length xs in
+  let bits = 1 + (pick mod ((1 lsl k) - 1)) in
+  List.filteri (fun i _ -> bits land (1 lsl i) <> 0) xs
+
+(* ------------------------------------------------------------------ *)
+(* Dictionary                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_dict_interning () =
+  let d = Frame.Dict.create () in
+  let c1 = Frame.Dict.intern d (Value.int 7) in
+  let c2 = Frame.Dict.intern d (Value.str "x") in
+  Alcotest.(check int) "same value, same code" c1
+    (Frame.Dict.intern d (Value.int 7));
+  Alcotest.(check int) "codes are dense" 1 c2;
+  Alcotest.(check int) "size counts distinct values" 2 (Frame.Dict.size d);
+  Alcotest.(check bool) "decode inverts intern" true
+    (Value.equal (Frame.Dict.value d c2) (Value.str "x"));
+  Alcotest.(check (option int)) "code finds interned values" (Some c1)
+    (Frame.Dict.code d (Value.int 7));
+  Alcotest.(check (option int)) "code misses unseen values" None
+    (Frame.Dict.code d (Value.int 99));
+  Alcotest.check_raises "decode rejects out-of-range codes"
+    (Invalid_argument "Frame.Dict.value: code out of range") (fun () ->
+      ignore (Frame.Dict.value d 99))
+
+let test_dict_mismatch () =
+  let attr = Attr.make in
+  let r =
+    Relation.make
+      (Attr.Set.of_list [ attr "A" ])
+      [ Tuple.of_list [ (attr "A", Value.int 1) ] ]
+  in
+  let f1 = Frame.of_relation (Frame.Dict.create ()) r in
+  let f2 = Frame.of_relation (Frame.Dict.create ()) r in
+  Alcotest.check_raises "joining across dictionaries is refused"
+    (Invalid_argument "Frame.natural_join: frames use different dictionaries")
+    (fun () -> ignore (Frame.natural_join f1 f2))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let round_trip =
+  qtest "of_relation/to_relation round-trips every relation" gen_db (fun db ->
+      let dict = Frame.Dict.create () in
+      List.for_all
+        (fun r ->
+          let f = Frame.of_relation dict r in
+          Frame.cardinality f = Relation.cardinality r
+          && Attr.Set.equal (Frame.scheme f) (Relation.scheme r)
+          && Relation.equal (Frame.to_relation f) r)
+        (Database.relations db))
+
+let join_agrees =
+  qtest "natural_join agrees with the seed join" gen_db_pick (fun (db, pick) ->
+      let r1, r2 = pick_two db pick in
+      let dict = Frame.Dict.create () in
+      let f1 = Frame.of_relation dict r1 and f2 = Frame.of_relation dict r2 in
+      Relation.equal
+        (Frame.to_relation (Frame.natural_join f1 f2))
+        (Relation.natural_join r1 r2))
+
+let semijoin_agrees =
+  qtest "semijoin agrees with the seed semijoin" gen_db_pick (fun (db, pick) ->
+      let r1, r2 = pick_two db pick in
+      let dict = Frame.Dict.create () in
+      let f1 = Frame.of_relation dict r1 and f2 = Frame.of_relation dict r2 in
+      Relation.equal
+        (Frame.to_relation (Frame.semijoin f1 f2))
+        (Relation.semijoin r1 r2))
+
+let project_agrees =
+  qtest "project agrees with the seed projection" gen_db_pick
+    (fun (db, pick) ->
+      let r, _ = pick_two db pick in
+      let x =
+        Attr.Set.of_list
+          (pick_subset pick (Attr.Set.elements (Relation.scheme r)))
+      in
+      let f = Frame.of_relation (Frame.Dict.create ()) r in
+      Relation.equal (Frame.to_relation (Frame.project f x))
+        (Relation.project r x))
+
+let join_all_agrees =
+  qtest "Db.join_all agrees with Database.join_all" gen_db (fun db ->
+      let fdb = Frame.Db.of_database db in
+      Relation.equal
+        (Frame.to_relation (Frame.Db.join_all fdb))
+        (Database.join_all db))
+
+let oracle_agrees =
+  qtest "cardinality_oracle matches the seed tau on every sub-database"
+    gen_db_pick (fun (db, pick) ->
+      let fdb = Frame.Db.of_database db in
+      let sub =
+        Scheme.Set.of_list (pick_subset pick (Database.scheme_list db))
+      in
+      Frame.Db.cardinality_oracle fdb sub
+      = Relation.cardinality (Database.join_all (Database.restrict db sub)))
+
+let cache_backends_agree =
+  qtest "Cost.Cache backends agree on the complete tau table" ~count:40
+    gen_db (fun db ->
+      let seedc = Cost.Cache.create ~backend:Cost.Cache.Seed db in
+      let framec = Cost.Cache.create ~backend:Cost.Cache.Frame db in
+      let u = Cost.Cache.universe seedc in
+      List.for_all
+        (fun m ->
+          Cost.Cache.card_mask seedc (m + 1)
+          = Cost.Cache.card_mask framec (m + 1))
+        (List.init (Bitdb.full u) Fun.id))
+
+let radix_deterministic =
+  qtest "radix join is bit-identical at any domain count" gen_db (fun db ->
+      let fdb = Frame.Db.of_database db in
+      let one = Frame.Db.join_all ~domains:1 fdb in
+      let par = Frame.Db.join_all ~domains:4 ~par_threshold:1 fdb in
+      let par' = Frame.Db.join_all ~domains:3 ~par_threshold:2 fdb in
+      Frame.equal one par && Frame.equal one par')
+
+let engines_agree =
+  qtest "Frame_engine agrees with Exec on left-deep plans" ~count:60 gen_db
+    (fun db ->
+      let strategy = Strategy.left_deep (Database.scheme_list db) in
+      let plan = Mj_engine.Physical.of_strategy strategy in
+      let seed_r, seed_st = Mj_engine.Exec.execute db plan in
+      let frame_r, frame_st = Mj_engine.Frame_engine.execute db strategy in
+      Relation.equal seed_r frame_r
+      && seed_st.Mj_engine.Exec.tuples_generated
+         = frame_st.Mj_engine.Frame_engine.tuples_generated
+      && frame_st.Mj_engine.Frame_engine.result_rows
+         = Relation.cardinality frame_r)
+
+let () =
+  Alcotest.run "frame"
+    [
+      ( "dict",
+        [
+          Alcotest.test_case "interning" `Quick test_dict_interning;
+          Alcotest.test_case "dictionary mismatch" `Quick test_dict_mismatch;
+        ] );
+      ( "equivalence",
+        [
+          round_trip;
+          join_agrees;
+          semijoin_agrees;
+          project_agrees;
+          join_all_agrees;
+          oracle_agrees;
+          cache_backends_agree;
+        ] );
+      ("parallel", [ radix_deterministic; engines_agree ]);
+    ]

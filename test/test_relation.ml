@@ -255,6 +255,30 @@ let test_rename_not_injective () =
     (Invalid_argument "Relation.rename: renaming is not injective on the scheme")
     (fun () -> ignore (Relation.rename r1_ex1 [ (attr "A", attr "B") ]))
 
+let test_rename_wide_scheme () =
+  (* A 40-attribute scheme renamed wholesale: the mapping is looked up
+     through a pre-built map, and every column must land on its target
+     with values intact (first binding wins on duplicate sources). *)
+  let n = 40 in
+  let src j = attr (Printf.sprintf "a%02d" j) in
+  let dst j = attr (Printf.sprintf "z%02d" j) in
+  let scheme = Attr.Set.of_list (List.init n src) in
+  let tuple k = Tuple.of_list (List.init n (fun j -> (src j, i (j + k)))) in
+  let r = Relation.make scheme [ tuple 0; tuple 100 ] in
+  let mapping =
+    List.init n (fun j -> (src j, dst j)) @ [ (src 0, attr "ignored") ]
+  in
+  let renamed = Relation.rename r mapping in
+  let expected_scheme = Attr.Set.of_list (List.init n dst) in
+  Alcotest.(check bool)
+    "every attribute renamed" true
+    (Attr.Set.equal (Relation.scheme renamed) expected_scheme);
+  let expected k = Tuple.of_list (List.init n (fun j -> (dst j, i (j + k)))) in
+  Alcotest.(check bool)
+    "values follow their columns" true
+    (Relation.equal renamed
+       (Relation.make expected_scheme [ expected 0; expected 100 ]))
+
 let test_distinct_values () =
   Alcotest.(check int) "B has 2" 2
     (List.length (Relation.distinct_values r1_ex1 (attr "B")))
@@ -579,6 +603,8 @@ let () =
           Alcotest.test_case "rename" `Quick test_rename;
           Alcotest.test_case "rename not injective" `Quick
             test_rename_not_injective;
+          Alcotest.test_case "rename wide scheme" `Quick
+            test_rename_wide_scheme;
           Alcotest.test_case "distinct values" `Quick test_distinct_values;
         ] );
       ( "relation-properties",
