@@ -16,9 +16,21 @@ module Yannakakis = Mj_yannakakis.Yannakakis
 module Pool = Mj_pool.Pool
 module Kernel_bench = Mj_benchkit.Kernel_bench
 module Frame_bench = Mj_benchkit.Frame_bench
+module Plan_bench = Mj_benchkit.Plan_bench
+module Engine = Mj_engine.Engine
 
 (* Set by the --quick flag: trims the KERNEL grid to CI-smoke scale. *)
 let quick = ref false
+
+(* The process-wide engine configuration, resolved once in [main] from
+   the uniform CLI flags (--engine / --domains / --policy) with the
+   environment as fallback — the same precedence as the mjoin CLI. *)
+let config = ref None
+
+let get_config () =
+  match !config with Some c -> c | None -> Engine.Config.of_env ()
+
+let config_domains () = (get_config ()).Engine.Config.domains
 
 let section id title =
   Printf.printf "\n%s\n[%s] %s\n%s\n" (String.make 74 '=') id title
@@ -1119,7 +1131,7 @@ let kernel () =
   section "KERNEL"
     "Bitmask subset kernel vs preserved legacy path (same oracle, equal \
      results)";
-  let t = Kernel_bench.run ~quick:!quick () in
+  let t = Kernel_bench.run ~domains:(config_domains ()) ~quick:!quick () in
   Printf.printf "  domains: %d%s\n" t.domains
     (if !quick then " (quick grid)" else "");
   Printf.printf "  %-12s %-7s %-4s %-5s %-12s %-12s %-9s %-6s\n" "workload"
@@ -1150,7 +1162,7 @@ let frame () =
   section "FRAME"
     "Columnar dictionary-encoded frames vs seed Relation/Exec data plane \
      (equal results certified)";
-  let t = Frame_bench.run ~quick:!quick () in
+  let t = Frame_bench.run ~domains:(config_domains ()) ~quick:!quick () in
   Printf.printf "  domains: %d (on %d core%s), dict: %d values%s\n" t.domains
     t.cores
     (if t.cores = 1 then "" else "s")
@@ -1176,6 +1188,48 @@ let frame () =
     \   domain count and certifies bit-identical frames; wall-clock gains\n\
     \   need >1 physical core.  tau-gamma/tau-thm certify bit-identical\n\
     \   tau tables)"
+
+(* ------------------------------------------------------------------ *)
+(* PLAN: default-hash vs cost-based lowering                            *)
+(* ------------------------------------------------------------------ *)
+
+let plan () =
+  section "PLAN"
+    "Baseline vs cost-based lowering of one strategy (equal results, equal \
+     tau certified)";
+  let cfg = get_config () in
+  let t =
+    Plan_bench.run ~baseline:cfg.Engine.Config.algo_policy
+      ~domains:cfg.Engine.Config.domains ~quick:!quick ()
+  in
+  Printf.printf "  baseline lowering: %s\n" t.baseline;
+  Printf.printf "  %-16s %-7s %-5s %-10s %-10s %-8s %-24s %-6s\n" "workload"
+    "rows" "reps" "base ms" "cost ms" "speedup" "cost-based algorithms" "equal";
+  List.iter
+    (fun (r : Plan_bench.row) ->
+      Printf.printf "  %-16s %-7d %-5d %-10.3f %-10.3f %-8s %-24s %s\n"
+        r.workload r.rows_per_rel r.reps r.base_ms r.cost_ms
+        (Printf.sprintf "%.1fx" r.speedup)
+        r.cost_algos
+        (if r.equal then "OK" else "FAIL"))
+    t.rows;
+  Printf.printf "  %-16s %-14s %-14s %-12s %-12s %-8s\n" "workload"
+    "base cmps" "cost cmps" "base probes" "cost probes" "tau";
+  List.iter
+    (fun (r : Plan_bench.row) ->
+      Printf.printf "  %-16s %-14d %-14d %-12d %-12d %-8d\n" r.workload
+        r.base_comparisons r.cost_comparisons r.base_probes r.cost_probes r.tau)
+    t.rows;
+  check "both lowerings agree on every row (results and tau)"
+    (List.for_all (fun (r : Plan_bench.row) -> r.equal) t.rows);
+  Printf.printf "  BENCH_JSON %s\n"
+    (Mj_obs.Json.to_string (Plan_bench.bench_json t));
+  Plan_bench.write_file "BENCH_PLAN.json" t;
+  print_endline "  (full report written to BENCH_PLAN.json)";
+  print_endline
+    "  (tau is identical by construction — the paper's measure counts\n\
+    \   tuples generated, not work per tuple, so the chooser can only move\n\
+    \   wall-clock and the comparison/probe mix, never the answer)"
 
 (* ------------------------------------------------------------------ *)
 (* PERF: optimizer timings (bechamel)                                   *)
@@ -1253,20 +1307,54 @@ let experiments =
     ("SK", sk); ("SPACE", space); ("GAMMA", gamma); ("MONO", mono);
     ("SETOP", setop); ("YANN", yann); ("EST", est); ("RAND", rand);
     ("PIPE", pipe); ("LEM", lem); ("COST", cost_models); ("C4JT", c4jt); ("CASE", case); ("PAR", par); ("LOSS", loss);
-    ("OBS", obs_metrics); ("KERNEL", kernel); ("FRAME", frame); ("PERF", perf);
+    ("OBS", obs_metrics); ("KERNEL", kernel); ("FRAME", frame); ("PLAN", plan);
+    ("PERF", perf);
   ]
 
 let () =
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      (List.tl (Array.to_list Sys.argv))
+  let engine = ref None and domains = ref None and policy = ref None in
+  let rec parse = function
+    | [] -> []
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | [ (("--engine" | "--domains" | "--policy") as flag) ] ->
+        Printf.eprintf "%s expects a value\n" flag;
+        exit 2
+    | "--engine" :: v :: rest ->
+        (match Engine.plane_of_string v with
+        | Some p -> engine := Some p
+        | None ->
+            Printf.eprintf "unknown engine %s (expected seed or frame)\n" v;
+            exit 2);
+        parse rest
+    | "--domains" :: v :: rest ->
+        (match int_of_string_opt (String.trim v) with
+        | Some d -> domains := Some (max 1 d)
+        | None ->
+            Printf.eprintf "--domains expects an integer, got %s\n" v;
+            exit 2);
+        parse rest
+    | "--policy" :: v :: rest ->
+        (match Mj_engine.Planner.policy_of_string v with
+        | Some p -> policy := Some p
+        | None ->
+            Printf.eprintf "unknown policy %s (expected hash or cost)\n" v;
+            exit 2);
+        parse rest
+    | a :: rest -> a :: parse rest
   in
+  let args = parse (List.tl (Array.to_list Sys.argv)) in
+  (* CLI > env > default: flag values are registered before the config
+     forces its (memoized, first-set-wins) environment read, so every
+     default-using path — the pool's worker count, [Cost.Cache]'s
+     τ-oracle backend in THM/GAMMA/CASE — observes the flags. *)
+  (match !engine with
+  | Some p -> Cost.Cache.set_env_backend (Engine.backend_of_plane p)
+  | None -> ());
+  (match !domains with Some d -> Pool.set_env_domains d | None -> ());
+  config :=
+    Some (Engine.Config.make ?plane:!engine ?domains:!domains ?policy:!policy ());
   let requested =
     match args with [] -> List.map fst experiments | ids -> ids
   in

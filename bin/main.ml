@@ -17,6 +17,9 @@ open Cmdliner
 module Obs = Mj_obs.Obs
 module Json = Mj_obs.Json
 module Export = Mj_obs.Export
+module Engine = Mj_engine.Engine
+module Planner = Mj_engine.Planner
+module Physical = Mj_engine.Physical
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -76,6 +79,70 @@ let regime_arg =
     & opt regime_conv "uniform"
     & info [ "regime" ]
         ~doc:"Data regime: superkey (C3 holds), uniform, skewed, consistent.")
+
+(* The engine-configuration flags, shared by verify/optimize/explain
+   (and mirrored by the bench harness).  Every flag is optional; the
+   precedence is CLI flag > environment variable > built-in default,
+   implemented by [Engine.Config.make] over the one-time env read of
+   [Engine.Config.of_env]. *)
+
+let plane_conv =
+  let parse s =
+    match Engine.plane_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown engine %s (expected seed or frame)" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Engine.plane_name p))
+
+let policy_conv =
+  let parse s =
+    match Planner.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown policy %s (expected hash or cost)" s))
+  in
+  Arg.conv
+    (parse, fun fmt p -> Format.pp_print_string fmt (Planner.policy_name p))
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (some plane_conv) None
+    & info [ "engine" ] ~docv:"PLANE"
+        ~doc:
+          "Data plane: 'seed' (materializing tuple engine) or 'frame' \
+           (columnar dictionary-encoded engine).  Default: \
+           $(b,MJ_DATA_PLANE), else seed.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel sections.  Default: $(b,MJ_DOMAINS), \
+           else the core count capped at 8.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some policy_conv) None
+    & info [ "policy" ]
+        ~doc:
+          "Plan-lowering policy: 'hash' (every join step a hash join) or \
+           'cost' (catalog-driven per-step algorithm choice).  Default: \
+           $(b,MJ_ALGO_POLICY), else hash.")
+
+let config_term =
+  Term.(
+    const (fun plane domains policy -> (plane, domains, policy))
+    $ engine_arg $ domains_arg $ policy_arg)
+
+let make_config ?obs (plane, domains, policy) =
+  Engine.Config.make ?plane ?domains ?policy ?obs ()
 
 let make_db ~regime ~rng ~rows ~domain d =
   match regime with
@@ -158,7 +225,7 @@ let conditions_cmd =
 (* verify                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_verify scenario (shape_name, shape) n seed rows domain regime =
+let run_verify scenario (shape_name, shape) n seed rows domain regime config =
   let db =
     match scenario with
     | Some (name, db) ->
@@ -172,7 +239,12 @@ let run_verify scenario (shape_name, shape) n seed rows domain regime =
         make_db ~regime ~rng ~rows ~domain d
   in
   let obs = Obs.make () in
-  Format.printf "%a@." Theorems.pp_report (Theorems.verify ~obs db);
+  let cfg = make_config ~obs config in
+  Format.printf "engine: %s plane, %d domains@."
+    (Engine.plane_name cfg.Engine.Config.plane)
+    cfg.Engine.Config.domains;
+  Format.printf "%a@." Theorems.pp_report
+    (Theorems.verify ~obs ~backend:(Engine.Config.backend cfg) db);
   let counter name =
     match List.assoc_opt name (Obs.counters obs) with Some v -> v | None -> 0
   in
@@ -191,7 +263,7 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Run the theorem validators on a database")
     Term.(
       const run_verify $ scenario $ shape_arg $ n_arg $ seed_arg $ rows_arg
-      $ domain_arg $ regime_arg)
+      $ domain_arg $ regime_arg $ config_term)
 
 (* ------------------------------------------------------------------ *)
 (* enumerate                                                            *)
@@ -233,7 +305,8 @@ let graceful f x =
       prerr_endline ("mjoin: " ^ msg);
       exit 1
 
-let run_optimize (shape_name, shape) n seed rows domain regime trace_file =
+let run_optimize (shape_name, shape) n seed rows domain regime config
+    trace_file =
   let rng = Random.State.make [| seed |] in
   let d = shape ~rng n in
   let db = make_db ~regime ~rng ~rows ~domain d in
@@ -243,6 +316,7 @@ let run_optimize (shape_name, shape) n seed rows domain regime trace_file =
   (* With --trace, every optimizer records into one sink: its spans stay
      separate, the search-effort counters accumulate across them. *)
   let obs = match trace_file with Some _ -> Obs.make () | None -> Obs.noop in
+  let cfg = make_config ~obs config in
   let show name = function
     | Some (r : Optimal.result) ->
         Format.printf "  %-26s est %-7d actual tau %-7d %s@." name r.cost
@@ -250,8 +324,10 @@ let run_optimize (shape_name, shape) n seed rows domain regime trace_file =
           (Strategy.to_string r.strategy)
     | None -> Format.printf "  %-26s -@." name
   in
-  show "DPsize (bushy, with CP)" (Dpsize.plan ~obs ~allow_cp:true ~oracle:est d);
-  show "DPccp (bushy, no CP)" (Dpccp.plan ~obs ~oracle:est d);
+  let dpsize = Dpsize.plan ~obs ~allow_cp:true ~oracle:est d in
+  show "DPsize (bushy, with CP)" dpsize;
+  let dpccp = Dpccp.plan ~obs ~oracle:est d in
+  show "DPccp (bushy, no CP)" dpccp;
   show "Selinger (linear, no CP)" (Selinger.plan ~obs ~cp:`Never ~oracle:est d);
   show "Selinger (linear, CP ok)" (Selinger.plan ~obs ~cp:`Always ~oracle:est d);
   show "greedy GOO" (Some (Greedy.goo ~obs ~oracle:est d));
@@ -262,6 +338,20 @@ let run_optimize (shape_name, shape) n seed rows domain regime trace_file =
          Format.printf "@.  exact tau optimum: %d with %s@." r.cost
            (Strategy.to_string r.strategy)
      | None -> ());
+  (* Execute the winning plan through the unified Config → Planner →
+     Engine path, so `optimize` shows what its choice actually costs on
+     the configured plane. *)
+  (match (match dpccp with Some r -> Some r | None -> dpsize) with
+  | Some r ->
+      let plan = Engine.lower cfg db r.Optimal.strategy in
+      let _result, stats = Engine.execute_plan cfg db plan in
+      Format.printf
+        "@.  executed (%s plane, %s lowering): %s@.    %d result rows, tau %d@."
+        (Engine.plane_name stats.Engine.plane)
+        (Planner.policy_name cfg.Engine.Config.algo_policy)
+        (Physical.to_string plan) stats.Engine.result_rows
+        stats.Engine.tuples_generated
+  | None -> ());
   match trace_file with
   | Some path ->
       Export.write_jsonl path obs;
@@ -280,10 +370,10 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Compare optimizers on a generated database")
     Term.(
-      const (fun sh n seed rows domain regime tr ->
-          graceful (run_optimize sh n seed rows domain regime) tr)
+      const (fun sh n seed rows domain regime cfg tr ->
+          graceful (run_optimize sh n seed rows domain regime cfg) tr)
       $ shape_arg $ n_arg $ seed_arg $ rows_arg $ domain_arg $ regime_arg
-      $ trace_arg)
+      $ config_term $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* space                                                                *)
@@ -501,7 +591,7 @@ let q_error ~est ~actual =
   Float.max (e /. a) (a /. e)
 
 let run_explain scenario (shape_name, shape) n seed rows domain regime
-    strategy_text algo_name engine_name trace_file =
+    strategy_text algo_name config trace_file =
   let name, db =
     match scenario with
     | Some (nm, db) -> (nm, db)
@@ -536,14 +626,19 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
             | Some r -> r.Optimal.strategy
             | None -> failwith "no plan found"))
   in
-  let algo =
+  (* --algo is the most specific lowering directive: when given it
+     overrides --policy / MJ_ALGO_POLICY with a forced single-algorithm
+     policy ('hash' forces the historical hash-everywhere default). *)
+  let forced =
     match algo_name with
-    | "hash" -> None
-    | "nl" -> Some (fun _ _ -> Mj_engine.Physical.Nested_loop)
-    | "bnl" -> Some (fun _ _ -> Mj_engine.Physical.Block_nested_loop 64)
-    | "merge" -> Some (fun _ _ -> Mj_engine.Physical.Sort_merge)
-    | "inl" -> Some (fun _ _ -> Mj_engine.Physical.Index_nested_loop)
-    | a -> failwith (Printf.sprintf "unknown algorithm %s" a)
+    | None -> None
+    | Some "hash" -> Some Planner.Hash_all
+    | Some "nl" -> Some (Planner.Forced Physical.Nested_loop)
+    | Some "bnl" ->
+        Some (Planner.Forced (Physical.Block_nested_loop Planner.block_size))
+    | Some "merge" -> Some (Planner.Forced Physical.Sort_merge)
+    | Some "inl" -> Some (Planner.Forced Physical.Index_nested_loop)
+    | Some a -> failwith (Printf.sprintf "unknown algorithm %s" a)
   in
   (* Estimated cardinality of every plan subtree, keyed like the span
      attributes so the tree walk below can pair est with act. *)
@@ -553,41 +648,44 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
     (Strategy.subtree_schemes strategy);
   let obs = Obs.make () in
   let max_q = ref 1.0 and join_steps = ref 0 in
-  (* Abstract over the two data planes: the seed materializing engine on
-     a physical plan, or the columnar frame engine straight on the
-     strategy.  Both emit the same scan/join spans, so the tree walk
-     below is engine-agnostic; only the summary tail differs. *)
-  let summary_tail =
-    match engine_name with
-    | "seed" ->
-        let plan = Mj_engine.Physical.of_strategy ?algo strategy in
-        let result, stats = Mj_engine.Exec.execute ~obs db plan in
-        ( fun tau' ->
-            Format.printf
-              "@.summary: %d join steps, tau=%d (est %d), result=%d rows, max \
-               q-error=%.2f, scanned=%d, peak=%d@."
-              !join_steps stats.Mj_engine.Exec.tuples_generated tau'
-              (Relation.cardinality result)
-              !max_q stats.Mj_engine.Exec.tuples_scanned
-              stats.Mj_engine.Exec.max_materialized )
-    | "frame" ->
-        if algo_name <> "hash" then
-          failwith "--engine frame supports only --algo hash";
-        let _result, fs = Mj_engine.Frame_engine.execute ~obs db strategy in
-        ( fun tau' ->
-            Format.printf
-              "@.summary: %d join steps [frame], tau=%d (est %d), result=%d \
-               rows, max q-error=%.2f, dict=%d values, probes=%d (%d hits), \
-               partitions=%d@."
-              !join_steps fs.Mj_engine.Frame_engine.tuples_generated tau'
-              fs.Mj_engine.Frame_engine.result_rows !max_q
-              fs.Mj_engine.Frame_engine.dict_size
-              fs.Mj_engine.Frame_engine.probes
-              fs.Mj_engine.Frame_engine.probe_hits
-              fs.Mj_engine.Frame_engine.partitions )
-    | e -> failwith (Printf.sprintf "unknown engine %s (expected seed or frame)" e)
+  (* One path for both data planes: lower under the config's policy,
+     execute on the config's plane.  Both backends emit the same
+     scan/join spans, so the tree walk below is engine-agnostic; only
+     the summary tail differs, keyed on the plane-specific stats. *)
+  let cfg =
+    let plane, domains, policy = config in
+    Engine.Config.make ?plane ?domains
+      ?policy:(match forced with Some _ -> forced | None -> policy)
+      ~obs ()
   in
-  Format.printf "Scenario %s@.plan: %s@.@." name (Strategy.to_string strategy);
+  let plan = Engine.lower cfg db strategy in
+  let stats = snd (Engine.execute_plan cfg db plan) in
+  let summary_tail tau' =
+    match (stats.Engine.seed, stats.Engine.frame) with
+    | Some es, _ ->
+        Format.printf
+          "@.summary: %d join steps, tau=%d (est %d), result=%d rows, max \
+           q-error=%.2f, scanned=%d, peak=%d@."
+          !join_steps es.Mj_engine.Exec.tuples_generated tau'
+          stats.Engine.result_rows !max_q es.Mj_engine.Exec.tuples_scanned
+          es.Mj_engine.Exec.max_materialized
+    | None, Some fs ->
+        Format.printf
+          "@.summary: %d join steps [frame], tau=%d (est %d), result=%d \
+           rows, max q-error=%.2f, dict=%d values, probes=%d (%d hits), \
+           partitions=%d@."
+          !join_steps fs.Mj_engine.Frame_engine.tuples_generated tau'
+          fs.Mj_engine.Frame_engine.result_rows !max_q
+          fs.Mj_engine.Frame_engine.dict_size fs.Mj_engine.Frame_engine.probes
+          fs.Mj_engine.Frame_engine.probe_hits
+          fs.Mj_engine.Frame_engine.partitions
+    | None, None -> assert false
+  in
+  Format.printf "Scenario %s@.plan: %s@.lowered (%s, %s plane): %s@.@." name
+    (Strategy.to_string strategy)
+    (Planner.policy_name cfg.Engine.Config.algo_policy)
+    (Engine.plane_name cfg.Engine.Config.plane)
+    (Physical.to_string plan);
   let rec show indent (sp : Obs.span_tree) =
     (match sp.Obs.name with
     | ("scan" | "join") as kind ->
@@ -656,18 +754,12 @@ let explain_cmd =
   let algo =
     Arg.(
       value
-      & opt string "hash"
+      & opt (some string) None
       & info [ "algo" ]
-          ~doc:"Join algorithm: hash, nl, bnl, merge, inl.")
-  in
-  let engine =
-    Arg.(
-      value
-      & opt string "seed"
-      & info [ "engine" ]
           ~doc:
-            "Data plane: 'seed' (materializing tuple engine) or 'frame' \
-             (columnar dictionary-encoded engine).")
+            "Force one join algorithm on every step: hash, nl, bnl, merge, \
+             inl.  Overrides --policy; when absent the configured policy \
+             lowers the plan.")
   in
   Cmd.v
     (Cmd.info "explain"
@@ -677,15 +769,21 @@ let explain_cmd =
           and Q-error")
     Term.(
       const
-        (fun sc sh n seed rows domain regime st algo engine tr ->
-          graceful (run_explain sc sh n seed rows domain regime st algo engine) tr)
+        (fun sc sh n seed rows domain regime st algo cfg tr ->
+          graceful (run_explain sc sh n seed rows domain regime st algo cfg) tr)
       $ scenario $ shape_arg $ n_arg $ seed_arg $ rows_arg $ domain_arg
-      $ regime_arg $ strategy $ algo $ engine $ trace_arg)
+      $ regime_arg $ strategy $ algo $ config_term $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "strategies for multiple joins — reproduction toolbox" in
+  (* Resolve the environment exactly once per process, before any
+     subcommand runs: this registers the MJ_DATA_PLANE / MJ_DOMAINS
+     defaults with Cost.Cache and the pool, so subcommands without
+     engine flags (examples, plan, analyze, ...) keep their historical
+     env-driven behavior. *)
+  ignore (Engine.Config.of_env ());
   let info = Cmd.info "mjoin" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval

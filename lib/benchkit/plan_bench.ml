@@ -1,0 +1,171 @@
+open Mj_relation
+open Mj_hypergraph
+open Multijoin
+module Dbgen = Mj_workload.Dbgen
+module Scenarios = Mj_workload.Scenarios
+module Pool = Mj_pool.Pool
+module Json = Mj_obs.Json
+module Exec = Mj_engine.Exec
+module Physical = Mj_engine.Physical
+module Planner = Mj_engine.Planner
+
+type row = {
+  workload : string;
+  rows_per_rel : int;
+  reps : int;
+  base_ms : float;
+  cost_ms : float;
+  speedup : float;
+  tau : int;
+  cost_algos : string;
+  base_comparisons : int;
+  cost_comparisons : int;
+  base_probes : int;
+  cost_probes : int;
+  equal : bool;
+}
+
+type t = { baseline : string; domains : int; rows : row list }
+
+let time reps f =
+  (* Same discipline as {!Frame_bench.time}: settle the heap, report
+     the median rep — robust to GC-pause outliers. *)
+  Gc.full_major ();
+  let samples = Array.make reps 0.0 in
+  let result = ref None in
+  for i = 0 to reps - 1 do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    samples.(i) <- (Unix.gettimeofday () -. t0) *. 1000.0;
+    result := Some r
+  done;
+  Array.sort compare samples;
+  (samples.(reps / 2), Option.get !result)
+
+let algos_of plan =
+  String.concat "," (List.map Physical.algorithm_name (Physical.algorithms plan))
+
+let max_base_card db =
+  List.fold_left
+    (fun acc s -> max acc (Relation.cardinality (Database.find db s)))
+    0 (Database.scheme_list db)
+
+(* Lower the one strategy both ways, run both plans on the seed plane,
+   and certify the chooser changed nothing observable but the operator
+   mix: equal results, and both τ-exact. *)
+let bench_row ~baseline ~reps workload db strategy =
+  let plan_base = Planner.lower ~policy:baseline db strategy in
+  let plan_cost = Planner.lower ~policy:Planner.Cost_based db strategy in
+  (* Certify once, untimed, and let the result relations die before the
+     timing loops: otherwise the first contender's live result inflates
+     the second's GC work and skews even identical plans. *)
+  let equal, tau, base_stats, cost_stats =
+    let base_r, base_stats = Exec.execute db plan_base in
+    let cost_r, cost_stats = Exec.execute db plan_cost in
+    let tau = base_stats.Exec.tuples_generated in
+    ( Relation.equal base_r cost_r
+      && tau = cost_stats.Exec.tuples_generated
+      && tau = Cost.tau db strategy,
+      tau,
+      base_stats,
+      cost_stats )
+  in
+  let base_ms, _ =
+    time reps (fun () -> Relation.cardinality (fst (Exec.execute db plan_base)))
+  in
+  let cost_ms, _ =
+    time reps (fun () -> Relation.cardinality (fst (Exec.execute db plan_cost)))
+  in
+  {
+    workload;
+    rows_per_rel = max_base_card db;
+    reps;
+    base_ms;
+    cost_ms;
+    speedup = (if cost_ms > 0.0 then base_ms /. cost_ms else 0.0);
+    tau;
+    cost_algos = algos_of plan_cost;
+    base_comparisons = base_stats.Exec.comparisons;
+    cost_comparisons = cost_stats.Exec.comparisons;
+    base_probes = base_stats.Exec.hash_probes;
+    cost_probes = cost_stats.Exec.hash_probes;
+    equal;
+  }
+
+let shape_of = function
+  | "chain" -> Querygraph.chain
+  | "star" -> Querygraph.star
+  | "cycle" -> Querygraph.cycle
+  | s -> invalid_arg ("Plan_bench: unknown shape " ^ s)
+
+let generated shape regime n =
+  let rng = Random.State.make [| n; 2026; Hashtbl.hash (shape ^ regime) |] in
+  let d = shape_of shape 5 in
+  match regime with
+  | "uniform" -> Dbgen.uniform_db ~rng ~rows:n ~domain:(max 2 (n / 3)) d
+  | "skewed" ->
+      Dbgen.skewed_db ~rng ~rows:n ~domain:(max 2 (n / 3)) ~skew:1.2 d
+  | "superkey" -> Dbgen.superkey_db ~rng ~rows:n ~domain:(max 3 (2 * n)) d
+  | r -> invalid_arg ("Plan_bench: unknown regime " ^ r)
+
+let run ?(baseline = Planner.Hash_all) ?domains ?(quick = false) () =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Pool.default_domains ()
+  in
+  let n = if quick then 60 else 300 in
+  let reps = if quick then 3 else 7 in
+  (* Example 1's exact optimum uses a Cartesian product: the one step
+     where the chooser must abandon hash for a loop join. *)
+  let ex1 =
+    let db = Scenarios.example1 in
+    bench_row ~baseline ~reps:(3 * reps) "ex1-optimum" db
+      (Optimal.optimum_exn db).Optimal.strategy
+  in
+  let gen (shape, regime) =
+    let db = generated shape regime n in
+    bench_row ~baseline ~reps
+      (shape ^ "5-" ^ regime)
+      db
+      (Strategy.left_deep (Database.scheme_list db))
+  in
+  {
+    baseline = Planner.policy_name baseline;
+    domains;
+    rows =
+      ex1
+      :: List.map gen
+           [ ("chain", "uniform"); ("chain", "skewed"); ("star", "uniform") ];
+  }
+
+let row_json r =
+  Json.Obj
+    [
+      ("workload", Json.str r.workload);
+      ("rows_per_rel", Json.int r.rows_per_rel);
+      ("reps", Json.int r.reps);
+      ("base_ms", Json.float r.base_ms);
+      ("cost_ms", Json.float r.cost_ms);
+      ("speedup", Json.float r.speedup);
+      ("tau", Json.int r.tau);
+      ("cost_algos", Json.str r.cost_algos);
+      ("base_comparisons", Json.int r.base_comparisons);
+      ("cost_comparisons", Json.int r.cost_comparisons);
+      ("base_probes", Json.int r.base_probes);
+      ("cost_probes", Json.int r.cost_probes);
+      ("equal", Json.bool r.equal);
+    ]
+
+let bench_json t =
+  Json.Obj
+    [
+      ("experiment", Json.str "PLAN");
+      ("baseline", Json.str t.baseline);
+      ("domains", Json.int t.domains);
+      ("rows", Json.Arr (List.map row_json t.rows));
+    ]
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string (bench_json t));
+  output_char oc '\n';
+  close_out oc

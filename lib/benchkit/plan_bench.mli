@@ -1,0 +1,54 @@
+(** The PLAN benchmark: baseline vs cost-based lowering, head to head.
+
+    The planner twin of {!Frame_bench}.  Each row takes one workload's
+    (database, strategy) pair, lowers the {e same} strategy twice —
+    under the baseline policy (default [Planner.Hash_all], the
+    pre-planner behavior; the bench harness's [--policy] flag) and
+    under [Planner.Cost_based] — and executes both plans on the seed
+    data plane ({!Mj_engine.Exec}, the only plane where per-step
+    algorithm annotations are load-bearing; the columnar plane treats
+    them as advisory).  Certified per row:
+
+    - the result relations are [Relation.equal], and
+    - both executions generate exactly τ tuples (the paper's measure is
+      algorithm-independent for materializing execution),
+
+    so the cost-based chooser can only move wall-clock and operator
+    counters, never the answer — which is precisely what the columns
+    show: median wall times, tuple-pair comparisons, and hash probes
+    under each lowering, plus the per-step algorithms the chooser
+    picked. *)
+
+type row = {
+  workload : string;  (** e.g. ["chain5-skewed"] or ["ex1-optimum"] *)
+  rows_per_rel : int;
+  reps : int;
+  base_ms : float;  (** median rep wall time, baseline lowering *)
+  cost_ms : float;  (** median rep wall time, [Cost_based] lowering *)
+  speedup : float;  (** [base_ms /. cost_ms] *)
+  tau : int;  (** tuples generated — identical under both (certified) *)
+  cost_algos : string;
+      (** per-step algorithms of the cost-based plan, pre-order,
+          comma-separated (the baseline plan is one algorithm at every
+          step) *)
+  base_comparisons : int;
+  cost_comparisons : int;
+  base_probes : int;
+  cost_probes : int;
+  equal : bool;  (** equal results and equal τ *)
+}
+
+type t = { baseline : string; domains : int; rows : row list }
+
+val run :
+  ?baseline:Mj_engine.Planner.policy -> ?domains:int -> ?quick:bool -> unit -> t
+(** [baseline] defaults to [Planner.Hash_all].  [quick] (default
+    [false]) trims database sizes to CI-smoke scale.  [domains]
+    defaults to {!Mj_pool.Pool.default_domains} and is recorded for the
+    report; the rows themselves run sequentially so wall times stay
+    clean. *)
+
+val bench_json : t -> Mj_obs.Json.t
+
+val write_file : string -> t -> unit
+(** Write {!bench_json} (one line) to a file, e.g. [BENCH_PLAN.json]. *)

@@ -41,10 +41,19 @@ module Cache = struct
 
   type backend = Seed | Frame
 
-  let backend_of_env () =
-    match Sys.getenv_opt "MJ_DATA_PLANE" with
-    | Some s when String.lowercase_ascii (String.trim s) = "frame" -> Frame
-    | _ -> Seed
+  (* The old [backend_of_env] re-read MJ_DATA_PLANE on every call.  The
+     environment is now resolved exactly once, by
+     [Mj_engine.Engine.Config.of_env], which registers the result here;
+     first registration wins so the default backend is stable for the
+     whole process. *)
+  let env_backend = ref None
+
+  let set_env_backend b =
+    match !env_backend with
+    | None -> env_backend := Some b
+    | Some _ -> ()
+
+  let backend_of_env () = Option.value !env_backend ~default:Seed
 
   type t = {
     db : Database.t;

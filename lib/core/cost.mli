@@ -46,10 +46,19 @@ module Cache : sig
     | Seed   (** materialize through the seed [Relation] algebra *)
     | Frame  (** count through the columnar {!Mj_relation.Frame} path *)
 
+  val set_env_backend : backend -> unit
+  (** Register the process-wide default backend.  Called exactly once
+      by [Mj_engine.Engine.Config.of_env] with the resolved value of
+      [MJ_DATA_PLANE] — this module never reads the environment.  The
+      first registration wins; later calls are ignored. *)
+
   val backend_of_env : unit -> backend
-  (** [Frame] when the [MJ_DATA_PLANE] environment variable is set to
-      ["frame"] (case-insensitive), else [Seed] — the default backend
-      for {!create}. *)
+  (** @deprecated The single-read shim over {!set_env_backend}: the
+      registered backend when one exists, else [Seed].  Callers built
+      before the unified engine keep their behavior — entry points
+      resolve [MJ_DATA_PLANE=frame] once through
+      [Mj_engine.Engine.Config.of_env], which registers it here — but
+      new code should thread an [Engine.Config] instead. *)
 
   val create : ?obs:Mj_obs.Obs.sink -> ?backend:backend -> Database.t -> t
   (** Both backends produce identical cardinalities (certified by

@@ -1,0 +1,88 @@
+open Mj_relation
+module Obs = Mj_obs.Obs
+module Json = Mj_obs.Json
+
+module type PLANE = sig
+  val name : string
+  val root_span : string
+
+  type item
+  type ctx
+
+  val scan : ctx -> Scheme.t -> item
+
+  val join :
+    ctx -> Physical.algorithm -> common:Attr.Set.t -> item -> item -> item
+
+  val index_join :
+    ctx -> common:Attr.Set.t -> outer:item -> inner:Scheme.t -> item option
+
+  val cardinality : item -> int
+  val note_step : ctx -> int -> unit
+  val algo_label : Physical.algorithm -> string
+  val to_relation : ctx -> Scheme.t -> item -> Relation.t
+end
+
+type step_log = {
+  tuples_generated : int;
+  per_step : (Scheme.Set.t * int) list;
+}
+
+let scheme_key d = Format.asprintf "%a" Scheme.Set.pp d
+
+module Make (P : PLANE) = struct
+  (* The walker is the part both planes used to duplicate: the span
+     shapes (a "scan" per leaf, a "join" per step, attributes [scheme],
+     [rows] and [algo]), the per-step τ accounting, and the
+     index-nested-loop fast path that reaches the inner base relation
+     through its index instead of executing the scan.  A plane that has
+     no base-relation indexes answers [None] from [index_join] and the
+     step degrades to its ordinary join. *)
+  let execute ~obs ctx plan =
+    let generated = ref 0 in
+    let steps = ref [] in
+    let rec run = function
+      | Physical.Scan s ->
+          Obs.span obs "scan" (fun () ->
+              let it = P.scan ctx s in
+              if Obs.enabled obs then begin
+                Obs.set_attr obs "scheme"
+                  (Json.str (scheme_key (Scheme.Set.singleton s)));
+                Obs.set_attr obs "rows" (Json.int (P.cardinality it))
+              end;
+              (s, it))
+      | Physical.Join (algo, l, r) ->
+          Obs.span obs "join" (fun () ->
+              let node_schemes =
+                Scheme.Set.union (Physical.schemes l) (Physical.schemes r)
+              in
+              if Obs.enabled obs then begin
+                Obs.set_attr obs "algo" (Json.str (P.algo_label algo));
+                Obs.set_attr obs "scheme" (Json.str (scheme_key node_schemes))
+              end;
+              let finish out_scheme it =
+                let n = P.cardinality it in
+                generated := !generated + n;
+                steps := (node_schemes, n) :: !steps;
+                P.note_step ctx n;
+                if Obs.enabled obs then Obs.set_attr obs "rows" (Json.int n);
+                (out_scheme, it)
+              in
+              let ordinary ls left =
+                let rs, right = run r in
+                let common = Attr.Set.inter ls rs in
+                finish (Attr.Set.union ls rs) (P.join ctx algo ~common left right)
+              in
+              let ls, left = run l in
+              match (algo, r) with
+              | Physical.Index_nested_loop, Physical.Scan inner -> (
+                  let common = Attr.Set.inter ls inner in
+                  match P.index_join ctx ~common ~outer:left ~inner with
+                  | Some it -> finish (Attr.Set.union ls inner) it
+                  | None -> ordinary ls left)
+              | _ -> ordinary ls left)
+    in
+    let out_scheme, item = Obs.span obs P.root_span (fun () -> run plan) in
+    let result = P.to_relation ctx out_scheme item in
+    (result, { tuples_generated = !generated; per_step = List.rev !steps })
+end

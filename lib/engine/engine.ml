@@ -1,0 +1,147 @@
+open Mj_relation
+open Multijoin
+module Obs = Mj_obs.Obs
+module Pool = Mj_pool.Pool
+
+type plane = Seed | Frame
+
+let plane_name = function Seed -> "seed" | Frame -> "frame"
+
+let plane_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "seed" -> Some Seed
+  | "frame" -> Some Frame
+  | _ -> None
+
+let backend_of_plane = function
+  | Seed -> Cost.Cache.Seed
+  | Frame -> Cost.Cache.Frame
+
+module Config = struct
+  type t = {
+    plane : plane;
+    domains : int;
+    obs : Obs.sink;
+    algo_policy : Planner.policy;
+    index_cache : Exec.index_cache;
+  }
+
+  (* The single point of environment reads in the whole library tree:
+     MJ_DATA_PLANE, MJ_DOMAINS and MJ_ALGO_POLICY are read once per
+     process, here, and the resolved values are pushed down to the two
+     modules that used to read the environment themselves (the pool's
+     default worker count and [Cost.Cache]'s default backend), so every
+     legacy caller keeps its env-driven behavior without a second
+     read. *)
+  let env =
+    lazy
+      (let plane =
+         match Sys.getenv_opt "MJ_DATA_PLANE" with
+         | Some s when String.lowercase_ascii (String.trim s) = "frame" ->
+             Frame
+         | _ -> Seed
+       in
+       let domains =
+         match Sys.getenv_opt "MJ_DOMAINS" with
+         | Some s -> (
+             try Some (max 1 (int_of_string (String.trim s)))
+             with _ -> Some 1)
+         | None -> None
+       in
+       let policy =
+         match Sys.getenv_opt "MJ_ALGO_POLICY" with
+         | Some s ->
+             Option.value (Planner.policy_of_string s)
+               ~default:Planner.Hash_all
+         | None -> Planner.Hash_all
+       in
+       Cost.Cache.set_env_backend (backend_of_plane plane);
+       (match domains with Some d -> Pool.set_env_domains d | None -> ());
+       (plane, domains, policy))
+
+  let of_env ?(obs = Obs.noop) () =
+    let plane, domains, policy = Lazy.force env in
+    {
+      plane;
+      domains =
+        (match domains with Some d -> d | None -> Pool.default_domains ());
+      obs;
+      algo_policy = policy;
+      index_cache = Exec.index_cache ();
+    }
+
+  let make ?plane ?domains ?policy ?obs () =
+    let base = of_env ?obs () in
+    {
+      base with
+      plane = Option.value plane ~default:base.plane;
+      domains = (match domains with Some d -> max 1 d | None -> base.domains);
+      algo_policy = Option.value policy ~default:base.algo_policy;
+    }
+
+  let backend c = backend_of_plane c.plane
+end
+
+type stats = {
+  plane : plane;
+  tuples_generated : int;
+  result_rows : int;
+  per_step : (Scheme.Set.t * int) list;
+  seed : Exec.stats option;
+  frame : Frame_engine.stats option;
+}
+
+module type BACKEND = sig
+  val plane : plane
+
+  val execute : Config.t -> Database.t -> Physical.t -> Relation.t * stats
+end
+
+module Seed_backend = struct
+  let plane = Seed
+
+  let execute (cfg : Config.t) db plan =
+    let r, (s : Exec.stats) =
+      Exec.execute ~obs:cfg.obs ~cache:cfg.index_cache db plan
+    in
+    ( r,
+      {
+        plane;
+        tuples_generated = s.tuples_generated;
+        result_rows = Relation.cardinality r;
+        per_step = s.per_step;
+        seed = Some s;
+        frame = None;
+      } )
+end
+
+module Frame_backend = struct
+  let plane = Frame
+
+  let execute (cfg : Config.t) db plan =
+    let r, (s : Frame_engine.stats) =
+      Frame_engine.execute_plan ~obs:cfg.obs ~domains:cfg.domains db plan
+    in
+    ( r,
+      {
+        plane;
+        tuples_generated = s.tuples_generated;
+        result_rows = s.result_rows;
+        per_step = s.per_step;
+        seed = None;
+        frame = Some s;
+      } )
+end
+
+let backend = function
+  | Seed -> (module Seed_backend : BACKEND)
+  | Frame -> (module Frame_backend : BACKEND)
+
+let lower (cfg : Config.t) db strategy =
+  Planner.lower ~policy:cfg.algo_policy ~indexes:cfg.index_cache db strategy
+
+let execute_plan (cfg : Config.t) db plan =
+  let (module B) = backend cfg.plane in
+  B.execute cfg db plan
+
+let run cfg db strategy = execute_plan cfg db (lower cfg db strategy)

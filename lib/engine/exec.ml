@@ -32,7 +32,6 @@ type counters = {
   built : Obs.counter;
   hits : Obs.counter;
   peak : Obs.counter;
-  mutable steps : (Scheme.Set.t * int) list;
 }
 
 let fresh () =
@@ -46,7 +45,6 @@ let fresh () =
     built = Obs.reg_counter reg "exec.index_builds";
     hits = Obs.reg_counter reg "exec.index_hits";
     peak = Obs.reg_counter reg "exec.max_materialized";
-    steps = [];
   }
 
 let note_materialized c n = Obs.record_max c.peak n
@@ -61,7 +59,7 @@ let key_extractor common =
 (* The join algorithms, each consuming and producing tuple lists (the
    materializing engine keeps children as lists). *)
 
-let nested_loop c out_scheme left right =
+let nested_loop c left right =
   let acc = ref [] in
   List.iter
     (fun t1 ->
@@ -71,7 +69,6 @@ let nested_loop c out_scheme left right =
           if Tuple.joinable t1 t2 then acc := Tuple.merge t1 t2 :: !acc)
         right)
     left;
-  ignore out_scheme;
   List.rev !acc
 
 (* Constant-stack chunking: the old [take] recursed once per taken
@@ -83,9 +80,8 @@ let take k l =
   in
   go k [] l
 
-let block_nested_loop c out_scheme block left right =
+let block_nested_loop c block left right =
   if block < 1 then invalid_arg "Exec: block size below 1";
-  ignore out_scheme;
   let acc = ref [] in
   let rec blocks = function
     | [] -> ()
@@ -169,12 +165,12 @@ let base_relation db s =
         (Printf.sprintf "Exec: scheme %s not in the database"
            (Scheme.to_string s))
 
+let cache_key s common = Scheme.to_string s ^ "|" ^ Attr.Set.to_string common
+
 (* Fetch or build the hash index of a base relation on the given join
    attributes. *)
 let base_index c cache db s common =
-  let cache_key =
-    Scheme.to_string s ^ "|" ^ Attr.Set.to_string common
-  in
+  let cache_key = cache_key s common in
   match Hashtbl.find_opt cache cache_key with
   | Some table ->
       Obs.incr c.hits 1;
@@ -203,70 +199,59 @@ let index_join c cache db left common inner_scheme =
     left;
   List.rev !acc
 
-let scheme_key d = Format.asprintf "%a" Scheme.Set.pp d
-
-let rec run obs c cache db = function
-  | Physical.Scan s ->
-      Obs.span obs "scan" (fun () ->
-          let r = base_relation db s in
-          let tuples = Relation.tuples r in
-          Obs.incr c.scanned (List.length tuples);
-          if Obs.enabled obs then begin
-            Obs.set_attr obs "scheme"
-              (Json.str (scheme_key (Scheme.Set.singleton s)));
-            Obs.set_attr obs "rows" (Json.int (List.length tuples))
-          end;
-          (s, tuples))
-  | Physical.Join (algo, l, r) ->
-      Obs.span obs "join" (fun () ->
-          let node_schemes =
-            Scheme.Set.union (Physical.schemes l) (Physical.schemes r)
-          in
-          if Obs.enabled obs then begin
-            Obs.set_attr obs "algo" (Json.str (Physical.algorithm_name algo));
-            Obs.set_attr obs "scheme" (Json.str (scheme_key node_schemes))
-          end;
-          match algo, r with
-          | Physical.Index_nested_loop, Physical.Scan inner ->
-              (* The inner base relation is reached through its index;
-                 only the outer child executes. *)
-              let ls, left = run obs c cache db l in
-              let common = Attr.Set.inter ls inner in
-              let out = index_join c cache db left common inner in
-              finish obs c node_schemes (Attr.Set.union ls inner) out
-          | _ ->
-              let ls, left = run obs c cache db l in
-              let rs, right = run obs c cache db r in
-              let common = Attr.Set.inter ls rs in
-              let out_scheme = Attr.Set.union ls rs in
-              let out =
-                match algo with
-                | Physical.Nested_loop -> nested_loop c out_scheme left right
-                | Physical.Block_nested_loop b ->
-                    block_nested_loop c out_scheme b left right
-                | Physical.Hash_join | Physical.Index_nested_loop ->
-                    (* Index joins on a non-scan inner degrade to hash. *)
-                    hash_join c common left right
-                | Physical.Sort_merge -> sort_merge c common left right
-              in
-              finish obs c node_schemes out_scheme out)
-
-and finish obs c node_schemes out_scheme out =
-  let n = List.length out in
-  Obs.incr c.generated n;
-  note_materialized c n;
-  c.steps <- (node_schemes, n) :: c.steps;
-  if Obs.enabled obs then Obs.set_attr obs "rows" (Json.int n);
-  (out_scheme, out)
-
 let index_cache () : index_cache = Hashtbl.create 16
+let has_index (cache : index_cache) s ~on = Hashtbl.mem cache (cache_key s on)
+
+let prime_index (cache : index_cache) db s ~on =
+  (* Warm an "existing index" (the Section 1 argument): build it outside
+     any execution, against throwaway counters, so later executions see
+     an index hit instead of a build. *)
+  ignore (base_index (fresh ()) cache db s on)
+
+(* The seed row plane, plugged into the generic Driver walker:
+   intermediates are materialized tuple lists and the algorithm
+   annotation selects among the loop/hash/merge/index kernels above. *)
+module Seed_plane = struct
+  let name = "seed"
+  let root_span = "execute"
+
+  type item = Tuple.t list
+  type ctx = { c : counters; cache : index_cache; db : Database.t }
+
+  let scan ctx s =
+    let tuples = Relation.tuples (base_relation ctx.db s) in
+    Obs.incr ctx.c.scanned (List.length tuples);
+    tuples
+
+  let join ctx algo ~common left right =
+    match algo with
+    | Physical.Nested_loop -> nested_loop ctx.c left right
+    | Physical.Block_nested_loop b -> block_nested_loop ctx.c b left right
+    | Physical.Hash_join | Physical.Index_nested_loop ->
+        (* Index joins on a non-scan inner degrade to hash. *)
+        hash_join ctx.c common left right
+    | Physical.Sort_merge -> sort_merge ctx.c common left right
+
+  let index_join ctx ~common ~outer ~inner =
+    Some (index_join ctx.c ctx.cache ctx.db outer common inner)
+
+  let cardinality = List.length
+
+  let note_step ctx n =
+    Obs.incr ctx.c.generated n;
+    note_materialized ctx.c n
+
+  let algo_label = Physical.algorithm_name
+  let to_relation _ctx scheme tuples = Relation.make scheme tuples
+end
+
+module Drive = Driver.Make (Seed_plane)
 
 let execute ?(obs = Obs.noop) ?(cache = index_cache ()) db plan =
   let c = fresh () in
-  let out_scheme, tuples =
-    Obs.span obs "execute" (fun () -> run obs c cache db plan)
+  let result, (log : Driver.step_log) =
+    Drive.execute ~obs { Seed_plane.c; cache; db } plan
   in
-  let result = Relation.make out_scheme tuples in
   Obs.merge_registry obs c.reg;
   ( result,
     {
@@ -277,7 +262,7 @@ let execute ?(obs = Obs.noop) ?(cache = index_cache ()) db plan =
       index_builds = Obs.value c.built;
       index_hits = Obs.value c.hits;
       max_materialized = Obs.value c.peak;
-      per_step = List.rev c.steps;
+      per_step = log.per_step;
     } )
 
 type pipeline_stats = {

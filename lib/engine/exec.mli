@@ -40,6 +40,18 @@ type index_cache
 
 val index_cache : unit -> index_cache
 
+val has_index : index_cache -> Scheme.t -> on:Attr.Set.t -> bool
+(** Whether the cache already holds an index of base relation [s] on
+    the given join attributes — what the cost-based {!Planner} consults
+    to price [Index_nested_loop] as probe-only. *)
+
+val prime_index : index_cache -> Database.t -> Scheme.t -> on:Attr.Set.t -> unit
+(** Build (if absent) the index of a base relation on the given join
+    attributes, outside any execution — modelling Section 1's
+    "existing indices".  Subsequent {!execute} runs through the same
+    cache count an [index_hits] instead of an [index_builds].
+    @raise Invalid_argument if the scheme is not in the database. *)
+
 val execute :
   ?obs:Mj_obs.Obs.sink ->
   ?cache:index_cache ->

@@ -1,7 +1,5 @@
 open Mj_relation
-open Multijoin
 module Obs = Mj_obs.Obs
-module Json = Mj_obs.Json
 
 type stats = {
   tuples_generated : int;
@@ -13,62 +11,74 @@ type stats = {
   per_step : (Scheme.Set.t * int) list;
 }
 
-let scheme_key d = Format.asprintf "%a" Scheme.Set.pp d
+(* The columnar plane, plugged into the generic Driver walker:
+   intermediates are dictionary-encoded frames and every step runs the
+   one columnar hash kernel — the algorithm annotation is advisory
+   (τ and results are algorithm-independent for materializing
+   execution), and there are no base-relation indexes, so the INL fast
+   path falls back to the ordinary join. *)
+module Frame_plane = struct
+  let name = "frame"
+  let root_span = "execute-frame"
 
-let execute ?(obs = Obs.noop) ?domains ?par_threshold db strategy =
-  let fdb = Frame.Db.of_database db in
-  let fstats = Frame.fresh_stats () in
-  let generated = ref 0 in
-  let steps = ref [] in
-  let rec run = function
-    | Strategy.Leaf s ->
-        Obs.span obs "scan" (fun () ->
-            let f =
-              match Frame.Db.find fdb s with
-              | f -> f
-              | exception Not_found ->
-                  invalid_arg
-                    (Printf.sprintf "Frame_engine: scheme %s not in the database"
-                       (Scheme.to_string s))
-            in
-            if Obs.enabled obs then begin
-              Obs.set_attr obs "scheme"
-                (Json.str (scheme_key (Scheme.Set.singleton s)));
-              Obs.set_attr obs "rows" (Json.int (Frame.cardinality f))
-            end;
-            f)
-    | Strategy.Join n ->
-        Obs.span obs "join" (fun () ->
-            if Obs.enabled obs then begin
-              Obs.set_attr obs "algo" (Json.str "frame-hash");
-              Obs.set_attr obs "scheme" (Json.str (scheme_key n.schemes))
-            end;
-            let f1 = run n.left in
-            let f2 = run n.right in
-            let f = Frame.natural_join ?domains ?par_threshold ~stats:fstats f1 f2 in
-            let rows = Frame.cardinality f in
-            generated := !generated + rows;
-            steps := (n.schemes, rows) :: !steps;
-            if Obs.enabled obs then Obs.set_attr obs "rows" (Json.int rows);
-            f)
+  type item = Frame.t
+
+  type ctx = {
+    fdb : Frame.Db.t;
+    fstats : Frame.stats;
+    domains : int option;
+    par_threshold : int option;
+  }
+
+  let scan ctx s =
+    match Frame.Db.find ctx.fdb s with
+    | f -> f
+    | exception Not_found ->
+        invalid_arg
+          (Printf.sprintf "Frame_engine: scheme %s not in the database"
+             (Scheme.to_string s))
+
+  let join ctx _algo ~common:_ f1 f2 =
+    Frame.natural_join ?domains:ctx.domains ?par_threshold:ctx.par_threshold
+      ~stats:ctx.fstats f1 f2
+
+  let index_join _ctx ~common:_ ~outer:_ ~inner:_ = None
+  let cardinality = Frame.cardinality
+  let note_step _ctx _n = ()
+  let algo_label _ = "frame-hash"
+  let to_relation _ctx _scheme f = Frame.to_relation f
+end
+
+module Drive = Driver.Make (Frame_plane)
+
+let execute_plan ?(obs = Obs.noop) ?domains ?par_threshold db plan =
+  let ctx =
+    {
+      Frame_plane.fdb = Frame.Db.of_database db;
+      fstats = Frame.fresh_stats ();
+      domains;
+      par_threshold;
+    }
   in
-  let f = Obs.span obs "execute-frame" (fun () -> run strategy) in
-  let result = Frame.to_relation f in
-  let dict_size = Frame.Dict.size (Frame.Db.dict fdb) in
+  let result, (log : Driver.step_log) = Drive.execute ~obs ctx plan in
+  let dict_size = Frame.Dict.size (Frame.Db.dict ctx.fdb) in
   if Obs.enabled obs then begin
-    Obs.add obs "exec.tuples_generated" !generated;
+    Obs.add obs "exec.tuples_generated" log.tuples_generated;
     Obs.add obs "frame.dict_size" dict_size;
-    Obs.add obs "frame.partitions" fstats.partitions;
-    Obs.add obs "frame.probes" fstats.probes;
-    Obs.add obs "frame.probe_hits" fstats.probe_hits
+    Obs.add obs "frame.partitions" ctx.fstats.partitions;
+    Obs.add obs "frame.probes" ctx.fstats.probes;
+    Obs.add obs "frame.probe_hits" ctx.fstats.probe_hits
   end;
   ( result,
     {
-      tuples_generated = !generated;
-      result_rows = Frame.cardinality f;
+      tuples_generated = log.tuples_generated;
+      result_rows = Relation.cardinality result;
       dict_size;
-      probes = fstats.probes;
-      probe_hits = fstats.probe_hits;
-      partitions = fstats.partitions;
-      per_step = List.rev !steps;
+      probes = ctx.fstats.probes;
+      probe_hits = ctx.fstats.probe_hits;
+      partitions = ctx.fstats.partitions;
+      per_step = log.per_step;
     } )
+
+let execute ?obs ?domains ?par_threshold db strategy =
+  execute_plan ?obs ?domains ?par_threshold db (Physical.of_strategy strategy)

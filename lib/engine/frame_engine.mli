@@ -36,3 +36,16 @@ val execute :
     result relation and with [Cost.tau db s] on [tuples_generated]
     (certified by the qcheck suite and [bench FRAME]).
     @raise Invalid_argument if a leaf scheme is missing from [db]. *)
+
+val execute_plan :
+  ?obs:Mj_obs.Obs.sink -> ?domains:int -> ?par_threshold:int ->
+  Database.t -> Physical.t -> Relation.t * stats
+(** Execute an annotated physical plan on the columnar plane.  The
+    frame plane has exactly one join kernel, so the per-step algorithm
+    annotations are {e advisory}: every step runs the columnar hash
+    join (span attribute [algo = "frame-hash"]) whatever the plan says.
+    Results and [tuples_generated] still agree with [Exec.execute] on
+    the same plan — τ is a property of the join {e order}, not the
+    algorithm — which is what lets the planner equivalence suite force
+    any policy on either plane.
+    @raise Invalid_argument if a scanned scheme is missing from [db]. *)

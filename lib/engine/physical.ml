@@ -25,6 +25,13 @@ let rec strategy_of = function
 
 let schemes p = Strategy.schemes (strategy_of p)
 
+let algorithms p =
+  let rec go acc = function
+    | Scan _ -> acc
+    | Join (a, l, r) -> go (go (a :: acc) l) r
+  in
+  List.rev (go [] p)
+
 let algorithm_name = function
   | Nested_loop -> "nl"
   | Block_nested_loop b -> Printf.sprintf "bnl%d" b

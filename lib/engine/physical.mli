@@ -48,6 +48,11 @@ val strategy_of : t -> Strategy.t
     @raise Invalid_argument if the plan violates (S3). *)
 
 val schemes : t -> Scheme.Set.t
+
+val algorithms : t -> algorithm list
+(** Every join annotation in the plan, pre-order — what the planner
+    tests inspect to assert an algorithm was actually selected. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

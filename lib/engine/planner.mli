@@ -1,0 +1,68 @@
+(** Lowering logical strategies to physical plans.
+
+    A {!Multijoin.Strategy.t} fixes the join {e order} — the object the
+    paper's theorems rank by τ.  This module fixes the remaining degree
+    of freedom, the per-step {e algorithm}, turning a strategy into a
+    {!Physical.t} the engine can run.  The policy spectrum:
+
+    - [Hash_all] — the historical default: every step a hash join
+      (what [Physical.of_strategy] did unconditionally before this
+      layer existed);
+    - [Forced a] — every step the given algorithm, for apples-to-apples
+      experiments and the planner equivalence suite;
+    - [Cost_based] — a System-R-flavoured chooser over
+      {!Mj_optimizer.Catalog} statistics: per step it estimates both
+      children via {!Mj_optimizer.Estimate.of_catalog} (or a caller
+      oracle), prices each algorithm in tuples touched — loop joins
+      pay their pairwise comparisons, with the block variant amortizing
+      inner re-traversals over blocks of 64; hash is linear plus a
+      duplicate penalty from the build side's distinct counts;
+      sort-merge n·log n; index-nested-loop is probe-only when the
+      execution cache already holds the inner base relation's index
+      (Section 1's "existing indices"); on Cartesian steps the
+      key-based algorithms are priced out — and keeps the cheapest.
+
+    Determinism: candidates are priced by pure formulas over integer
+    estimates and compared in a fixed order with a strict minimum, so
+    lowering is a function of the (database, strategy, warm-index set)
+    triple — same inputs, same plan, on every run and every domain
+    count.  Changing the algorithm never changes the result relation or
+    τ (materializing execution generates the same tuples in any case);
+    only wall-clock and operator counters move.  The qcheck equivalence
+    suite certifies exactly that, on both data planes. *)
+
+open Mj_relation
+open Multijoin
+
+type policy =
+  | Hash_all  (** every step [Hash_join] — the pre-planner behavior *)
+  | Cost_based  (** catalog-driven per-step choice *)
+  | Forced of Physical.algorithm  (** every step the given algorithm *)
+
+val policy_name : policy -> string
+(** ["hash"], ["cost"], or ["forced-<algo>"]. *)
+
+val policy_of_string : string -> policy option
+(** Parses the [--policy] flag values ["hash"] and ["cost"]
+    (case-insensitive); forced policies are built programmatically
+    (e.g. from [mjoin explain --algo]). *)
+
+val block_size : int
+(** Block size priced and emitted for [Block_nested_loop] (64). *)
+
+val lower :
+  ?policy:policy ->
+  ?oracle:(Scheme.Set.t -> int) ->
+  ?indexes:Exec.index_cache ->
+  Database.t ->
+  Strategy.t ->
+  Physical.t
+(** [lower db s] annotates every step of [s].  [policy] defaults to
+    [Hash_all].  Under [Cost_based], [oracle] overrides the catalog
+    estimator (pass {!Multijoin.Cost.cardinality_oracle} for
+    true-cardinality lowering) and [indexes] — typically the
+    [Engine.Config]'s cache — marks which base-relation indexes are
+    already warm.
+    @raise Not_found under [Cost_based] if the strategy mentions a
+    scheme outside [db] (the estimator has no statistics for it);
+    execution would reject such a plan anyway. *)

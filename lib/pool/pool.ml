@@ -1,6 +1,17 @@
+(* The pool no longer reads MJ_DOMAINS itself: the environment is
+   resolved exactly once, by [Mj_engine.Engine.Config.of_env], which
+   registers the result here.  First registration wins, so the default
+   is stable for the whole process however many configs are built. *)
+let env_domains = ref None
+
+let set_env_domains d =
+  match !env_domains with
+  | None -> env_domains := Some (max 1 d)
+  | Some _ -> ()
+
 let default_domains () =
-  match Sys.getenv_opt "MJ_DOMAINS" with
-  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  match !env_domains with
+  | Some d -> d
   | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
 
 let run ?domains tasks =

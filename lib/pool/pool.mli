@@ -14,9 +14,16 @@
     domain and no domain is spawned.  If any task raises, the pool joins
     all workers and re-raises one of the exceptions. *)
 
+val set_env_domains : int -> unit
+(** Register the process-wide default worker count (clamped to ≥ 1).
+    Called exactly once by [Mj_engine.Engine.Config.of_env] with the
+    value of [MJ_DOMAINS] — the pool itself never reads the
+    environment.  The first registration wins; later calls are
+    ignored, so the default cannot change mid-process. *)
+
 val default_domains : unit -> int
-(** [MJ_DOMAINS] when set, else [Domain.recommended_domain_count]
-    capped at 8. *)
+(** The registered {!set_env_domains} value when one exists, else
+    [Domain.recommended_domain_count] capped at 8. *)
 
 val run : ?domains:int -> (unit -> 'a) array -> 'a array
 (** [run tasks] evaluates every task and returns their results indexed

@@ -24,6 +24,24 @@ test -s "$TMP/explain.jsonl"
 test -s "$TMP/opt.jsonl"
 grep -q 'opt.pairs_inspected' "$TMP/opt.jsonl"
 
+# Unified engine flags (--engine / --domains / --policy) on every
+# executing subcommand, both planes, both lowering policies.
+"$MJOIN" explain --scenario ex1 --engine frame --policy cost > /dev/null
+"$MJOIN" explain --scenario ex1 --engine seed --policy cost --domains 2 \
+  | grep -q 'lowered (cost, seed plane)'
+"$MJOIN" explain --shape chain -n 4 --regime skewed --engine frame \
+  | grep -q 'frame plane'
+"$MJOIN" verify --scenario ex3 --engine frame --domains 2 \
+  | grep -q 'engine: frame plane, 2 domains'
+"$MJOIN" optimize --shape star -n 5 --engine frame --policy cost \
+  | grep -q 'executed (frame plane, cost lowering)'
+"$MJOIN" optimize --shape chain -n 4 --engine seed \
+  | grep -q 'executed (seed plane, hash lowering)'
+MJ_DATA_PLANE=frame "$MJOIN" explain --scenario ex1 | grep -q 'frame plane'
+# CLI beats the environment.
+MJ_DATA_PLANE=frame "$MJOIN" explain --scenario ex1 --engine seed \
+  | grep -q 'seed plane'
+
 cat > "$TMP/db.txt" <<DB
 = users
 U,N
@@ -41,5 +59,9 @@ DB
 # Error paths must exit non-zero but not crash with a backtrace.
 if "$MJOIN" examples nosuch > /dev/null 2>&1; then exit 1; fi
 if "$MJOIN" query "$TMP/db.txt" 'Q(x) :- nosuch(x,y).' > /dev/null 2>&1; then exit 1; fi
+if "$MJOIN" explain --scenario ex1 --engine columnar > /dev/null 2>&1; then exit 1; fi
+if "$MJOIN" explain --scenario ex1 --policy greedy > /dev/null 2>&1; then exit 1; fi
+if "$MJOIN" verify --scenario ex3 --engine bogus > /dev/null 2>&1; then exit 1; fi
+if "$MJOIN" optimize --shape chain -n 4 --policy bogus > /dev/null 2>&1; then exit 1; fi
 
 echo cli-smoke-ok
