@@ -775,6 +775,121 @@ let explain_cmd =
       $ regime_arg $ strategy $ algo $ config_term $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Gen = Mj_check.Gen
+module Check = Mj_check.Check
+module Fuzz = Mj_check.Fuzz
+
+let write_repro dir index repro =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (Printf.sprintf "case-%d.repro" index) in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Fuzz.repro_to_string repro));
+  path
+
+let run_fuzz_self_test () =
+  match Fuzz.self_test () with
+  | Ok msg -> Format.printf "self-test passed: %s@." msg
+  | Error msg -> failwith ("self-test failed: " ^ msg)
+
+let run_fuzz_replay file =
+  let contents = In_channel.with_open_text file In_channel.input_all in
+  match Fuzz.repro_of_string contents with
+  | Error msg -> failwith (Printf.sprintf "%s: %s" file msg)
+  | Ok r -> (
+      match Fuzz.replay r with
+      | Ok msg -> Format.printf "%s: %s@." file msg
+      | Error msg -> failwith (Printf.sprintf "%s: %s" file msg))
+
+let run_fuzz_campaign seed cases max_n out_dir =
+  Format.printf "fuzzing: %d cases, seed %d, up to %d relations@." cases seed
+    max_n;
+  let progress i d = function
+    | Check.Pass ->
+        if (i + 1) mod 25 = 0 || i + 1 = cases then
+          Format.printf "  %d/%d cases, last %a@." (i + 1) cases Gen.pp d
+    | Check.Fail f ->
+        Format.printf "  case %d (%a) FAILED: %a@." i Gen.pp d Check.pp_failure
+          f
+  in
+  let failures = Fuzz.campaign ~progress ~max_n ~seed ~cases () in
+  match failures with
+  | [] -> Format.printf "all %d cases passed@." cases
+  | _ ->
+      List.iter
+        (fun (i, _, dm, fm) ->
+          let path =
+            write_repro out_dir i
+              { Fuzz.descriptor = dm; failpoints = ""; expect = Fuzz.Expect_fail }
+          in
+          Format.printf "case %d minimized to %a (%a)@.  repro written to %s@."
+            i Gen.pp dm Check.pp_failure fm path)
+        failures;
+      failwith
+        (Printf.sprintf "%d of %d cases failed" (List.length failures) cases)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Campaign seed: case $(i,i) is derived from (seed, i) alone.")
+  in
+  let cases =
+    Arg.(
+      value & opt int 100
+      & info [ "cases" ] ~docv:"N" ~doc:"Number of cases to run.")
+  in
+  let max_n =
+    Arg.(
+      value & opt int 5
+      & info [ "max-n" ] ~docv:"N"
+          ~doc:
+            "Largest database, in relations.  At the default 5 every case \
+             also gets the exhaustive theorem-postcondition check.")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "_fuzz"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for minimized repro files (created on demand).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a repro file instead of fuzzing; succeeds iff the \
+             outcome matches the file's $(b,expect=) line.")
+  in
+  let self_test =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Certify the harness catches bugs: plant the frame-plane lossy \
+             join mutation, require detection, and require shrinking to at \
+             most 4 relations.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential/metamorphic fuzzing of the whole engine matrix")
+    Term.(
+      const (fun seed cases max_n out_dir replay self_test ->
+          graceful
+            (fun () ->
+              if self_test then run_fuzz_self_test ()
+              else
+                match replay with
+                | Some file -> run_fuzz_replay file
+                | None -> run_fuzz_campaign seed cases max_n out_dir)
+            ())
+      $ seed $ cases $ max_n $ out_dir $ replay $ self_test)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "strategies for multiple joins — reproduction toolbox" in
@@ -782,12 +897,16 @@ let () =
      subcommand runs: this registers the MJ_DATA_PLANE / MJ_DOMAINS
      defaults with Cost.Cache and the pool, so subcommands without
      engine flags (examples, plan, analyze, ...) keep their historical
-     env-driven behavior. *)
-  ignore (Engine.Config.of_env ());
+     env-driven behavior.  A malformed MJ_FAILPOINTS must die cleanly
+     here, not as an uncaught exception. *)
+  (try ignore (Engine.Config.of_env ())
+   with Failure msg ->
+     prerr_endline ("mjoin: " ^ msg);
+     exit 1);
   let info = Cmd.info "mjoin" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [ examples_cmd; conditions_cmd; verify_cmd; enumerate_cmd;
             optimize_cmd; space_cmd; analyze_cmd; plan_cmd; query_cmd;
-            explain_cmd ]))
+            explain_cmd; fuzz_cmd ]))

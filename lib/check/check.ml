@@ -1,0 +1,399 @@
+open Mj_relation
+open Multijoin
+module Hypergraph = Mj_hypergraph.Hypergraph
+module Obs = Mj_obs.Obs
+module Json = Mj_obs.Json
+module Engine = Mj_engine.Engine
+module Planner = Mj_engine.Planner
+module Physical = Mj_engine.Physical
+module Pool = Mj_pool.Pool
+module Failpoint = Mj_failpoint.Failpoint
+
+type failure = { check : string; detail : string }
+type outcome = Pass | Fail of failure
+
+exception Failed of failure
+
+let fail check fmt =
+  Format.kasprintf (fun detail -> raise (Failed { check; detail })) fmt
+
+let pp_failure fmt f = Format.fprintf fmt "%s: %s" f.check f.detail
+let guard f = try f () ; Pass with Failed x -> Fail x
+
+(* ------------------------------------------------------------------ *)
+(* Differential: the engine matrix against the algebraic reference.   *)
+(* ------------------------------------------------------------------ *)
+
+let planes = [ Engine.Seed; Engine.Frame ]
+let domain_counts = [ 1; 4 ]
+
+let policies =
+  [
+    Planner.Hash_all;
+    Planner.Cost_based;
+    Planner.Forced Physical.Nested_loop;
+    Planner.Forced (Physical.Block_nested_loop 3);
+    Planner.Forced Physical.Hash_join;
+    Planner.Forced Physical.Sort_merge;
+    Planner.Forced Physical.Index_nested_loop;
+  ]
+
+(* The structural fingerprint of a trace: every "scan"/"join" span in
+   DFS order with its scheme attribute.  Algorithm names and timings
+   are allowed to differ across the matrix; the shape is not. *)
+let skeleton obs =
+  let scheme_of attrs =
+    match List.assoc_opt "scheme" attrs with
+    | Some (Json.Str s) -> s
+    | _ -> "?"
+  in
+  let rec walk acc (sp : Obs.span_tree) =
+    let acc =
+      match sp.Obs.name with
+      | "scan" | "join" -> (sp.Obs.name, scheme_of sp.Obs.attrs) :: acc
+      | _ -> acc
+    in
+    List.fold_left walk acc sp.Obs.children
+  in
+  List.rev (List.fold_left walk [] (Obs.trace obs))
+
+let step_log_equal a b =
+  List.equal
+    (fun (d1, c1) (d2, c2) -> Scheme.Set.equal d1 d2 && c1 = c2)
+    a b
+
+let pp_step_log fmt log =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+       (fun fmt (d, c) -> Format.fprintf fmt "%a=%d" Scheme.Set.pp d c))
+    log
+
+let differential db s =
+  guard @@ fun () ->
+  let expected = Cost.eval db s in
+  let tau = Cost.tau db s in
+  let steps = Cost.step_costs db s in
+  (* Join spans must agree cell-for-cell across the whole matrix; the
+     full scan/join shape only across domain counts within one
+     plane × policy cell — the index-nested-loop fast path reaches
+     indexed base relations without executing (or tracing) the inner
+     scan, so scan counts legitimately differ between policies. *)
+  let reference_joins = ref None in
+  let cell_skeletons = Hashtbl.create 16 in
+  List.iter
+    (fun plane ->
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun domains ->
+              let where =
+                Printf.sprintf "%s/%s/%d-domain" (Engine.plane_name plane)
+                  (Planner.policy_name policy) domains
+              in
+              let obs = Obs.make () in
+              let cfg = Engine.Config.make ~plane ~domains ~policy ~obs () in
+              let r, stats = Engine.run cfg db s in
+              if not (Relation.equal r expected) then
+                fail "differential:result"
+                  "%s: %d rows, reference has %d (strategy %s)" where
+                  (Relation.cardinality r)
+                  (Relation.cardinality expected)
+                  (Strategy.to_string s);
+              if stats.Engine.tuples_generated <> tau then
+                fail "differential:tau" "%s: reported τ=%d, Cost.tau=%d" where
+                  stats.Engine.tuples_generated tau;
+              if not (step_log_equal stats.Engine.per_step steps) then
+                fail "differential:steps" "%s: per-step log %a ≠ %a" where
+                  pp_step_log stats.Engine.per_step pp_step_log steps;
+              let sk = skeleton obs in
+              let joins = List.filter (fun (n, _) -> n = "join") sk in
+              (match !reference_joins with
+              | None -> reference_joins := Some (where, joins)
+              | Some (ref_where, ref_joins) ->
+                  if joins <> ref_joins then
+                    fail "differential:spans"
+                      "%s: %d join spans with a different shape than %s's %d"
+                      where (List.length joins) ref_where
+                      (List.length ref_joins));
+              let cell =
+                (Engine.plane_name plane, Planner.policy_name policy)
+              in
+              match Hashtbl.find_opt cell_skeletons cell with
+              | None -> Hashtbl.add cell_skeletons cell (where, sk)
+              | Some (ref_where, ref_sk) ->
+                  if sk <> ref_sk then
+                    fail "differential:spans"
+                      "%s: scan/join shape differs from %s within the same \
+                       plane × policy cell"
+                      where ref_where)
+            domain_counts)
+        policies)
+    planes
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic: rewrites that provably preserve result or cost.       *)
+(* ------------------------------------------------------------------ *)
+
+let rec mirror = function
+  | Strategy.Leaf s -> Strategy.leaf s
+  | Strategy.Join n -> Strategy.join (mirror n.right) (mirror n.left)
+
+(* A pair of disjoint non-root subtrees, if any — candidates for
+   [Transform.exchange].  The two children of any join qualify, so
+   every strategy with at least one step has a pair. *)
+let exchange_pair s =
+  let root = Strategy.schemes s in
+  let subs =
+    List.filter
+      (fun d -> not (Scheme.Set.equal d root))
+      (Strategy.subtree_schemes s)
+  in
+  let rec first_pair = function
+    | [] -> None
+    | a :: rest -> (
+        match
+          List.find_opt (fun b -> Hypergraph.disjoint a b) rest
+        with
+        | Some b -> Some (a, b)
+        | None -> first_pair rest)
+  in
+  first_pair subs
+
+let metamorphic db s =
+  guard @@ fun () ->
+  let expected = Cost.eval db s in
+  let tau = Cost.tau db s in
+  (* Commuting every step is τ-invariant: each step still materializes
+     the same intermediate scheme set. *)
+  let m = mirror s in
+  let tau_m = Cost.tau db m in
+  if tau_m <> tau then
+    fail "metamorphic:mirror_tau" "τ(%s)=%d but τ(mirror)=%d"
+      (Strategy.to_string s) tau tau_m;
+  if not (Relation.equal (Cost.eval db m) expected) then
+    fail "metamorphic:mirror_result" "mirror of %s changed the result"
+      (Strategy.to_string s);
+  (* Exchanging disjoint substrategies preserves validity and the
+     result (the leaf multiset is unchanged). *)
+  (match exchange_pair s with
+  | None -> ()
+  | Some (a, b) ->
+      let x = Transform.exchange s a b in
+      (match Strategy.check x with
+      | Ok () -> ()
+      | Error msg ->
+          fail "metamorphic:exchange_valid"
+            "exchange %a ↔ %a produced an invalid strategy: %s"
+            Scheme.Set.pp a Scheme.Set.pp b msg);
+      if not (Scheme.Set.equal (Strategy.schemes x) (Strategy.schemes s))
+      then
+        fail "metamorphic:exchange_schemes"
+          "exchange %a ↔ %a changed the scheme set" Scheme.Set.pp a
+          Scheme.Set.pp b;
+      if not (Relation.equal (Cost.eval db x) expected) then
+        fail "metamorphic:exchange_result"
+          "exchange %a ↔ %a changed the result of %s" Scheme.Set.pp a
+          Scheme.Set.pp b (Strategy.to_string s));
+  (* Any strategy over the same leaves computes the same relation. *)
+  let ld = Strategy.left_deep (Strategy.leaves s) in
+  if not (Relation.equal (Cost.eval db ld) expected) then
+    fail "metamorphic:left_deep" "left-deep rebuild of %s changed the result"
+      (Strategy.to_string s);
+  (* Output-size sanity: each step is bounded by the product of its
+     inputs, and the τ log must agree with the cache oracle. *)
+  let cache = Cost.Cache.create db in
+  List.iter
+    (fun (d1, d2) ->
+      let c1 = Cost.Cache.card cache d1
+      and c2 = Cost.Cache.card cache d2 in
+      let c12 = Cost.Cache.card cache (Scheme.Set.union d1 d2) in
+      if c12 > c1 * c2 then
+        fail "metamorphic:step_bound" "|%a ⋈ %a| = %d > %d × %d"
+          Scheme.Set.pp d1 Scheme.Set.pp d2 c12 c1 c2)
+    (Strategy.steps s);
+  let base_product =
+    List.fold_left
+      (fun acc r -> acc * Relation.cardinality r)
+      1 (Database.relations db)
+  in
+  let result_card = Relation.cardinality expected in
+  if result_card > base_product then
+    fail "metamorphic:result_bound" "|R_D| = %d > Π|Rᵢ| = %d" result_card
+      base_product;
+  List.iter
+    (fun (d, c) ->
+      let oracle = Cost.Cache.card cache d in
+      if c <> oracle then
+        fail "metamorphic:step_oracle"
+          "step_costs says |%a| = %d, cache oracle says %d" Scheme.Set.pp d
+          c oracle)
+    (Cost.step_costs db s)
+
+(* ------------------------------------------------------------------ *)
+(* Theorems: the paper's postconditions against the exhaustive DP.    *)
+(* ------------------------------------------------------------------ *)
+
+let theorems db =
+  guard @@ fun () ->
+  let rep = Theorems.verify db in
+  let refuted name = function
+    | Theorems.Refuted -> fail "theorems:refuted" "%s came back Refuted" name
+    | Theorems.Holds | Theorems.Vacuous _ -> ()
+  in
+  refuted "theorem 1" rep.Theorems.theorem1;
+  refuted "theorem 2" rep.Theorems.theorem2;
+  refuted "theorem 3" rep.Theorems.theorem3;
+  (* Subspace minima must nest: a smaller search space can only be
+     more expensive. *)
+  if rep.Theorems.min_all > rep.Theorems.min_linear then
+    fail "theorems:nesting" "min_all=%d > min_linear=%d" rep.Theorems.min_all
+      rep.Theorems.min_linear;
+  if rep.Theorems.min_all > rep.Theorems.min_cp_free then
+    fail "theorems:nesting" "min_all=%d > min_cp_free=%d"
+      rep.Theorems.min_all rep.Theorems.min_cp_free;
+  (match rep.Theorems.min_linear_cp_free with
+  | Some v when v < rep.Theorems.min_linear || v < rep.Theorems.min_cp_free
+    ->
+      fail "theorems:nesting"
+        "min_linear_cp_free=%d below min_linear=%d or min_cp_free=%d" v
+        rep.Theorems.min_linear rep.Theorems.min_cp_free
+  | _ -> ());
+  (* DP ground truth, two independent ways: the DP's optimum strategy
+     must materialize to exactly the reported cost, and brute-force
+     enumeration of the whole space must find the same minimum. *)
+  (match Optimal.optimum db with
+  | None -> fail "theorems:dp" "Optimal.optimum returned None"
+  | Some r ->
+      if r.Optimal.cost <> rep.Theorems.min_all then
+        fail "theorems:dp" "DP cost %d ≠ report min_all %d" r.Optimal.cost
+          rep.Theorems.min_all;
+      let materialized = Cost.tau db r.Optimal.strategy in
+      if materialized <> r.Optimal.cost then
+        fail "theorems:dp"
+          "DP claims τ=%d for %s but materialization gives %d" r.Optimal.cost
+          (Strategy.to_string r.Optimal.strategy)
+          materialized);
+  let cache = Cost.Cache.create db in
+  let oracle = Cost.Cache.card cache in
+  let brute =
+    Enumerate.fold_strategies Enumerate.All (Database.schemes db)
+      ~init:max_int ~f:(fun acc s -> min acc (Cost.tau_oracle oracle s))
+  in
+  if brute <> rep.Theorems.min_all then
+    fail "theorems:brute_force"
+      "exhaustive enumeration min τ=%d, DP min_all=%d" brute
+      rep.Theorems.min_all;
+  if not (Theorems.lemma5_consistent db) then
+    fail "theorems:lemma5" "monotone refinement inconsistent with Lemma 5"
+
+(* ------------------------------------------------------------------ *)
+(* Faults: graceful degradation or loud failure, never corruption.    *)
+(* ------------------------------------------------------------------ *)
+
+let with_failpoints_saved f =
+  let saved = Failpoint.spec () in
+  Fun.protect
+    ~finally:(fun () ->
+      Failpoint.reset ();
+      match Failpoint.set_spec saved with Ok () -> () | Error _ -> ())
+    f
+
+let faults db s =
+  guard @@ fun () ->
+  with_failpoints_saved @@ fun () ->
+  let tau = Cost.tau db s in
+  (* A killed worker domain must not change pool results: survivors
+     plus the serial fallback still complete every task. *)
+  Failpoint.reset ();
+  let tasks = Array.init 8 (fun i () -> (i * 31) + Cost.tau db s) in
+  let expected_tasks = Array.map (fun t -> t ()) tasks in
+  Failpoint.enable Failpoint.Pool_worker_kill;
+  let got = Pool.run ~domains:4 tasks in
+  Failpoint.disable Failpoint.Pool_worker_kill;
+  if got <> expected_tasks then
+    fail "faults:pool_kill" "pool results changed under worker kill";
+  if
+    Domain.recommended_domain_count () > 1
+    && Failpoint.hits Failpoint.Pool_worker_kill = 0
+  then
+    fail "faults:pool_kill"
+      "worker-kill failpoint never fired on a multicore host";
+  (* A poisoned τ-cache must detect its corrupt entries and bypass
+     them: every read stays correct and the bypass counter moves. *)
+  Failpoint.reset ();
+  let reference = Cost.Cache.create db in
+  let keys = Strategy.subtree_schemes s in
+  let clean = List.map (Cost.Cache.card reference) keys in
+  Failpoint.enable Failpoint.Cache_poison;
+  let poisoned = Cost.Cache.create db in
+  let first_read = List.map (Cost.Cache.card poisoned) keys in
+  let second_read = List.map (Cost.Cache.card poisoned) keys in
+  Failpoint.disable Failpoint.Cache_poison;
+  if first_read <> clean || second_read <> clean then
+    fail "faults:cache_poison" "a poisoned cache returned a corrupt value";
+  if Cost.Cache.bypasses poisoned = 0 then
+    fail "faults:cache_poison"
+      "integrity guard never engaged: %d poisoned stores, 0 bypasses"
+      (Failpoint.hits Failpoint.Cache_poison);
+  (* Oversized estimates may change the plan, never the answer. *)
+  Failpoint.reset ();
+  let run_cost_based () =
+    let cfg =
+      Engine.Config.make ~plane:Engine.Seed ~domains:1
+        ~policy:Planner.Cost_based ()
+    in
+    Engine.run cfg db s
+  in
+  let baseline, _ = run_cost_based () in
+  Failpoint.enable Failpoint.Estimate_oversize;
+  let skewed, skewed_stats = run_cost_based () in
+  Failpoint.disable Failpoint.Estimate_oversize;
+  if Failpoint.hits Failpoint.Estimate_oversize = 0 then
+    fail "faults:estimate_oversize" "cost-based lowering never consulted \
+                                     the estimate oracle";
+  if not (Relation.equal skewed baseline) then
+    fail "faults:estimate_oversize" "oversized estimates changed the result";
+  if skewed_stats.Engine.tuples_generated <> tau then
+    fail "faults:estimate_oversize"
+      "oversized estimates changed τ: %d ≠ %d"
+      skewed_stats.Engine.tuples_generated tau;
+  (* The planted frame-plane mutation must be visible in the τ log —
+     this is the detector the self-test relies on.  R_D ≠ ∅ under the
+     generators, but raw caller databases may produce τ = 0, where a
+     lossy join has nothing to drop. *)
+  Failpoint.reset ();
+  if tau > 0 then begin
+    Failpoint.enable Failpoint.Frame_lossy_join;
+    let cfg =
+      Engine.Config.make ~plane:Engine.Frame ~domains:1
+        ~policy:Planner.Hash_all ()
+    in
+    let _, st = Engine.run cfg db s in
+    Failpoint.disable Failpoint.Frame_lossy_join;
+    if st.Engine.tuples_generated = tau then
+      fail "faults:lossy_join"
+        "planted frame-plane mutation went undetected (τ log unchanged at \
+         %d)"
+        tau
+  end
+
+(* ------------------------------------------------------------------ *)
+(* One case through every applicable check.                           *)
+(* ------------------------------------------------------------------ *)
+
+let fault_pass = faults
+
+let run_case ?(faults = true) d =
+  let db, s = Gen.materialize d in
+  let ( >>> ) o k = match o with Pass -> k () | Fail _ -> o in
+  differential db s
+  >>> fun () ->
+  metamorphic db s
+  >>> fun () ->
+  (if Database.size db <= 5 then theorems db else Pass)
+  >>> fun () ->
+  (* An externally injected fault (self-test, MJ_FAILPOINTS) must stay
+     active for the whole case, so the fault pass — which saves,
+     resets and restores failpoint state — only runs when none is. *)
+  if faults && Failpoint.spec () = "" then fault_pass db s else Pass

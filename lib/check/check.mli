@@ -1,0 +1,63 @@
+(** The checks a fuzz case must survive.
+
+    Four independent oracles over one materialized case, each rooted in
+    machine-checkable ground truth rather than golden outputs:
+
+    - {!differential}: the engine matrix.  Both data planes × every
+      lowering policy × 1 and 4 worker domains must produce the
+      bit-identical result relation, the exact [Cost.tau] tuple count,
+      the same per-step τ log, the same join-span skeleton across the
+      whole matrix, and the same full scan/join skeleton across domain
+      counts within each plane × policy cell (the index-nested-loop
+      fast path legitimately elides indexed inner scans).
+    - {!metamorphic}: strategy rewrites that provably preserve the
+      result or the cost — commuting every step leaves τ unchanged,
+      {!Multijoin.Transform} surgeries and a left-deep rebuild leave
+      the result relation unchanged — plus output-size sanity bounds
+      (each step no larger than the product of its children, the
+      result no larger than the product of the base relations).
+    - {!theorems}: the paper's postconditions re-validated against
+      {!Multijoin.Optimal}'s exhaustive DP — no theorem may come back
+      [Refuted], the DP's reported optimum must equal the materialized
+      τ of the strategy it returns and bound the case's own strategy,
+      and the subspace minima must nest ([min_all ≤ min_cp_free], …).
+    - {!faults}: fault injection through {!Mj_failpoint.Failpoint} —
+      a killed pool worker must not change pool results, a poisoned
+      τ-cache must detect and bypass its corrupt entries, oversized
+      estimates must not change execution results, and the planted
+      frame-plane mutation must be {e visible} in the τ log (this is
+      what the self-test leans on).  Failpoint state is saved and
+      restored around the pass.
+
+    All four return the first violated invariant as a {!failure}; the
+    fuzz driver shrinks whatever case produced it. *)
+
+open Mj_relation
+open Multijoin
+
+type failure = {
+  check : string;  (** which invariant, e.g. ["differential:result"] *)
+  detail : string;
+}
+
+type outcome = Pass | Fail of failure
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val differential : Database.t -> Strategy.t -> outcome
+val metamorphic : Database.t -> Strategy.t -> outcome
+
+val theorems : Database.t -> outcome
+(** Exhaustive — intended for [|D| ≤ 5]; {!run_case} gates it on the
+    descriptor size. *)
+
+val faults : Database.t -> Strategy.t -> outcome
+
+val run_case : ?faults:bool -> Gen.descriptor -> outcome
+(** Materialize the descriptor and run every applicable check:
+    differential and metamorphic always, theorem postconditions when
+    the database has at most 5 relations, and the fault-injection pass
+    when [faults] (default [true]) {e and} no failpoint is already
+    active — an externally injected fault (self-test, [MJ_FAILPOINTS])
+    must stay active for the whole case, not be clobbered by the
+    pass's own save/restore. *)

@@ -1,0 +1,150 @@
+module Failpoint = Mj_failpoint.Failpoint
+
+type expectation = Expect_pass | Expect_fail
+
+type repro = {
+  descriptor : Gen.descriptor;
+  failpoints : string;
+  expect : expectation;
+}
+
+let repro_to_string r =
+  Gen.to_string r.descriptor
+  ^ (if r.failpoints = "" then ""
+     else Printf.sprintf "failpoints=%s\n" r.failpoints)
+  ^ Printf.sprintf "expect=%s\n"
+      (match r.expect with Expect_fail -> "fail" | Expect_pass -> "pass")
+
+let repro_of_string s =
+  match Gen.parse_lines s with
+  | Error _ as e -> e
+  | Ok pairs -> (
+      match Gen.of_pairs pairs with
+      | Error _ as e -> e
+      | Ok (descriptor, leftover) ->
+          let rec go r = function
+            | [] -> Ok r
+            | ("failpoints", v) :: rest -> go { r with failpoints = v } rest
+            | ("expect", "fail") :: rest -> go { r with expect = Expect_fail } rest
+            | ("expect", "pass") :: rest -> go { r with expect = Expect_pass } rest
+            | ("expect", v) :: _ ->
+                Error (Printf.sprintf "expect: want fail or pass, got %S" v)
+            | (key, _) :: _ -> Error (Printf.sprintf "unknown key %S" key)
+          in
+          go { descriptor; failpoints = ""; expect = Expect_fail } leftover)
+
+let with_failpoints_saved f =
+  let saved = Failpoint.spec () in
+  Fun.protect
+    ~finally:(fun () ->
+      Failpoint.reset ();
+      match Failpoint.set_spec saved with Ok () -> () | Error _ -> ())
+    f
+
+let replay r =
+  with_failpoints_saved @@ fun () ->
+  Failpoint.reset ();
+  let planted =
+    if r.failpoints = "" then Ok () else Failpoint.set_spec r.failpoints
+  in
+  match planted with
+  | Error msg -> Error ("failpoints: " ^ msg)
+  | Ok () -> (
+      match (Check.run_case r.descriptor, r.expect) with
+      | Check.Pass, Expect_pass -> Ok "passed, as expected"
+      | Check.Fail f, Expect_fail ->
+          Ok (Format.asprintf "failed as expected (%a)" Check.pp_failure f)
+      | Check.Pass, Expect_fail ->
+          Error
+            "expected a failure, but every check passed — the repro may be \
+             stale"
+      | Check.Fail f, Expect_pass ->
+          Error (Format.asprintf "expected a pass, got %a" Check.pp_failure f))
+
+let rec minimize ?faults d f =
+  let rec try_candidates = function
+    | [] -> (d, f)
+    | c :: rest -> (
+        match Check.run_case ?faults c with
+        | Check.Fail f' -> minimize ?faults c f'
+        | Check.Pass -> try_candidates rest)
+  in
+  try_candidates (Gen.shrink d)
+
+let case_descriptor ~seed ~max_n i =
+  let rng = Random.State.make [| 0xf7a; seed; i |] in
+  Gen.generate rng ~max_n
+
+let campaign ?(progress = fun _ _ _ -> ()) ?(max_n = 5) ~seed ~cases () =
+  let failures = ref [] in
+  for i = 0 to cases - 1 do
+    let d = case_descriptor ~seed ~max_n i in
+    let outcome = Check.run_case d in
+    progress i d outcome;
+    match outcome with
+    | Check.Pass -> ()
+    | Check.Fail f ->
+        let dm, fm = minimize d f in
+        failures := (i, d, dm, fm) :: !failures
+  done;
+  List.rev !failures
+
+(* The fixed case the self-test plants its mutation into: big enough
+   that shrinking has real work to do, small enough to stay fast. *)
+let planted_case =
+  Gen.normalize
+    {
+      Gen.seed = 7;
+      shape = Gen.Random_graph;
+      n = 5;
+      rows = 5;
+      domain = 3;
+      regime = Gen.Skewed;
+    }
+
+let self_test () =
+  with_failpoints_saved @@ fun () ->
+  Failpoint.reset ();
+  let d = planted_case in
+  match Check.run_case d with
+  | Check.Fail f ->
+      Error
+        (Format.asprintf "clean harness is not quiet on %a: %a" Gen.pp d
+           Check.pp_failure f)
+  | Check.Pass -> (
+      (match Failpoint.set_spec "frame.lossy_join" with
+      | Ok () -> ()
+      | Error msg -> failwith msg);
+      match Check.run_case d with
+      | Check.Pass ->
+          Error "planted frame.lossy_join mutation went undetected"
+      | Check.Fail f -> (
+          let dm, fm = minimize d f in
+          if dm.Gen.n > 4 then
+            Error
+              (Format.asprintf
+                 "shrinking stalled at %d relations (%a), want ≤ 4" dm.Gen.n
+                 Gen.pp dm)
+          else
+            match Check.run_case dm with
+            | Check.Pass ->
+                Error
+                  (Format.asprintf
+                     "minimized repro %a no longer fails under the planted \
+                      mutation"
+                     Gen.pp dm)
+            | Check.Fail _ -> (
+                Failpoint.reset ();
+                match Check.run_case dm with
+                | Check.Fail f' ->
+                    Error
+                      (Format.asprintf
+                         "minimized repro %a fails even without the \
+                          mutation: %a"
+                         Gen.pp dm Check.pp_failure f')
+                | Check.Pass ->
+                    Ok
+                      (Format.asprintf
+                         "planted frame.lossy_join caught (%a on %a), \
+                          shrunk to %a, clean re-run quiet"
+                         Check.pp_failure fm Gen.pp d Gen.pp dm))))

@@ -33,6 +33,18 @@ type pair_witness = {
 }
 (** A configuration quantified over by C2/C3/C4. *)
 
+val iter_triples : Cost.Cache.t -> (triple_witness -> bool) -> unit
+(** The definitional enumeration behind C1/C1': every configuration of
+    disjoint connected [E, E1, E2] with [E] linked to [E1] and not to
+    [E2], each with its two τ values from the shared cache, until [f]
+    returns [false].  Exposed so derived checkers (lemmas, monotone
+    classes, the join-tree C4) can be validated against the literal
+    definition — see [test/test_conditions.ml]. *)
+
+val iter_pairs : Cost.Cache.t -> (pair_witness -> bool) -> unit
+(** Likewise for C2/C3/C4: every pair of disjoint connected linked
+    subsets. *)
+
 val violations_c1 : ?limit:int -> Database.t -> triple_witness list
 (** Witnesses violating C1 ([τ(R_E ⋈ R_E1) > τ(R_E ⋈ R_E2)]), at most
     [limit] of them (default: unbounded). *)

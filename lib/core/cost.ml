@@ -63,6 +63,7 @@ module Cache = struct
     mutable fdb : Mj_relation.Frame.Db.t option; (* built on first miss *)
     hits : Obs.counter;
     misses : Obs.counter;
+    bypasses : Obs.counter;
   }
 
   let create ?(obs = Obs.noop) ?backend db =
@@ -77,6 +78,7 @@ module Cache = struct
       fdb = None;
       hits = Obs.counter obs "cost.cache_hits";
       misses = Obs.counter obs "cost.cache_misses";
+      bypasses = Obs.counter obs "cost.cache_bypass";
     }
 
   let database c = c.db
@@ -91,22 +93,42 @@ module Cache = struct
         c.fdb <- Some fdb;
         fdb
 
+  let compute c mask =
+    let schemes = Bitdb.set_of_mask c.univ mask in
+    match c.backend with
+    | Seed ->
+        Relation.cardinality
+          (Database.join_all (Database.restrict c.db schemes))
+    | Frame -> Frame.Db.cardinality_oracle (frame_db c) schemes
+
+  (* Storage is guarded: a cardinality is never negative, so a negative
+     entry can only be corruption.  The [Cache_poison] failpoint
+     exploits exactly that — it corrupts the *stored* copy of every
+     newly computed value to [-(n + 1)] — and the read path detects the
+     bad entry and bypasses it (recompute, repair, count a bypass)
+     rather than ever returning it.  The computed value handed to the
+     caller is always the clean one. *)
+  let store c mask n =
+    let poisoned =
+      if Mj_failpoint.Failpoint.fire Cache_poison then -(n + 1) else n
+    in
+    Hashtbl.replace c.table mask poisoned
+
   let card_mask c mask =
     match Hashtbl.find_opt c.table mask with
-    | Some n ->
+    | Some n when n >= 0 ->
         Obs.incr c.hits 1;
+        n
+    | Some _ ->
+        (* Corrupt entry: bypass the cache, repair the slot. *)
+        Obs.incr c.bypasses 1;
+        let n = compute c mask in
+        store c mask n;
         n
     | None ->
         Obs.incr c.misses 1;
-        let schemes = Bitdb.set_of_mask c.univ mask in
-        let n =
-          match c.backend with
-          | Seed ->
-              Relation.cardinality
-                (Database.join_all (Database.restrict c.db schemes))
-          | Frame -> Frame.Db.cardinality_oracle (frame_db c) schemes
-        in
-        Hashtbl.add c.table mask n;
+        let n = compute c mask in
+        store c mask n;
         n
 
   let card c schemes =
@@ -116,6 +138,7 @@ module Cache = struct
         invalid_arg "Cost.Cache: scheme not in the database"
   let hits c = Obs.value c.hits
   let misses c = Obs.value c.misses
+  let bypasses c = Obs.value c.bypasses
   let entries c = Hashtbl.length c.table
 end
 

@@ -83,6 +83,15 @@ module Cache : sig
 
   val hits : t -> int
   val misses : t -> int
+
+  val bypasses : t -> int
+  (** Reads that found a corrupt (negative) entry — impossible for a
+      legitimately stored cardinality — and recomputed instead of
+      trusting it.  Non-zero only under the
+      [Mj_failpoint.Cache_poison] failpoint, whose injected corruption
+      this guard turns into a graceful cache bypass (also surfaced as
+      the [cost.cache_bypass] counter on the sink). *)
+
   val entries : t -> int
 end
 

@@ -55,6 +55,12 @@ module Config = struct
                ~default:Planner.Hash_all
          | None -> Planner.Hash_all
        in
+       (match Sys.getenv_opt "MJ_FAILPOINTS" with
+       | Some s -> (
+           match Mj_failpoint.Failpoint.set_spec s with
+           | Ok () -> ()
+           | Error msg -> failwith ("MJ_FAILPOINTS: " ^ msg))
+       | None -> ());
        Cost.Cache.set_env_backend (backend_of_plane plane);
        (match domains with Some d -> Pool.set_env_domains d | None -> ());
        (plane, domains, policy))

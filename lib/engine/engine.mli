@@ -61,13 +61,17 @@ module Config : sig
   val of_env : ?obs:Mj_obs.Obs.sink -> unit -> t
   (** The {e only} place in the library tree that reads the
       environment: [MJ_DATA_PLANE] (["frame"] selects the columnar
-      plane), [MJ_DOMAINS] (worker count, clamped ≥ 1), and
-      [MJ_ALGO_POLICY] (["hash"] or ["cost"]).  The variables are read
+      plane), [MJ_DOMAINS] (worker count, clamped ≥ 1),
+      [MJ_ALGO_POLICY] (["hash"] or ["cost"]), and [MJ_FAILPOINTS] (a
+      comma-separated list of fault-injection points forwarded to
+      [Mj_failpoint.Failpoint.set_spec]).  The variables are read
       once per process (memoized) and the resolved values are
       registered with [Mj_pool.Pool.set_env_domains] and
       [Cost.Cache.set_env_backend], so legacy default-using callers
       observe the same environment without re-reading it.  Each call
-      returns a fresh [index_cache]. *)
+      returns a fresh [index_cache].
+      @raise Failure on an unknown [MJ_FAILPOINTS] name — a typo'd
+      fault injection must fail loudly, not silently test nothing. *)
 
   val make :
     ?plane:plane ->

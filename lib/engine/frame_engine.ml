@@ -39,8 +39,24 @@ module Frame_plane = struct
              (Scheme.to_string s))
 
   let join ctx _algo ~common:_ f1 f2 =
-    Frame.natural_join ?domains:ctx.domains ?par_threshold:ctx.par_threshold
-      ~stats:ctx.fstats f1 f2
+    let j =
+      Frame.natural_join ?domains:ctx.domains ?par_threshold:ctx.par_threshold
+        ~stats:ctx.fstats f1 f2
+    in
+    if
+      Frame.cardinality j > 0
+      && Mj_failpoint.Failpoint.fire Frame_lossy_join
+    then begin
+      (* The planted mutation for [mjoin fuzz --self-test]: silently
+         drop the last row of the join output, exactly the class of
+         plane-local bug the differential harness exists to catch.
+         Never active outside an explicit failpoint activation. *)
+      let r = Frame.to_relation j in
+      let n = Relation.cardinality r in
+      let keep = List.filteri (fun i _ -> i < n - 1) (Relation.tuples r) in
+      Frame.of_relation (Frame.dict j) (Relation.make (Relation.scheme r) keep)
+    end
+    else j
 
   let index_join _ctx ~common:_ ~outer:_ ~inner:_ = None
   let cardinality = Frame.cardinality

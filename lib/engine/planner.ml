@@ -140,6 +140,16 @@ let lower ?(policy = Hash_all) ?oracle ?indexes db strategy =
         | Some o -> o
         | None -> Estimate.of_catalog catalog
       in
+      (* The oversize failpoint feeds the chooser estimates that are
+         wrong by three orders of magnitude.  A bad estimate may change
+         which algorithm wins a step — never the join result or τ, which
+         is the robustness contract the check harness asserts. *)
+      let oracle d =
+        let v = oracle d in
+        if Mj_failpoint.Failpoint.fire Estimate_oversize then
+          if v > max_int / 1000 then max_int else v * 1000
+        else v
+      in
       let has_index =
         match indexes with
         | Some cache -> fun s on -> Exec.has_index cache s ~on

@@ -31,29 +31,45 @@ let run ?domains tasks =
        one worker, and [Domain.join] publishes those writes before the
        merge below reads them.  Results are merged in task-index order,
        so the output is deterministic whatever the interleaving. *)
-    let worker () =
-      let rec loop () =
+    let worker ~spawned () =
+      let rec loop ~first =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          (* The kill failpoint takes a spawned worker down after it has
+             claimed (but not completed) its first task — the worst
+             crash point: the index is lost from the shared counter and
+             only the recovery pass below can finish it.  The calling
+             domain never trips, so a survivor always exists. *)
+          if spawned && first then Mj_failpoint.Failpoint.trip Pool_worker_kill;
           results.(i) <- Some (tasks.(i) ());
-          loop ()
+          loop ~first:false
         end
       in
-      loop ()
+      loop ~first:true
     in
-    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
-    let self_exn = (try worker (); None with e -> Some e) in
+    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn (worker ~spawned:true)) in
+    let self_exn = (try worker ~spawned:false (); None with e -> Some e) in
     let joined_exn =
       Array.fold_left
         (fun acc dom ->
           match Domain.join dom with
           | () -> acc
+          | exception Mj_failpoint.Failpoint.Injected _ ->
+              (* An injected worker kill degrades gracefully: the dead
+                 worker's claimed task is re-run serially below. *)
+              acc
           | exception e -> ( match acc with None -> Some e | some -> some))
         None spawned
     in
     (match self_exn, joined_exn with
     | Some e, _ | None, Some e -> raise e
     | None, None -> ());
+    (* Serial fallback: finish any task a killed worker claimed but
+       never completed.  On a healthy run every slot is already filled
+       and this pass is a no-op scan. *)
+    Array.iteri
+      (fun i slot -> if slot = None then results.(i) <- Some (tasks.(i) ()))
+      results;
     Array.map (function Some v -> v | None -> assert false) results
   end
 

@@ -12,7 +12,14 @@
 
     With [domains = 1] (or a single task) everything runs in the calling
     domain and no domain is spawned.  If any task raises, the pool joins
-    all workers and re-raises one of the exceptions. *)
+    all workers and re-raises one of the exceptions.
+
+    Fault tolerance: a spawned worker killed by the
+    [Mj_failpoint.Pool_worker_kill] failpoint (the injected stand-in
+    for a crashed domain) is {e not} an error — the pool degrades
+    gracefully by finishing every unclaimed or abandoned task in the
+    calling domain, so results are identical to a healthy run.  Any
+    other exception still propagates. *)
 
 val set_env_domains : int -> unit
 (** Register the process-wide default worker count (clamped to ≥ 1).

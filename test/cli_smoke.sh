@@ -56,7 +56,20 @@ DB
 "$MJOIN" analyze "$TMP/db.txt" > /dev/null
 "$MJOIN" query "$TMP/db.txt" 'Q(n,p) :- users(u,n), prefs(u,p).' > /dev/null
 
+# Fuzzing: a short campaign, the planted-mutation self-test, and a
+# replay of the committed repro.
+"$MJOIN" fuzz --cases 3 --seed 5 --out "$TMP/fuzz" | grep -q 'all 3 cases passed'
+"$MJOIN" fuzz --self-test | grep -q 'self-test passed'
+REPRO=$(dirname "$0")/repros/planted-frame-lossy.repro
+"$MJOIN" fuzz --replay "$REPRO" | grep -q 'failed as expected'
+# A failpoint left in the environment must not affect replay/fuzz
+# verdicts of unrelated commands reading MJ_FAILPOINTS.
+MJ_FAILPOINTS=estimate.oversize "$MJOIN" verify --scenario ex3 > /dev/null
+
 # Error paths must exit non-zero but not crash with a backtrace.
+if MJ_FAILPOINTS=bogus "$MJOIN" verify --scenario ex3 > /dev/null 2>&1; then exit 1; fi
+MJ_FAILPOINTS=bogus "$MJOIN" examples ex1 2>&1 | grep -q 'unknown failpoint'
+if "$MJOIN" fuzz --replay /nonexistent.repro > /dev/null 2>&1; then exit 1; fi
 if "$MJOIN" examples nosuch > /dev/null 2>&1; then exit 1; fi
 if "$MJOIN" query "$TMP/db.txt" 'Q(x) :- nosuch(x,y).' > /dev/null 2>&1; then exit 1; fi
 if "$MJOIN" explain --scenario ex1 --engine columnar > /dev/null 2>&1; then exit 1; fi

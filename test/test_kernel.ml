@@ -264,6 +264,38 @@ let test_kernel_bench_rows_agree () =
   Alcotest.(check bool) "cache sees traffic" true (t.cache_hits > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Pinned seed: one fixed database with hard-coded expectations, so a
+   coordinated drift of Legacy and the kernel (both wrong the same
+   way) still trips the suite.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pinned_legacy_equivalence () =
+  let rng = Random.State.make [| 2026; 91 |] in
+  let d = Querygraph.cycle 4 in
+  let db = Mj_workload.Dbgen.uniform_db ~rng ~rows:5 ~domain:3 d in
+  List.iter
+    (fun subspace ->
+      let legacy = cost_of (Legacy.optimum ~subspace db) in
+      let kernel = cost_of (Optimal.optimum ~subspace db) in
+      Alcotest.(check int) "legacy = kernel" legacy kernel;
+      Alcotest.(check int) "pinned optimum" 6 kernel)
+    subspaces;
+  (match Optimal.optimum db with
+  | None -> Alcotest.fail "pinned database has no optimum"
+  | Some r ->
+      Alcotest.(check string)
+        "pinned optimum strategy" "(((c0,c1 * c1,c2) * c2,c3) * c0,c3)"
+        (Strategy.to_string r.Optimal.strategy);
+      Alcotest.(check int) "materialized τ" 6 (Cost.tau db r.Optimal.strategy));
+  let s = Conditions.summarize db in
+  Alcotest.(check bool) "legacy summary" true (Legacy.summarize db = s);
+  Alcotest.(check (list bool))
+    "pinned summary (c1, c1', c2, c3, c4)"
+    [ true; true; false; false; false ]
+    [ s.Conditions.c1; s.Conditions.c1_strict; s.Conditions.c2;
+      s.Conditions.c3; s.Conditions.c4 ];
+  Alcotest.(check int) "pinned |R_D|" 1
+    (Relation.cardinality (Database.join_all db))
 
 let () =
   Alcotest.run "kernel"
@@ -276,7 +308,14 @@ let () =
           prop_connected_subsets;
           prop_binary_partitions;
         ] );
-      ("dp-equivalence", [ prop_dp_synthetic; prop_dp_real; prop_all_optima ]);
+      ( "dp-equivalence",
+        [
+          prop_dp_synthetic;
+          prop_dp_real;
+          prop_all_optima;
+          Alcotest.test_case "pinned seed" `Quick
+            test_pinned_legacy_equivalence;
+        ] );
       ("conditions-equivalence", [ prop_summarize ]);
       ("relation-satellites", [ prop_join_disjoint ]);
       ( "pool-determinism",
