@@ -136,13 +136,49 @@ let policy_arg =
            'cost' (catalog-driven per-step algorithm choice).  Default: \
            $(b,MJ_ALGO_POLICY), else hash.")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Append a per-query telemetry record (shape, plane, policy, \
+           domains, per-step est/actual cardinality, Q-error, timings, GC \
+           deltas) to $(docv) as JSONL.  Default: $(b,MJ_TELEMETRY), else \
+           off.")
+
 let config_term =
   Term.(
-    const (fun plane domains policy -> (plane, domains, policy))
-    $ engine_arg $ domains_arg $ policy_arg)
+    const (fun plane domains policy telemetry ->
+        (plane, domains, policy, telemetry))
+    $ engine_arg $ domains_arg $ policy_arg $ telemetry_arg)
 
-let make_config ?obs (plane, domains, policy) =
-  Engine.Config.make ?plane ?domains ?policy ?obs ()
+let make_config ?obs (plane, domains, policy, telemetry) =
+  Engine.Config.make ?plane ?domains ?policy ?obs ?telemetry ()
+
+(* Telemetry plumbing shared by verify/optimize/explain: every record
+   carries the engine configuration and the sink's GC totals; the
+   caller adds command-specific fields.  Appends print a confirmation
+   line so scripted runs can see where the feed went. *)
+let emit_telemetry (cfg : Engine.Config.t) ~cmd ~query fields =
+  match cfg.Engine.Config.telemetry with
+  | None -> ()
+  | Some path ->
+      let record =
+        Mj_obs.Telemetry.record
+          ([
+             ("cmd", Json.str cmd);
+             ("query", Json.str query);
+             ("plane", Json.str (Engine.plane_name cfg.Engine.Config.plane));
+             ("policy",
+              Json.str (Planner.policy_name cfg.Engine.Config.algo_policy));
+             ("domains", Json.int cfg.Engine.Config.domains);
+           ]
+          @ fields
+          @ Mj_obs.Telemetry.gc_fields cfg.Engine.Config.obs)
+      in
+      Mj_obs.Telemetry.append path record;
+      Format.printf "telemetry: appended to %s@." path
 
 let make_db ~regime ~rng ~rows ~domain d =
   match regime with
@@ -226,31 +262,48 @@ let conditions_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_verify scenario (shape_name, shape) n seed rows domain regime config =
-  let db =
+  let query, db =
     match scenario with
     | Some (name, db) ->
         Format.printf "Scenario %s@." name;
-        db
+        (name, db)
     | None ->
         let rng = Random.State.make [| seed |] in
         let d = shape ~rng n in
         Format.printf "%s query of %d relations, %s data, seed %d@." shape_name
           n regime seed;
-        make_db ~regime ~rng ~rows ~domain d
+        ( Printf.sprintf "%s-%d/%s/seed%d" shape_name n regime seed,
+          make_db ~regime ~rng ~rows ~domain d )
   in
   let obs = Obs.make () in
   let cfg = make_config ~obs config in
   Format.printf "engine: %s plane, %d domains@."
     (Engine.plane_name cfg.Engine.Config.plane)
     cfg.Engine.Config.domains;
-  Format.printf "%a@." Theorems.pp_report
-    (Theorems.verify ~obs ~backend:(Engine.Config.backend cfg) db);
+  let t0 = Obs.monotonic_time () in
+  let report =
+    Obs.span obs "verify" (fun () ->
+        Theorems.verify ~obs ~backend:(Engine.Config.backend cfg) db)
+  in
+  let duration_ms = (Obs.monotonic_time () -. t0) *. 1e3 in
+  Format.printf "%a@." Theorems.pp_report report;
   let counter name =
     match List.assoc_opt name (Obs.counters obs) with Some v -> v | None -> 0
   in
   Format.printf "tau cache: %d hits, %d misses@."
     (counter "cost.cache_hits")
-    (counter "cost.cache_misses")
+    (counter "cost.cache_misses");
+  let status s = Json.str (Format.asprintf "%a" Theorems.pp_status s) in
+  emit_telemetry cfg ~cmd:"verify" ~query
+    [
+      ("theorem1", status report.Theorems.theorem1);
+      ("theorem2", status report.Theorems.theorem2);
+      ("theorem3", status report.Theorems.theorem3);
+      ("min_all", Json.int report.Theorems.min_all);
+      ("cache_hits", Json.int (counter "cost.cache_hits"));
+      ("cache_misses", Json.int (counter "cost.cache_misses"));
+      ("duration_ms", Json.float duration_ms);
+    ]
 
 let verify_cmd =
   let scenario =
@@ -314,8 +367,16 @@ let run_optimize (shape_name, shape) n seed rows domain regime config
     Database.pp_brief db;
   let est = Estimate.of_catalog (Catalog.of_database db) in
   (* With --trace, every optimizer records into one sink: its spans stay
-     separate, the search-effort counters accumulate across them. *)
-  let obs = match trace_file with Some _ -> Obs.make () | None -> Obs.noop in
+     separate, the search-effort counters accumulate across them.
+     Telemetry also needs an active sink, for the GC totals. *)
+  let telemetry_on =
+    match config with
+    | _, _, _, Some _ -> true
+    | _ -> (Engine.Config.of_env ()).Engine.Config.telemetry <> None
+  in
+  let obs =
+    if trace_file <> None || telemetry_on then Obs.make () else Obs.noop
+  in
   let cfg = make_config ~obs config in
   let show name = function
     | Some (r : Optimal.result) ->
@@ -344,13 +405,24 @@ let run_optimize (shape_name, shape) n seed rows domain regime config
   (match (match dpccp with Some r -> Some r | None -> dpsize) with
   | Some r ->
       let plan = Engine.lower cfg db r.Optimal.strategy in
+      let t0 = Obs.monotonic_time () in
       let _result, stats = Engine.execute_plan cfg db plan in
+      let duration_ms = (Obs.monotonic_time () -. t0) *. 1e3 in
       Format.printf
         "@.  executed (%s plane, %s lowering): %s@.    %d result rows, tau %d@."
         (Engine.plane_name stats.Engine.plane)
         (Planner.policy_name cfg.Engine.Config.algo_policy)
         (Physical.to_string plan) stats.Engine.result_rows
-        stats.Engine.tuples_generated
+        stats.Engine.tuples_generated;
+      emit_telemetry cfg ~cmd:"optimize"
+        ~query:(Printf.sprintf "%s-%d/%s/seed%d" shape_name n regime seed)
+        [
+          ("strategy", Json.str (Strategy.to_string r.Optimal.strategy));
+          ("est_cost", Json.int r.Optimal.cost);
+          ("tau", Json.int stats.Engine.tuples_generated);
+          ("result_rows", Json.int stats.Engine.result_rows);
+          ("duration_ms", Json.float duration_ms);
+        ]
   | None -> ());
   match trace_file with
   | Some path ->
@@ -648,18 +720,21 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
     (Strategy.subtree_schemes strategy);
   let obs = Obs.make () in
   let max_q = ref 1.0 and join_steps = ref 0 in
+  let steps = ref [] (* per-step telemetry, reverse display order *) in
   (* One path for both data planes: lower under the config's policy,
      execute on the config's plane.  Both backends emit the same
      scan/join spans, so the tree walk below is engine-agnostic; only
      the summary tail differs, keyed on the plane-specific stats. *)
   let cfg =
-    let plane, domains, policy = config in
+    let plane, domains, policy, telemetry = config in
     Engine.Config.make ?plane ?domains
       ?policy:(match forced with Some _ -> forced | None -> policy)
-      ~obs ()
+      ~obs ?telemetry ()
   in
   let plan = Engine.lower cfg db strategy in
+  let t0 = Obs.monotonic_time () in
   let stats = snd (Engine.execute_plan cfg db plan) in
+  let duration_ms = (Obs.monotonic_time () -. t0) *. 1e3 in
   let summary_tail tau' =
     match (stats.Engine.seed, stats.Engine.frame) with
     | Some es, _ ->
@@ -698,6 +773,17 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
           | Some a -> Printf.sprintf "%s[%s]" kind a
           | None -> kind
         in
+        let step_base =
+          [
+            ("kind", Json.str kind);
+            ("scheme", Json.str scheme);
+            ("algo",
+             Json.str
+               (Option.value ~default:kind (attr_str sp.Obs.attrs "algo")));
+            ("ms", Json.float (sp.Obs.duration *. 1e3));
+            ("act", Json.int actual);
+          ]
+        in
         (match Hashtbl.find_opt est_tbl scheme with
         | Some est ->
             let q = q_error ~est ~actual in
@@ -705,12 +791,18 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
               incr join_steps;
               if q > !max_q then max_q := q
             end;
+            steps :=
+              Json.Obj
+                (step_base
+                @ [ ("est", Json.int est); ("q_error", Json.float q) ])
+              :: !steps;
             Format.printf
               "%s%-12s %-26s %8.3f ms  est=%-6d act=%-6d q-err=%.2f@." indent
               label scheme
               (sp.Obs.duration *. 1e3)
               est actual q
         | None ->
+            steps := Json.Obj step_base :: !steps;
             Format.printf "%s%-12s %-26s %8.3f ms  act=%-6d@." indent label
               scheme
               (sp.Obs.duration *. 1e3)
@@ -727,6 +819,18 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
       (Strategy.subtree_schemes strategy)
   in
   summary_tail est_tau;
+  emit_telemetry cfg ~cmd:"explain" ~query:name
+    [
+      ("strategy", Json.str (Strategy.to_string strategy));
+      ("plan", Json.str (Physical.to_string plan));
+      ("tau", Json.int stats.Engine.tuples_generated);
+      ("est_tau", Json.int est_tau);
+      ("result_rows", Json.int stats.Engine.result_rows);
+      ("join_steps", Json.int !join_steps);
+      ("max_q_error", Json.float !max_q);
+      ("duration_ms", Json.float duration_ms);
+      ("steps", Json.Arr (List.rev !steps));
+    ];
   match trace_file with
   | Some path ->
       Export.write_jsonl path obs;
@@ -773,6 +877,216 @@ let explain_cmd =
           graceful (run_explain sc sh n seed rows domain regime st algo cfg) tr)
       $ scenario $ shape_arg $ n_arg $ seed_arg $ rows_arg $ domain_arg
       $ regime_arg $ strategy $ algo $ config_term $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggregate a telemetry JSONL feed into registry metrics: one record
+   counter per command, quantile histograms over durations, per-step
+   timings, Q-errors and result sizes. *)
+let stats_of_telemetry obs path =
+  let records = Mj_obs.Telemetry.read_lines path in
+  let num j = match j with Json.Num v -> Some v | _ -> None in
+  let field k r = Option.bind (Json.member k r) num in
+  List.iter
+    (fun r ->
+      Obs.add obs "telemetry.records" 1;
+      (match Json.member "cmd" r with
+      | Some (Json.Str cmd) -> Obs.add obs ("telemetry.cmd." ^ cmd) 1
+      | _ -> ());
+      Option.iter
+        (Obs.observe (Obs.histogram obs "telemetry.duration.ms"))
+        (field "duration_ms" r);
+      Option.iter
+        (Obs.observe (Obs.histogram obs "telemetry.q_error"))
+        (field "max_q_error" r);
+      Option.iter
+        (Obs.observe (Obs.histogram obs "telemetry.result_rows"))
+        (field "result_rows" r);
+      match Json.member "steps" r with
+      | Some (Json.Arr steps) ->
+          List.iter
+            (fun s ->
+              Option.iter
+                (Obs.observe (Obs.histogram obs "telemetry.step.ms"))
+                (field "ms" s);
+              Option.iter
+                (Obs.observe (Obs.histogram obs "telemetry.step.q_error"))
+                (field "q_error" s))
+            steps
+      | _ -> ())
+    records;
+  List.length records
+
+let run_stats scenario (shape_name, shape) n seed rows domain regime repeat
+    prometheus from_file config =
+  let obs = Obs.make () in
+  match from_file with
+  | Some path ->
+      let nrecords = stats_of_telemetry obs path in
+      if prometheus then print_string (Export.prometheus_string obs)
+      else begin
+        Format.printf "%d telemetry record(s) from %s@." nrecords path;
+        Export.render_metrics Format.std_formatter obs
+      end
+  | None ->
+      let name, db =
+        match scenario with
+        | Some (nm, db) -> (nm, db)
+        | None ->
+            let rng = Random.State.make [| seed |] in
+            let d = shape ~rng n in
+            ( Printf.sprintf "%s-%d (%s data, seed %d)" shape_name n regime
+                seed,
+              make_db ~regime ~rng ~rows ~domain d )
+      in
+      let cfg = make_config ~obs config in
+      let d = Database.schemes db in
+      let est_oracle = Estimate.of_catalog (Catalog.of_database db) in
+      let strategy =
+        match Dpccp.plan ~oracle:est_oracle d with
+        | Some r -> r.Optimal.strategy
+        | None -> (
+            match Dpsize.plan ~allow_cp:true ~oracle:est_oracle d with
+            | Some r -> r.Optimal.strategy
+            | None -> failwith "no plan found")
+      in
+      let plan = Engine.lower cfg db strategy in
+      let repeat = max 1 repeat in
+      for _ = 1 to repeat do
+        ignore (Engine.execute_plan cfg db plan)
+      done;
+      if prometheus then print_string (Export.prometheus_string obs)
+      else begin
+        Format.printf "%s: %d run(s), %s plane, %s lowering, %d domains@."
+          name repeat
+          (Engine.plane_name cfg.Engine.Config.plane)
+          (Planner.policy_name cfg.Engine.Config.algo_policy)
+          cfg.Engine.Config.domains;
+        Export.render_metrics Format.std_formatter obs
+      end
+
+let stats_cmd =
+  let scenario =
+    Arg.(
+      value
+      & opt (some scenario_conv) None
+      & info [ "scenario" ]
+          ~doc:"Profile a paper scenario instead of a generated database.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 20
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Execute the plan $(docv) times so quantiles are populated.")
+  in
+  let prometheus =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:"Print Prometheus text exposition instead of the table.")
+  in
+  let from_file =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:
+            "Aggregate an existing telemetry JSONL sidecar instead of \
+             executing anything.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Execute a plan repeatedly and print registry metrics with \
+          p50/p90/p95/p99 quantiles (or aggregate a telemetry file); \
+          optionally as Prometheus text exposition")
+    Term.(
+      const
+        (fun sc sh n seed rows domain regime repeat prom from cfg ->
+          graceful
+            (run_stats sc sh n seed rows domain regime repeat prom from) cfg)
+      $ scenario $ shape_arg $ n_arg $ seed_arg $ rows_arg $ domain_arg
+      $ regime_arg $ repeat $ prometheus $ from_file $ config_term)
+
+(* ------------------------------------------------------------------ *)
+(* bench-diff                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Bench_diff = Mj_benchkit.Bench_diff
+
+let run_bench_diff old_path new_path threshold inject out =
+  let old_doc = Bench_diff.load old_path in
+  let new_doc =
+    match (new_path, inject) with
+    | _, Some pct ->
+        (* Synthetic regression: inflate the old file's timings and diff
+           against itself — certifies the gate trips. *)
+        Bench_diff.inflate ~pct old_doc
+    | Some path, None -> Bench_diff.load path
+    | None, None ->
+        failwith "bench-diff: provide NEW.json or --inject PCT"
+  in
+  let report = Bench_diff.diff ~threshold old_doc new_doc in
+  let text =
+    Format.asprintf "%a" (Bench_diff.pp_report ~threshold) report
+  in
+  print_string text;
+  (match out with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc text)
+  | None -> ());
+  if report.Bench_diff.regressions <> [] then exit 1
+
+let bench_diff_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some non_dir_file) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline bench file.")
+  in
+  let new_arg =
+    Arg.(
+      value
+      & pos 1 (some non_dir_file) None
+      & info [] ~docv:"NEW.json"
+          ~doc:"Candidate bench file (omit with $(b,--inject)).")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 25.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Fail (exit 1) when any matched timing field regresses by more \
+             than $(docv) percent.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "inject" ] ~docv:"PCT"
+          ~doc:
+            "Instead of reading NEW.json, synthesize it by inflating every \
+             timing in OLD.json by $(docv) percent — a self-check that the \
+             gate detects regressions.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the diff report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Regression gate over BENCH_*.json files: match rows on identity \
+          fields, compare *_ms timings against a percentage threshold, exit \
+          non-zero on regression")
+    Term.(
+      const (fun o n t i out -> graceful (run_bench_diff o n t i) out)
+      $ old_arg $ new_arg $ threshold $ inject $ out)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                 *)
@@ -909,4 +1223,4 @@ let () =
        (Cmd.group info
           [ examples_cmd; conditions_cmd; verify_cmd; enumerate_cmd;
             optimize_cmd; space_cmd; analyze_cmd; plan_cmd; query_cmd;
-            explain_cmd; fuzz_cmd ]))
+            explain_cmd; stats_cmd; bench_diff_cmd; fuzz_cmd ]))

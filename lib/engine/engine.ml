@@ -24,15 +24,16 @@ module Config = struct
     obs : Obs.sink;
     algo_policy : Planner.policy;
     index_cache : Exec.index_cache;
+    telemetry : string option;
   }
 
   (* The single point of environment reads in the whole library tree:
-     MJ_DATA_PLANE, MJ_DOMAINS and MJ_ALGO_POLICY are read once per
-     process, here, and the resolved values are pushed down to the two
-     modules that used to read the environment themselves (the pool's
-     default worker count and [Cost.Cache]'s default backend), so every
-     legacy caller keeps its env-driven behavior without a second
-     read. *)
+     MJ_DATA_PLANE, MJ_DOMAINS, MJ_ALGO_POLICY and MJ_TELEMETRY are
+     read once per process, here, and the resolved values are pushed
+     down to the two modules that used to read the environment
+     themselves (the pool's default worker count and [Cost.Cache]'s
+     default backend), so every legacy caller keeps its env-driven
+     behavior without a second read. *)
   let env =
     lazy
       (let plane =
@@ -55,6 +56,11 @@ module Config = struct
                ~default:Planner.Hash_all
          | None -> Planner.Hash_all
        in
+       let telemetry =
+         match Sys.getenv_opt "MJ_TELEMETRY" with
+         | Some s when String.trim s <> "" -> Some (String.trim s)
+         | _ -> None
+       in
        (match Sys.getenv_opt "MJ_FAILPOINTS" with
        | Some s -> (
            match Mj_failpoint.Failpoint.set_spec s with
@@ -63,10 +69,10 @@ module Config = struct
        | None -> ());
        Cost.Cache.set_env_backend (backend_of_plane plane);
        (match domains with Some d -> Pool.set_env_domains d | None -> ());
-       (plane, domains, policy))
+       (plane, domains, policy, telemetry))
 
   let of_env ?(obs = Obs.noop) () =
-    let plane, domains, policy = Lazy.force env in
+    let plane, domains, policy, telemetry = Lazy.force env in
     {
       plane;
       domains =
@@ -74,15 +80,18 @@ module Config = struct
       obs;
       algo_policy = policy;
       index_cache = Exec.index_cache ();
+      telemetry;
     }
 
-  let make ?plane ?domains ?policy ?obs () =
+  let make ?plane ?domains ?policy ?obs ?telemetry () =
     let base = of_env ?obs () in
     {
       base with
       plane = Option.value plane ~default:base.plane;
       domains = (match domains with Some d -> max 1 d | None -> base.domains);
       algo_policy = Option.value policy ~default:base.algo_policy;
+      telemetry =
+        (match telemetry with Some _ -> telemetry | None -> base.telemetry);
     }
 
   let backend c = backend_of_plane c.plane

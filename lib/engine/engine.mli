@@ -56,14 +56,18 @@ module Config : sig
     index_cache : Exec.index_cache;
         (** base-relation indexes shared by every execution under this
             config — the "existing indices" the planner may assume *)
+    telemetry : string option;
+        (** JSONL sidecar path for per-query telemetry records
+            ([MJ_TELEMETRY] / [--telemetry]); [None] disables *)
   }
 
   val of_env : ?obs:Mj_obs.Obs.sink -> unit -> t
   (** The {e only} place in the library tree that reads the
       environment: [MJ_DATA_PLANE] (["frame"] selects the columnar
       plane), [MJ_DOMAINS] (worker count, clamped ≥ 1),
-      [MJ_ALGO_POLICY] (["hash"] or ["cost"]), and [MJ_FAILPOINTS] (a
-      comma-separated list of fault-injection points forwarded to
+      [MJ_ALGO_POLICY] (["hash"] or ["cost"]), [MJ_TELEMETRY] (a
+      JSONL sidecar path for per-query telemetry), and [MJ_FAILPOINTS]
+      (a comma-separated list of fault-injection points forwarded to
       [Mj_failpoint.Failpoint.set_spec]).  The variables are read
       once per process (memoized) and the resolved values are
       registered with [Mj_pool.Pool.set_env_domains] and
@@ -78,6 +82,7 @@ module Config : sig
     ?domains:int ->
     ?policy:Planner.policy ->
     ?obs:Mj_obs.Obs.sink ->
+    ?telemetry:string ->
     unit ->
     t
   (** {!of_env} with explicit overrides — the documented precedence

@@ -32,6 +32,7 @@ type counters = {
   built : Obs.counter;
   hits : Obs.counter;
   peak : Obs.counter;
+  jprobe : Obs.histogram; (* hash probes per join step *)
 }
 
 let fresh () =
@@ -45,6 +46,7 @@ let fresh () =
     built = Obs.reg_counter reg "exec.index_builds";
     hits = Obs.reg_counter reg "exec.index_hits";
     peak = Obs.reg_counter reg "exec.max_materialized";
+    jprobe = Obs.reg_histogram reg "join.probes";
   }
 
 let note_materialized c n = Obs.record_max c.peak n
@@ -224,13 +226,19 @@ module Seed_plane = struct
     tuples
 
   let join ctx algo ~common left right =
-    match algo with
-    | Physical.Nested_loop -> nested_loop ctx.c left right
-    | Physical.Block_nested_loop b -> block_nested_loop ctx.c b left right
-    | Physical.Hash_join | Physical.Index_nested_loop ->
-        (* Index joins on a non-scan inner degrade to hash. *)
-        hash_join ctx.c common left right
-    | Physical.Sort_merge -> sort_merge ctx.c common left right
+    let probes_before = Obs.value ctx.c.probed in
+    let out =
+      match algo with
+      | Physical.Nested_loop -> nested_loop ctx.c left right
+      | Physical.Block_nested_loop b -> block_nested_loop ctx.c b left right
+      | Physical.Hash_join | Physical.Index_nested_loop ->
+          (* Index joins on a non-scan inner degrade to hash. *)
+          hash_join ctx.c common left right
+      | Physical.Sort_merge -> sort_merge ctx.c common left right
+    in
+    Obs.observe ctx.c.jprobe
+      (float_of_int (Obs.value ctx.c.probed - probes_before));
+    out
 
   let index_join ctx ~common ~outer ~inner =
     Some (index_join ctx.c ctx.cache ctx.db outer common inner)

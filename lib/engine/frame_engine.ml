@@ -28,6 +28,8 @@ module Frame_plane = struct
     fstats : Frame.stats;
     domains : int option;
     par_threshold : int option;
+    obs : Obs.sink;
+    jprobe : Obs.histogram; (* hash probes per join step *)
   }
 
   let scan ctx s =
@@ -39,10 +41,14 @@ module Frame_plane = struct
              (Scheme.to_string s))
 
   let join ctx _algo ~common:_ f1 f2 =
+    let probes_before = ctx.fstats.Frame.probes in
     let j =
-      Frame.natural_join ?domains:ctx.domains ?par_threshold:ctx.par_threshold
-        ~stats:ctx.fstats f1 f2
+      Frame.natural_join ~obs:ctx.obs ?domains:ctx.domains
+        ?par_threshold:ctx.par_threshold ~stats:ctx.fstats f1 f2
     in
+    if Obs.enabled ctx.obs then
+      Obs.observe ctx.jprobe
+        (float_of_int (ctx.fstats.Frame.probes - probes_before));
     if
       Frame.cardinality j > 0
       && Mj_failpoint.Failpoint.fire Frame_lossy_join
@@ -74,6 +80,8 @@ let execute_plan ?(obs = Obs.noop) ?domains ?par_threshold db plan =
       fstats = Frame.fresh_stats ();
       domains;
       par_threshold;
+      obs;
+      jprobe = Obs.histogram obs "join.probes";
     }
   in
   let result, (log : Driver.step_log) = Drive.execute ~obs ctx plan in

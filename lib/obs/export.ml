@@ -1,7 +1,7 @@
-(* Exporters: a human-readable span/metric tree and a JSONL writer
-   whose span lines are Chrome trace events ("ph":"X" complete events
-   with microsecond ts/dur), so a trace file is loadable in
-   chrome://tracing / Perfetto and diffable across PRs line by line. *)
+(* Exporters: a human-readable span/metric tree, a JSONL writer whose
+   span lines are Chrome trace events ("ph":"X" complete events with
+   microsecond ts/dur) loadable in chrome://tracing / Perfetto, and
+   Prometheus text exposition for the metric registry. *)
 
 let us t = int_of_float (Float.round (t *. 1e6))
 
@@ -23,8 +23,17 @@ let rec pp_span fmt indent (s : Obs.span_tree) =
     (s.Obs.duration *. 1e3) pp_attrs s.Obs.attrs;
   List.iter (pp_span fmt (indent ^ "  ")) s.Obs.children
 
-let render fmt sink =
-  List.iter (pp_span fmt "") (Obs.trace sink);
+let pp_histo_line fmt k (h : Obs.histo_summary) =
+  if h.Obs.count = 0 then Format.fprintf fmt "  %-32s (empty)@." k
+  else
+    Format.fprintf fmt
+      "  %-32s n=%d mean=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f min=%.3f \
+       max=%.3f@."
+      k h.Obs.count
+      (h.Obs.sum /. float_of_int h.Obs.count)
+      h.Obs.p50 h.Obs.p90 h.Obs.p95 h.Obs.p99 h.Obs.min h.Obs.max
+
+let render_metrics fmt sink =
   (match Obs.counters sink with
   | [] -> ()
   | cs ->
@@ -34,15 +43,11 @@ let render fmt sink =
   | [] -> ()
   | hs ->
       Format.fprintf fmt "histograms:@.";
-      List.iter
-        (fun (k, (h : Obs.histo_summary)) ->
-          if h.Obs.count = 0 then Format.fprintf fmt "  %-32s (empty)@." k
-          else
-            Format.fprintf fmt "  %-32s n=%d mean=%.3f min=%.3f max=%.3f@." k
-              h.Obs.count
-              (h.Obs.sum /. float_of_int h.Obs.count)
-              h.Obs.min h.Obs.max)
-        hs
+      List.iter (fun (k, h) -> pp_histo_line fmt k h) hs
+
+let render fmt sink =
+  List.iter (pp_span fmt "") (Obs.trace sink);
+  render_metrics fmt sink
 
 let to_string sink = Format.asprintf "%t" (fun fmt -> render fmt sink)
 
@@ -50,17 +55,38 @@ let to_string sink = Format.asprintf "%t" (fun fmt -> render fmt sink)
 (* Chrome trace events / JSONL                                          *)
 (* ------------------------------------------------------------------ *)
 
-let span_event (s : Obs.span_tree) =
+(* Worker lanes render as separate Chrome threads: tid 1 is the main
+   timeline, a span whose [domain] attribute is lane [l] puts its whole
+   subtree on tid [2 + l]. *)
+let main_tid = 1
+let lane_tid l = 2 + l
+
+let span_tid ~tid (s : Obs.span_tree) =
+  match List.assoc_opt "domain" s.Obs.attrs with
+  | Some (Json.Num l) -> lane_tid (int_of_float l)
+  | _ -> tid
+
+let span_event ~tid (s : Obs.span_tree) =
   Json.Obj
     [
       ("name", Json.str s.Obs.name);
       ("cat", Json.str "mjoin");
       ("ph", Json.str "X");
       ("pid", Json.int 1);
-      ("tid", Json.int 1);
+      ("tid", Json.int tid);
       ("ts", Json.int (us s.Obs.start));
       ("dur", Json.int (us s.Obs.duration));
       ("args", Json.Obj s.Obs.attrs);
+    ]
+
+let thread_name_event ~tid name =
+  Json.Obj
+    [
+      ("name", Json.str "thread_name");
+      ("ph", Json.str "M");
+      ("pid", Json.int 1);
+      ("tid", Json.int tid);
+      ("args", Json.Obj [ ("name", Json.str name) ]);
     ]
 
 let counter_event name v =
@@ -89,15 +115,35 @@ let histogram_event name (h : Obs.histo_summary) =
            ("sum", Json.float h.Obs.sum);
            ("min", Json.float h.Obs.min);
            ("max", Json.float h.Obs.max);
+           ("p50", Json.float h.Obs.p50);
+           ("p90", Json.float h.Obs.p90);
+           ("p95", Json.float h.Obs.p95);
+           ("p99", Json.float h.Obs.p99);
          ]);
     ]
 
 let trace_events sink =
-  let rec flatten acc s =
-    List.fold_left flatten (span_event s :: acc) s.Obs.children
+  let lanes = ref [] in
+  let rec flatten ~tid acc s =
+    let tid = span_tid ~tid s in
+    if tid <> main_tid && not (List.mem tid !lanes) then
+      lanes := tid :: !lanes;
+    List.fold_left (flatten ~tid) (span_event ~tid s :: acc) s.Obs.children
   in
-  let spans = List.rev (List.fold_left flatten [] (Obs.trace sink)) in
-  spans
+  let spans =
+    List.rev (List.fold_left (flatten ~tid:main_tid) [] (Obs.trace sink))
+  in
+  let metadata =
+    if spans = [] then []
+    else
+      thread_name_event ~tid:main_tid "main"
+      :: List.rev_map
+           (fun tid ->
+             thread_name_event ~tid
+               (Printf.sprintf "worker %d" (tid - lane_tid 0)))
+           !lanes
+  in
+  metadata @ spans
   @ List.map (fun (k, v) -> counter_event k v) (Obs.counters sink)
   @ List.map (fun (k, h) -> histogram_event k h) (Obs.histograms sink)
 
@@ -113,3 +159,56 @@ let write_jsonl path sink =
           output_string oc line;
           output_char oc '\n')
         (jsonl_lines sink))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prom_name name =
+  let b = Bytes.of_string ("mjoin_" ^ name) in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prometheus_lines sink =
+  let counters =
+    List.concat_map
+      (fun (k, v) ->
+        let n = prom_name k in
+        [ Printf.sprintf "# TYPE %s counter" n;
+          Printf.sprintf "%s %d" n v ])
+      (Obs.counters sink)
+  in
+  let histos =
+    List.concat_map
+      (fun (k, (h : Obs.histo_summary)) ->
+        let n = prom_name k in
+        let q label v =
+          Printf.sprintf "%s{quantile=\"%s\"} %s" n label (prom_float v)
+        in
+        Printf.sprintf "# TYPE %s summary" n
+        ::
+        (if h.Obs.count = 0 then []
+         else
+           [ q "0.5" h.Obs.p50; q "0.9" h.Obs.p90; q "0.95" h.Obs.p95;
+             q "0.99" h.Obs.p99 ])
+        @ [ Printf.sprintf "%s_sum %s" n (prom_float h.Obs.sum);
+            Printf.sprintf "%s_count %d" n h.Obs.count ])
+      (Obs.histograms sink)
+  in
+  counters @ histos
+
+let prometheus_string sink =
+  String.concat "" (List.map (fun l -> l ^ "\n") (prometheus_lines sink))

@@ -1,24 +1,42 @@
 (** Trace and metric exporters.
 
-    Two formats from one {!Obs.sink}:
+    Three formats from one {!Obs.sink}:
 
     - {!render}: an indented human tree (span name, wall time,
-      attributes) followed by counter and histogram tables;
+      attributes) followed by counter and histogram tables with
+      p50/p90/p95/p99 quantiles;
     - {!jsonl_lines} / {!write_jsonl}: one JSON object per line.  Span
       lines are Chrome trace {e complete} events ([{"ph":"X"}] with
       microsecond [ts]/[dur]), so a trace file loads directly into
       chrome://tracing or Perfetto; counters and histograms follow as
-      [{"ph":"C"}] counter events.  Every line round-trips through
-      {!Json.of_string}, which the test suite asserts. *)
+      [{"ph":"C"}] counter events.  Spans carrying a [domain] lane
+      attribute (and their subtrees) are placed on a distinct [tid]
+      per worker lane ([tid = 2 + lane]; the main timeline is
+      [tid = 1]), with [thread_name] metadata events naming each lane.
+      Every line round-trips through {!Json.of_string}, which the test
+      suite asserts;
+    - {!prometheus_lines} / {!prometheus_string}: Prometheus text
+      exposition — counters as [counter] metrics, histograms as
+      [summary] metrics with [quantile] labels.  Metric names are
+      prefixed [mjoin_] and sanitized to [[a-zA-Z0-9_:]]. *)
 
 val render : Format.formatter -> Obs.sink -> unit
+
+val render_metrics : Format.formatter -> Obs.sink -> unit
+(** The counter and histogram tables of {!render} without the span
+    tree — what [mjoin stats] prints. *)
+
 val to_string : Obs.sink -> string
 
 val trace_events : Obs.sink -> Json.t list
-(** Spans in pre-order (parents before children, roots in start order),
-    then counters, then histograms. *)
+(** Thread-name metadata first (when there are spans), then spans in
+    pre-order (parents before children, roots in start order), then
+    counters, then histograms. *)
 
 val jsonl_lines : Obs.sink -> string list
 val write_jsonl : string -> Obs.sink -> unit
 (** [write_jsonl path sink] writes {!jsonl_lines} to [path], one per
     line.  The channel is closed even on a write error. *)
+
+val prometheus_lines : Obs.sink -> string list
+val prometheus_string : Obs.sink -> string

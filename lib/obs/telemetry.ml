@@ -1,0 +1,61 @@
+(* Telemetry persistence: append-only JSONL sidecar files.
+
+   Every record is one self-describing JSON object per line with a
+   schema version ("v") and a wall-clock timestamp ("ts", Unix seconds
+   — wall clock on purpose: these records correlate runs across
+   processes, unlike span timestamps which are monotonic-relative).
+   Appending keeps the file a valid JSONL stream, so repeated
+   `mjoin explain --telemetry FILE` runs accumulate a training feed. *)
+
+let schema_version = 1
+
+let record ?ts fields =
+  let ts = match ts with Some t -> t | None -> Unix.gettimeofday () in
+  Json.Obj
+    (("v", Json.int schema_version) :: ("ts", Json.float ts) :: fields)
+
+let append_lines path jsons =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun j ->
+          output_string oc (Json.to_string j);
+          output_char oc '\n')
+        jsons)
+
+let append path json = append_lines path [ json ]
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> go acc
+        | line -> (
+            match Json.of_string_opt line with
+            | Some j -> go (j :: acc)
+            | None ->
+                failwith
+                  (Printf.sprintf "%s: malformed telemetry line %d" path
+                     (List.length acc + 1)))
+      in
+      go [])
+
+(* Span attributes of the GC accounting, repackaged for records. *)
+let gc_fields sink =
+  let keys =
+    [ "gc.minor_words"; "gc.promoted_words"; "gc.major_words";
+      "gc.minor_collections"; "gc.major_collections" ]
+  in
+  let cs = Obs.counters sink in
+  List.filter_map
+    (fun k ->
+      Option.map (fun v -> (k, Json.int v)) (List.assoc_opt k cs))
+    keys

@@ -1,0 +1,30 @@
+(** Telemetry persistence: append-only JSONL sidecar files
+    ([MJ_TELEMETRY=FILE] / [--telemetry FILE]).
+
+    Each record is one JSON object per line carrying a schema version
+    ([v]) and a wall-clock timestamp ([ts], Unix seconds); command
+    code adds its own fields (shape, policy, plane, domains, per-step
+    estimated/actual cardinalities, Q-error, timings, GC deltas).
+    Appends never rewrite existing lines, so the file is a durable
+    stream that adaptive optimization can learn from later. *)
+
+val schema_version : int
+
+val record : ?ts:float -> (string * Json.t) list -> Json.t
+(** Wrap command fields into a versioned, timestamped record.  [ts]
+    defaults to [Unix.gettimeofday ()]; inject it for deterministic
+    tests. *)
+
+val append : string -> Json.t -> unit
+(** Append one record to the file (created with mode [0o644] if
+    missing), one line per record. *)
+
+val append_lines : string -> Json.t list -> unit
+
+val read_lines : string -> Json.t list
+(** Parse a telemetry file back into records, skipping blank lines.
+    Raises [Failure] on a malformed line. *)
+
+val gc_fields : Obs.sink -> (string * Json.t) list
+(** The sink's accumulated GC counters ([gc.minor_words], …) as record
+    fields, empty if GC accounting never ran. *)

@@ -14,7 +14,10 @@ let default_domains () =
   | Some d -> d
   | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
 
-let run ?domains tasks =
+(* Internal driver: tasks receive the index of the worker running them
+   (0 = the calling domain, 1..d-1 = spawned domains) so [run_traced]
+   can tag trace lanes.  Results never depend on the worker index. *)
+let run_w ?domains (tasks : (worker:int -> 'a) array) =
   let n = Array.length tasks in
   let d = match domains with Some d -> max 1 d | None -> default_domains () in
   (* Never oversubscribe cores: extra domains on a saturated machine buy
@@ -23,7 +26,7 @@ let run ?domains tasks =
      the pool merges in task-index order at any worker count. *)
   let d = min d (max 1 (Domain.recommended_domain_count ())) in
   let d = min d n in
-  if d <= 1 then Array.map (fun task -> task ()) tasks
+  if d <= 1 then Array.map (fun task -> task ~worker:0) tasks
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -31,7 +34,8 @@ let run ?domains tasks =
        one worker, and [Domain.join] publishes those writes before the
        merge below reads them.  Results are merged in task-index order,
        so the output is deterministic whatever the interleaving. *)
-    let worker ~spawned () =
+    let worker ~id () =
+      let spawned = id > 0 in
       let rec loop ~first =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
@@ -41,14 +45,14 @@ let run ?domains tasks =
              only the recovery pass below can finish it.  The calling
              domain never trips, so a survivor always exists. *)
           if spawned && first then Mj_failpoint.Failpoint.trip Pool_worker_kill;
-          results.(i) <- Some (tasks.(i) ());
+          results.(i) <- Some (tasks.(i) ~worker:id);
           loop ~first:false
         end
       in
       loop ~first:true
     in
-    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn (worker ~spawned:true)) in
-    let self_exn = (try worker ~spawned:false (); None with e -> Some e) in
+    let spawned = Array.init (d - 1) (fun k -> Domain.spawn (worker ~id:(k + 1))) in
+    let self_exn = (try worker ~id:0 (); None with e -> Some e) in
     let joined_exn =
       Array.fold_left
         (fun acc dom ->
@@ -68,9 +72,34 @@ let run ?domains tasks =
        never completed.  On a healthy run every slot is already filled
        and this pass is a no-op scan. *)
     Array.iteri
-      (fun i slot -> if slot = None then results.(i) <- Some (tasks.(i) ()))
+      (fun i slot ->
+        if slot = None then results.(i) <- Some (tasks.(i) ~worker:0))
       results;
     Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let run ?domains tasks =
+  run_w ?domains (Array.map (fun task ~worker:_ -> task ()) tasks)
+
+let run_traced ?(obs = Mj_obs.Obs.noop) ?domains tasks =
+  if not (Mj_obs.Obs.enabled obs) then
+    run ?domains (Array.map (fun task () -> task Mj_obs.Obs.noop) tasks)
+  else begin
+    (* One child sink per TASK, not per worker: merging in task-index
+       order then yields the same span tree at any domain count — only
+       the lane attribute (which worker ran the task) varies. *)
+    let children = Array.map (fun _ -> Mj_obs.Obs.fork obs) tasks in
+    let results =
+      run_w ?domains
+        (Array.mapi
+           (fun i task ~worker ->
+             let child = children.(i) in
+             Mj_obs.Obs.set_lane child worker;
+             task child)
+           tasks)
+    in
+    Array.iter (fun child -> Mj_obs.Obs.merge_child obs child) children;
+    results
   end
 
 let map_array ?domains f xs = run ?domains (Array.map (fun x () -> f x) xs)

@@ -39,6 +39,23 @@ val run : ?domains:int -> (unit -> 'a) array -> 'a array
     [Domain.recommended_domain_count] — oversubscribing cores only adds
     GC-synchronization overhead and cannot change results. *)
 
+val run_traced :
+  ?obs:Mj_obs.Obs.sink ->
+  ?domains:int ->
+  (Mj_obs.Obs.sink -> 'a) array ->
+  'a array
+(** Like {!run}, but each task receives its own child sink
+    ([Mj_obs.Obs.fork] of [obs]) to record spans and metrics into, and
+    after the parallel section the children are merged back into [obs]
+    {e in task-index order} — so the merged trace tree is identical at
+    1 and at N domains.  Each child is tagged with the worker index
+    that ran it ([Mj_obs.Obs.set_lane]); the Chrome exporter renders
+    those tags as per-domain lanes.  With the default [obs = noop]
+    every task just gets {!Mj_obs.Obs.noop} and this is exactly
+    {!run}.  A task re-run by the crash-recovery pass records its
+    spans once, on lane 0 — a killed worker dies before the task body
+    starts. *)
+
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 

@@ -371,7 +371,8 @@ let partition_rows f idx pos parts =
 
 let default_par_threshold = 4096
 
-let natural_join ?domains ?(par_threshold = default_par_threshold) ?stats f1 f2 =
+let natural_join ?(obs = Mj_obs.Obs.noop) ?domains
+    ?(par_threshold = default_par_threshold) ?stats f1 f2 =
   if f1.dict != f2.dict then
     invalid_arg "Frame.natural_join: frames use different dictionaries";
   let stats = match stats with Some s -> s | None -> fresh_stats () in
@@ -395,13 +396,32 @@ let natural_join ?domains ?(par_threshold = default_par_threshold) ?stats f1 f2 
       let p1 = partition_rows f1 (all_rows f1) spec.k1pos parts in
       let p2 = partition_rows f2 (all_rows f2) spec.k2pos parts in
       let results =
-        Mj_pool.Pool.run ~domains:d
-          (Array.init parts (fun p () ->
+        (* With tracing on, every partition records a child span on the
+           worker lane that ran it ([Pool.run_traced]); the merged trace
+           shows per-domain timelines under the enclosing join span. *)
+        Mj_pool.Pool.run_traced ~obs ~domains:d
+          (Array.init parts (fun p child ->
                let st = fresh_stats () in
                let pb =
                  buf_make (w * (max (Array.length p1.(p)) (Array.length p2.(p)) + 16))
                in
-               hash_join_idx ~stats:st spec f1 p1.(p) f2 p2.(p) pb;
+               let join_part () =
+                 hash_join_idx ~stats:st spec f1 p1.(p) f2 p2.(p) pb
+               in
+               if Mj_obs.Obs.enabled child then
+                 Mj_obs.Obs.span child
+                   ~attrs:
+                     [
+                       ("part", Mj_obs.Json.int p);
+                       ("build_rows", Mj_obs.Json.int (Array.length p1.(p)));
+                       ("probe_rows", Mj_obs.Json.int (Array.length p2.(p)));
+                     ]
+                   "partition"
+                   (fun () ->
+                     join_part ();
+                     Mj_obs.Obs.set_attr child "rows"
+                       (Mj_obs.Json.int (pb.blen / w)))
+               else join_part ();
                (pb, st)))
       in
       Array.iter
@@ -507,7 +527,7 @@ module Db = struct
   let dict fdb = fdb.ddict
   let find fdb s = Scheme.Map.find s fdb.frames
 
-  let join_schemes ?domains ?par_threshold ?stats fdb d =
+  let join_schemes ?obs ?domains ?par_threshold ?stats fdb d =
     match Scheme.Set.elements d with
     | [] -> invalid_arg "Frame.Db.join_schemes: empty sub-database"
     | s :: rest ->
@@ -515,11 +535,11 @@ module Db = struct
            Database.join_all. *)
         List.fold_left
           (fun acc s' ->
-            natural_join ?domains ?par_threshold ?stats acc (find fdb s'))
+            natural_join ?obs ?domains ?par_threshold ?stats acc (find fdb s'))
           (find fdb s) rest
 
-  let join_all ?domains ?par_threshold ?stats fdb =
-    join_schemes ?domains ?par_threshold ?stats fdb
+  let join_all ?obs ?domains ?par_threshold ?stats fdb =
+    join_schemes ?obs ?domains ?par_threshold ?stats fdb
       (Scheme.Map.fold (fun s _ acc -> Scheme.Set.add s acc) fdb.frames
          Scheme.Set.empty)
 

@@ -83,6 +83,7 @@ val equal : t -> t -> bool
 (** {1 Algebra} *)
 
 val natural_join :
+  ?obs:Mj_obs.Obs.sink ->
   ?domains:int -> ?par_threshold:int -> ?stats:stats -> t -> t -> t
 (** [natural_join f1 f2] is the columnar [R1 ⋈ R2].  The join key
     extractor is compiled once per join: common-column offsets are
@@ -92,7 +93,10 @@ val natural_join :
     available, the join radix-partitions both sides by key hash, joins
     the partition pairs on separate domains via [Mj_pool.Pool], and
     merges in task-index order; the canonical sort-unique pass makes the
-    result bit-identical at any [domains].
+    result bit-identical at any [domains].  With an active [obs] sink
+    the radix path records one [partition] child span per partition
+    pair (via [Mj_pool.Pool.run_traced]), tagged with the worker lane
+    that ran it — the per-domain timelines of a parallel join.
     @raise Invalid_argument if the frames use different dictionaries. *)
 
 val semijoin : ?stats:stats -> t -> t -> t
@@ -118,13 +122,16 @@ module Db : sig
   (** @raise Not_found if the scheme is absent. *)
 
   val join_schemes :
+    ?obs:Mj_obs.Obs.sink ->
     ?domains:int -> ?par_threshold:int -> ?stats:stats ->
     t -> Scheme.Set.t -> frame
   (** Join the named sub-database left-to-right over the sorted scheme
       list — the same order as {!Database.join_all}.
       @raise Invalid_argument on the empty set. *)
 
-  val join_all : ?domains:int -> ?par_threshold:int -> ?stats:stats -> t -> frame
+  val join_all :
+    ?obs:Mj_obs.Obs.sink ->
+    ?domains:int -> ?par_threshold:int -> ?stats:stats -> t -> frame
 
   val cardinality_oracle :
     ?domains:int -> ?stats:stats -> t -> Scheme.Set.t -> int

@@ -42,6 +42,41 @@ MJ_DATA_PLANE=frame "$MJOIN" explain --scenario ex1 | grep -q 'frame plane'
 MJ_DATA_PLANE=frame "$MJOIN" explain --scenario ex1 --engine seed \
   | grep -q 'seed plane'
 
+# Profiling v2: quantile stats, Prometheus exposition, telemetry
+# persistence (flag and environment), and telemetry aggregation.
+"$MJOIN" stats --scenario university --repeat 2 | grep -q 'p95='
+"$MJOIN" stats --scenario university --repeat 2 | grep -q 'span.join.ms'
+"$MJOIN" stats --shape chain -n 4 --repeat 2 --prometheus \
+  | grep -q '# TYPE mjoin_exec_tuples_generated counter'
+"$MJOIN" stats --scenario ex1 --engine frame --repeat 2 --prometheus \
+  | grep -q 'mjoin_join_probes_count'
+"$MJOIN" explain --scenario university --telemetry "$TMP/tel.jsonl" \
+  | grep -q 'telemetry: appended'
+"$MJOIN" explain --scenario university --telemetry "$TMP/tel.jsonl" > /dev/null
+test "$(wc -l < "$TMP/tel.jsonl")" = 2
+grep -q '"q_error"' "$TMP/tel.jsonl"
+grep -q '"gc.minor_words"' "$TMP/tel.jsonl"
+MJ_TELEMETRY="$TMP/tel.jsonl" "$MJOIN" verify --scenario ex3 > /dev/null
+test "$(wc -l < "$TMP/tel.jsonl")" = 3
+"$MJOIN" stats --from "$TMP/tel.jsonl" | grep -q 'telemetry.records'
+"$MJOIN" stats --from "$TMP/tel.jsonl" | grep -q 'telemetry.step.q_error'
+
+# Bench regression gate: identical files pass, an injected regression
+# must trip the gate with a non-zero exit.
+cat > "$TMP/bench.json" <<BENCH
+{"rows": [
+  {"shape": "chain", "n": 4, "seed_ms": 10.0, "frame_ms": 2.0},
+  {"shape": "star", "n": 5, "seed_ms": 20.0, "frame_ms": 4.0}
+]}
+BENCH
+"$MJOIN" bench-diff "$TMP/bench.json" "$TMP/bench.json" --threshold 5 \
+  | grep -q '0 regression'
+if "$MJOIN" bench-diff "$TMP/bench.json" --inject 50 --threshold 25 \
+  > /dev/null 2>&1; then exit 1; fi
+"$MJOIN" bench-diff "$TMP/bench.json" --inject 50 --threshold 100 \
+  --out "$TMP/diff.txt" > /dev/null
+grep -q '0 regression' "$TMP/diff.txt"
+
 cat > "$TMP/db.txt" <<DB
 = users
 U,N
@@ -76,5 +111,8 @@ if "$MJOIN" explain --scenario ex1 --engine columnar > /dev/null 2>&1; then exit
 if "$MJOIN" explain --scenario ex1 --policy greedy > /dev/null 2>&1; then exit 1; fi
 if "$MJOIN" verify --scenario ex3 --engine bogus > /dev/null 2>&1; then exit 1; fi
 if "$MJOIN" optimize --shape chain -n 4 --policy bogus > /dev/null 2>&1; then exit 1; fi
+if "$MJOIN" bench-diff "$TMP/db.txt" > /dev/null 2>&1; then exit 1; fi
+if "$MJOIN" bench-diff "$TMP/bench.json" > /dev/null 2>&1; then exit 1; fi
+if "$MJOIN" stats --from "$TMP/db.txt" > /dev/null 2>&1; then exit 1; fi
 
 echo cli-smoke-ok

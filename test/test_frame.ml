@@ -174,6 +174,42 @@ let radix_deterministic =
       let par' = Frame.Db.join_all ~domains:3 ~par_threshold:2 fdb in
       Frame.equal one par && Frame.equal one par')
 
+let count_partition_spans obs =
+  let parts = ref 0 and laned = ref 0 in
+  let rec walk (s : Mj_obs.Obs.span_tree) =
+    if s.Mj_obs.Obs.name = "partition" then begin
+      incr parts;
+      match List.assoc_opt "domain" s.Mj_obs.Obs.attrs with
+      | Some (Mj_obs.Json.Num _) -> incr laned
+      | _ -> ()
+    end;
+    List.iter walk s.Mj_obs.Obs.children
+  in
+  List.iter walk (Mj_obs.Obs.trace obs);
+  (!parts, !laned)
+
+let radix_traced =
+  qtest "tracing the radix join records partition lanes, same result"
+    ~count:60 gen_db (fun db ->
+      let fdb = Frame.Db.of_database db in
+      let plain = Frame.Db.join_all ~domains:4 ~par_threshold:1 fdb in
+      let obs = Mj_obs.Obs.make ~gc:false () in
+      let traced = Frame.Db.join_all ~obs ~domains:4 ~par_threshold:1 fdb in
+      let parts, laned = count_partition_spans obs in
+      Frame.equal plain traced && parts = laned)
+
+let test_radix_traced_chain () =
+  (* A chain join always shares attributes step to step, so forcing the
+     radix path must record at least one lane-tagged partition span. *)
+  let rng = Random.State.make [| 42 |] in
+  let db = Dbgen.uniform_db ~rng ~rows:8 ~domain:3 (Querygraph.chain 3) in
+  let fdb = Frame.Db.of_database db in
+  let obs = Mj_obs.Obs.make ~gc:false () in
+  ignore (Frame.Db.join_all ~obs ~domains:4 ~par_threshold:1 fdb);
+  let parts, laned = count_partition_spans obs in
+  Alcotest.(check bool) "partition spans recorded" true (parts > 0);
+  Alcotest.(check int) "every partition span carries a lane" parts laned
+
 let engines_agree =
   qtest "Frame_engine agrees with Exec on left-deep plans" ~count:60 gen_db
     (fun db ->
@@ -205,5 +241,12 @@ let () =
           oracle_agrees;
           cache_backends_agree;
         ] );
-      ("parallel", [ radix_deterministic; engines_agree ]);
+      ( "parallel",
+        [
+          radix_deterministic;
+          radix_traced;
+          Alcotest.test_case "forced radix chain records lanes" `Quick
+            test_radix_traced_chain;
+          engines_agree;
+        ] );
     ]

@@ -20,8 +20,10 @@ let ticking () =
     t := !t +. 1.0;
     !t
 
+(* Golden fixtures disable GC accounting so span attributes stay
+   byte-stable across runs and compiler versions. *)
 let fixed_trace () =
-  let obs = Obs.make ~clock:(ticking ()) () in
+  let obs = Obs.make ~clock:(ticking ()) ~gc:false () in
   Obs.span obs ~attrs:[ ("k", Json.str "v") ] "outer" (fun () ->
       Obs.span obs "inner" (fun () -> ()));
   Obs.add obs "widgets" 3;
@@ -221,9 +223,12 @@ let test_execute_trace_shape () =
 
 let golden_lines =
   [
+    {|{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"main"}}|};
     {|{"name":"outer","cat":"mjoin","ph":"X","pid":1,"tid":1,"ts":1000000,"dur":3000000,"args":{"k":"v"}}|};
     {|{"name":"inner","cat":"mjoin","ph":"X","pid":1,"tid":1,"ts":2000000,"dur":1000000,"args":{}}|};
     {|{"name":"widgets","ph":"C","pid":1,"tid":1,"ts":0,"args":{"value":3}}|};
+    {|{"name":"span.inner.ms","ph":"C","pid":1,"tid":1,"ts":0,"args":{"count":1,"sum":1000,"min":1000,"max":1000,"p50":1000,"p90":1000,"p95":1000,"p99":1000}}|};
+    {|{"name":"span.outer.ms","ph":"C","pid":1,"tid":1,"ts":0,"args":{"count":1,"sum":3000,"min":3000,"max":3000,"p50":3000,"p90":3000,"p95":3000,"p99":3000}}|};
   ]
 
 let test_jsonl_golden () =
@@ -241,7 +246,7 @@ let test_jsonl_lines_parse () =
     (fun line ->
       let t = Json.of_string line in
       match Json.member "ph" t with
-      | Some (Json.Str ("X" | "C")) -> ()
+      | Some (Json.Str ("X" | "C" | "M")) -> ()
       | _ -> Alcotest.failf "line lacks a trace phase: %s" line)
     lines
 
@@ -309,6 +314,338 @@ let test_dpsize_pair_counter () =
     "dpsize span recorded" true
     (List.exists (fun s -> s.Obs.name = "dpsize") (Obs.trace obs))
 
+(* ------------------------------------------------------------------ *)
+(* Quantile histograms vs a sorted-array oracle                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Nearest-rank quantile over the raw samples: the histogram must land
+   in [oracle, oracle * (1 + 1/16)] because it returns the upper bound
+   of a log bucket with 16 linear sub-buckets per octave (clamped to
+   the observed min/max). *)
+let oracle_quantile xs q =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+  a.(max 0 (min (n - 1) (rank - 1)))
+
+let positive_samples =
+  QCheck.(list_of_size Gen.(int_range 1 200) (map Float.abs (pos_float)))
+
+let check_quantiles ~name xs (h : Obs.histogram) =
+  List.iter
+    (fun q ->
+      let o = oracle_quantile xs q in
+      let v = Obs.quantile h q in
+      if not (o <= v && v <= o *. 1.07) then
+        QCheck.Test.fail_reportf
+          "%s: q=%.2f oracle=%.17g histo=%.17g (ratio %.5f)" name q o v
+          (v /. o))
+    [ 0.5; 0.9; 0.95; 0.99 ]
+
+let qcheck_quantile_oracle =
+  QCheck.Test.make ~count:300 ~name:"histogram quantiles track sorted oracle"
+    positive_samples (fun xs ->
+      QCheck.assume (xs <> [] && List.for_all (fun x -> x > 0.0) xs);
+      let reg = Obs.registry () in
+      let h = Obs.reg_histogram reg "q" in
+      List.iter (Obs.observe h) xs;
+      check_quantiles ~name:"direct" xs h;
+      true)
+
+let qcheck_merge_of_shards =
+  (* Sharding the samples across sinks and merging must give the same
+     counts and quantiles as observing everything in one histogram:
+     merges are exact bucket-wise sums. *)
+  QCheck.Test.make ~count:300 ~name:"merge of shards = shard of merges"
+    QCheck.(pair positive_samples (int_range 1 5))
+    (fun (xs, nshards) ->
+      QCheck.assume (xs <> [] && List.for_all (fun x -> x > 0.0) xs);
+      let whole = Obs.registry () in
+      let hw = Obs.reg_histogram whole "h" in
+      List.iter (Obs.observe hw) xs;
+      let target = Obs.make () in
+      let shards = Array.init nshards (fun _ -> Obs.registry ()) in
+      List.iteri
+        (fun i x ->
+          Obs.observe (Obs.reg_histogram shards.(i mod nshards) "h") x)
+        xs;
+      Array.iter (Obs.merge_registry target) shards;
+      match List.assoc_opt "h" (Obs.histograms target) with
+      | None -> QCheck.Test.fail_report "merged histogram missing"
+      | Some m ->
+          let w = Obs.summary hw in
+          m.Obs.count = w.Obs.count
+          && m.Obs.min = w.Obs.min
+          && m.Obs.max = w.Obs.max
+          && m.Obs.p50 = w.Obs.p50
+          && m.Obs.p90 = w.Obs.p90
+          && m.Obs.p95 = w.Obs.p95
+          && m.Obs.p99 = w.Obs.p99)
+
+let test_quantile_exact_small () =
+  let reg = Obs.registry () in
+  let h = Obs.reg_histogram reg "small" in
+  Obs.observe h 5.0;
+  let s = Obs.summary h in
+  List.iter
+    (fun (label, v) -> Alcotest.(check (float 1e-9)) label 5.0 v)
+    [ ("p50", s.Obs.p50); ("p90", s.Obs.p90); ("p95", s.Obs.p95);
+      ("p99", s.Obs.p99); ("min", s.Obs.min); ("max", s.Obs.max) ]
+
+(* ------------------------------------------------------------------ *)
+(* Traced pool: per-domain lanes, deterministic merge                    *)
+(* ------------------------------------------------------------------ *)
+
+let traced_run ~domains =
+  let obs = Obs.make ~gc:false () in
+  Obs.span obs "root" (fun () ->
+      let tasks =
+        Array.init 8 (fun i child ->
+            Mj_obs.Obs.span child "task"
+              ~attrs:[ ("i", Json.int i) ]
+              (fun () ->
+                Mj_obs.Obs.add child "work" (i + 1);
+                i * i))
+      in
+      ignore (Mj_pool.Pool.run_traced ~obs ~domains tasks));
+  obs
+
+let rec skeleton (s : Obs.span_tree) =
+  s.Obs.name ^ "(" ^ String.concat "," (List.map skeleton s.Obs.children) ^ ")"
+
+let test_traced_pool_deterministic () =
+  let a = traced_run ~domains:1 and b = traced_run ~domains:4 in
+  Alcotest.(check bool)
+    "same span skeleton at 1 and 4 domains" true
+    (List.map skeleton (Obs.trace a) = List.map skeleton (Obs.trace b));
+  Alcotest.(check (list (pair string int)))
+    "merged counters identical" (Obs.counters a) (Obs.counters b);
+  Alcotest.(check (option int))
+    "counter folded across children" (Some 36)
+    (List.assoc_opt "work" (Obs.counters b))
+
+let test_traced_pool_lanes () =
+  let obs = traced_run ~domains:4 in
+  let lanes = ref [] in
+  let rec collect (s : Obs.span_tree) =
+    (match List.assoc_opt "domain" s.Obs.attrs with
+    | Some (Json.Num l) ->
+        let l = int_of_float l in
+        if not (List.mem l !lanes) then lanes := l :: !lanes
+    | _ -> ());
+    List.iter collect s.Obs.children
+  in
+  List.iter collect (Obs.trace obs);
+  Alcotest.(check bool)
+    "task spans carry domain lanes" true
+    (List.length !lanes >= 1 && List.for_all (fun l -> l >= 0 && l < 4) !lanes);
+  (* The Chrome exporter maps those lanes to distinct tids. *)
+  let tids =
+    List.filter_map
+      (fun line ->
+        let t = Json.of_string line in
+        match (Json.member "ph" t, Json.member "tid" t) with
+        | Some (Json.Str "X"), Some (Json.Num tid) -> Some (int_of_float tid)
+        | _ -> None)
+      (Export.jsonl_lines obs)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool)
+    "spans span multiple chrome tids" true
+    (List.length tids >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* GC accounting                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_gc_attrs () =
+  let obs = Obs.make () in
+  Obs.span obs "alloc" (fun () ->
+      ignore (Sys.opaque_identity (Array.init 4096 (fun i -> string_of_int i))));
+  (match Obs.trace obs with
+  | [ s ] ->
+      let minor =
+        match List.assoc_opt "gc.minor_words" s.Obs.attrs with
+        | Some (Json.Num w) -> w
+        | _ -> Alcotest.fail "gc.minor_words attr missing"
+      in
+      Alcotest.(check bool) "allocation attributed to span" true (minor > 0.0)
+  | _ -> Alcotest.fail "expected one root span");
+  Alcotest.(check bool)
+    "root gc deltas folded into counters" true
+    (match List.assoc_opt "gc.minor_words" (Obs.counters obs) with
+    | Some w -> w > 0
+    | None -> false)
+
+let test_gc_opt_out () =
+  let obs = Obs.make ~gc:false () in
+  Obs.span obs "quiet" (fun () -> ignore (Sys.opaque_identity (List.init 64 Fun.id)));
+  match Obs.trace obs with
+  | [ s ] ->
+      Alcotest.(check bool)
+        "no gc attrs when disabled" true
+        (List.for_all
+           (fun (k, _) -> not (String.length k >= 3 && String.sub k 0 3 = "gc."))
+           s.Obs.attrs)
+  | _ -> Alcotest.fail "expected one root span"
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus () =
+  let obs = Obs.make ~gc:false () in
+  Obs.add obs "exec.tuples_scanned" 7;
+  Obs.observe (Obs.histogram obs "join.probes") 10.0;
+  Obs.observe (Obs.histogram obs "join.probes") 20.0;
+  let lines = Export.prometheus_lines obs in
+  let has l = List.mem l lines in
+  Alcotest.(check bool)
+    "counter type line" true
+    (has "# TYPE mjoin_exec_tuples_scanned counter");
+  Alcotest.(check bool)
+    "counter value line" true (has "mjoin_exec_tuples_scanned 7");
+  Alcotest.(check bool)
+    "summary type line" true (has "# TYPE mjoin_join_probes summary");
+  Alcotest.(check bool)
+    "count line" true (has "mjoin_join_probes_count 2");
+  Alcotest.(check bool)
+    "sum line" true (has "mjoin_join_probes_sum 30");
+  Alcotest.(check bool)
+    "quantile label present" true
+    (List.exists
+       (fun l ->
+         String.length l > 26
+         && String.sub l 0 26 = "mjoin_join_probes{quantile")
+       lines)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry persistence                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_telemetry_roundtrip () =
+  let path = Filename.temp_file "mj_telemetry" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Telemetry.append path
+        (Telemetry.record ~ts:1.5 [ ("cmd", Json.str "explain") ]);
+      Telemetry.append path
+        (Telemetry.record ~ts:2.5 [ ("cmd", Json.str "verify") ]);
+      match Telemetry.read_lines path with
+      | [ a; b ] ->
+          Alcotest.(check (option string))
+            "first cmd" (Some "explain")
+            (match Json.member "cmd" a with
+            | Some (Json.Str s) -> Some s
+            | _ -> None);
+          Alcotest.(check bool)
+            "schema version stamped" true
+            (Json.member "v" a = Some (Json.int Telemetry.schema_version));
+          Alcotest.(check (option (float 1e-9)))
+            "timestamp preserved" (Some 2.5)
+            (match Json.member "ts" b with
+            | Some (Json.Num t) -> Some t
+            | _ -> None)
+      | l -> Alcotest.failf "expected 2 records, got %d" (List.length l))
+
+let test_telemetry_rejects_garbage () =
+  let path = Filename.temp_file "mj_telemetry" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"ok\":1}\nnot json\n";
+      close_out oc;
+      match Telemetry.read_lines path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "malformed line should raise")
+
+let test_telemetry_gc_fields () =
+  let obs = Obs.make () in
+  Obs.span obs "work" (fun () ->
+      ignore (Sys.opaque_identity (Array.make 2048 "x")));
+  let fields = Telemetry.gc_fields obs in
+  Alcotest.(check bool)
+    "gc.minor_words surfaced" true
+    (List.mem_assoc "gc.minor_words" fields)
+
+(* ------------------------------------------------------------------ *)
+(* Bench diff                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Bench_diff = Mj_benchkit.Bench_diff
+
+let bench_doc rows = Json.Obj [ ("rows", Json.Arr rows) ]
+
+let bench_row ?(extra = []) ~shape ~n ~seed_ms ~frame_ms () =
+  Json.Obj
+    ([
+       ("shape", Json.str shape);
+       ("n", Json.int n);
+       ("seed_ms", Json.float seed_ms);
+       ("frame_ms", Json.float frame_ms);
+     ]
+    @ extra)
+
+let test_bench_diff_gate () =
+  let old_doc =
+    bench_doc
+      [
+        bench_row ~shape:"chain" ~n:4 ~seed_ms:10.0 ~frame_ms:2.0 ();
+        bench_row ~shape:"star" ~n:5 ~seed_ms:20.0 ~frame_ms:4.0 ();
+      ]
+  in
+  let new_doc =
+    bench_doc
+      [
+        bench_row ~shape:"chain" ~n:4 ~seed_ms:10.5 ~frame_ms:2.1 ();
+        (* frame_ms regresses 50% *)
+        bench_row ~shape:"star" ~n:5 ~seed_ms:20.0 ~frame_ms:6.0 ();
+      ]
+  in
+  let r = Bench_diff.diff ~threshold:25.0 old_doc new_doc in
+  Alcotest.(check int) "four comparisons" 4 (List.length r.Bench_diff.compared);
+  (match r.Bench_diff.regressions with
+  | [ c ] ->
+      Alcotest.(check string) "regressed field" "frame_ms" c.Bench_diff.field;
+      Alcotest.(check (float 1e-6)) "delta" 50.0 c.Bench_diff.delta_pct
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  let ok = Bench_diff.diff ~threshold:60.0 old_doc new_doc in
+  Alcotest.(check int) "higher threshold passes" 0
+    (List.length ok.Bench_diff.regressions)
+
+let test_bench_diff_row_matching () =
+  let old_doc =
+    bench_doc [ bench_row ~shape:"chain" ~n:4 ~seed_ms:1.0 ~frame_ms:1.0 () ]
+  in
+  let new_doc =
+    bench_doc [ bench_row ~shape:"cycle" ~n:4 ~seed_ms:99.0 ~frame_ms:99.0 () ]
+  in
+  let r = Bench_diff.diff ~threshold:10.0 old_doc new_doc in
+  Alcotest.(check int) "no shared rows" 0 (List.length r.Bench_diff.compared);
+  Alcotest.(check int) "missing rows never fail the gate" 0
+    (List.length r.Bench_diff.regressions);
+  Alcotest.(check int) "only_old listed" 1 (List.length r.Bench_diff.only_old);
+  Alcotest.(check int) "only_new listed" 1 (List.length r.Bench_diff.only_new)
+
+let test_bench_diff_inject () =
+  let doc =
+    bench_doc
+      [
+        bench_row ~shape:"chain" ~n:4 ~seed_ms:10.0 ~frame_ms:2.0
+          ~extra:[ ("speedup", Json.float 5.0) ]
+          ();
+      ]
+  in
+  let r = Bench_diff.diff ~threshold:25.0 doc (Bench_diff.inflate ~pct:50.0 doc) in
+  Alcotest.(check int) "both timing fields regress" 2
+    (List.length r.Bench_diff.regressions);
+  let calm = Bench_diff.diff ~threshold:25.0 doc (Bench_diff.inflate ~pct:10.0 doc) in
+  Alcotest.(check int) "sub-threshold inflation passes" 0
+    (List.length calm.Bench_diff.regressions)
+
 let () =
   Alcotest.run "obs"
     [
@@ -357,5 +694,42 @@ let () =
             test_dpccp_pair_counter;
           Alcotest.test_case "dpsize counter = pairs_considered" `Quick
             test_dpsize_pair_counter;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "single observation is exact" `Quick
+            test_quantile_exact_small;
+          QCheck_alcotest.to_alcotest qcheck_quantile_oracle;
+          QCheck_alcotest.to_alcotest qcheck_merge_of_shards;
+        ] );
+      ( "traced-pool",
+        [
+          Alcotest.test_case "deterministic across domain counts" `Quick
+            test_traced_pool_deterministic;
+          Alcotest.test_case "worker lanes in chrome export" `Quick
+            test_traced_pool_lanes;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "span gc attrs and counters" `Quick test_gc_attrs;
+          Alcotest.test_case "opt-out leaves spans clean" `Quick
+            test_gc_opt_out;
+        ] );
+      ( "prometheus",
+        [ Alcotest.test_case "text exposition" `Quick test_prometheus ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "append/read round-trip" `Quick
+            test_telemetry_roundtrip;
+          Alcotest.test_case "malformed line raises" `Quick
+            test_telemetry_rejects_garbage;
+          Alcotest.test_case "gc fields from a sink" `Quick
+            test_telemetry_gc_fields;
+        ] );
+      ( "bench-diff",
+        [
+          Alcotest.test_case "threshold gate" `Quick test_bench_diff_gate;
+          Alcotest.test_case "row matching" `Quick test_bench_diff_row_matching;
+          Alcotest.test_case "inject self-check" `Quick test_bench_diff_inject;
         ] );
     ]
