@@ -17,6 +17,7 @@ module Pool = Mj_pool.Pool
 module Kernel_bench = Mj_benchkit.Kernel_bench
 module Frame_bench = Mj_benchkit.Frame_bench
 module Plan_bench = Mj_benchkit.Plan_bench
+module Par_bench = Mj_benchkit.Par_bench
 module Engine = Mj_engine.Engine
 
 (* Set by the --quick flag: trims the KERNEL grid to CI-smoke scale. *)
@@ -1002,11 +1003,11 @@ let loss () =
     (Lossless.best_lossless [] Scenarios.example4 = None)
 
 (* ------------------------------------------------------------------ *)
-(* PAR: makespan under parallel evaluation (refs [9], [16])             *)
+(* MAKESPAN: makespan under parallel evaluation (refs [9], [16])        *)
 (* ------------------------------------------------------------------ *)
 
-let par () =
-  section "PAR"
+let makespan () =
+  section "MAKESPAN"
     "Total work (tau) vs critical path (makespan) under parallelism";
   let module Parallel = Mj_engine.Parallel in
   Printf.printf "  %-8s %-10s %-24s %-24s\n" "shape" "regime"
@@ -1179,15 +1180,61 @@ let frame () =
     t.rows;
   check "seed and frame data planes agree on every row"
     (List.for_all (fun (r : Frame_bench.row) -> r.equal) t.rows);
+  let floor_fails = Frame_bench.floor_failures t in
+  check "every row with a speedup floor meets it" (floor_fails = []);
   Printf.printf "  BENCH_JSON %s\n"
     (Mj_obs.Json.to_string (Frame_bench.bench_json t));
   Frame_bench.write_file "BENCH_FRAME.json" t;
   print_endline "  (full report written to BENCH_FRAME.json)";
   print_endline
-    "  (join-radix compares the columnar join at 1 domain vs the pool's\n\
+    "  (join-morsel compares the columnar join at 1 domain vs the pool's\n\
     \   domain count and certifies bit-identical frames; wall-clock gains\n\
     \   need >1 physical core.  tau-gamma/tau-thm certify bit-identical\n\
-    \   tau tables)"
+    \   tau tables)";
+  if floor_fails <> [] then begin
+    List.iter
+      (fun (r : Frame_bench.row) ->
+        Printf.printf "  FLOOR FAIL %s %s n=%d: %.2fx < required %.2fx\n"
+          r.experiment r.shape r.n r.speedup
+          (Option.value r.speedup_floor ~default:0.0))
+      floor_fails;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* PAR: morsel-join scaling over storage x domains                      *)
+(* ------------------------------------------------------------------ *)
+
+let par () =
+  section "PAR"
+    "Morsel-driven join scaling: 1/2/4/8 domains, heap vs bigarray storage \
+     (bit-identical results certified)";
+  let t = Par_bench.run ~quick:!quick () in
+  Printf.printf "  cores: %d, morsel: %d rows, pool clamp events: %d%s\n"
+    t.cores t.morsel t.clamp_events
+    (if !quick then " (quick grid)" else "");
+  if t.clamp_events > 0 then
+    Printf.printf
+      "  (pool clamped %d multi-domain run(s) to the core count; scaling\n\
+      \   numbers above 1 domain are not meaningful on this machine)\n"
+      t.clamp_events;
+  Printf.printf "  %-9s %-8s %-7s %-7s %-5s %-12s %-12s %-9s %-6s\n" "storage"
+    "domains" "shape" "n" "reps" "1-dom ms" "par ms" "speedup" "equal";
+  List.iter
+    (fun (r : Par_bench.row) ->
+      Printf.printf "  %-9s %-8d %-7s %-7d %-5d %-12.3f %-12.3f %-9s %s\n"
+        (Mj_relation.Frame.storage_name r.storage)
+        r.domains r.shape r.n r.reps r.base_ms r.par_ms
+        (Printf.sprintf "%.2fx" r.speedup)
+        (if r.equal then "OK" else "FAIL"))
+    t.rows;
+  check "every cell is bit-identical to the 1-domain heap reference"
+    (List.for_all (fun (r : Par_bench.row) -> r.equal) t.rows);
+  Printf.printf "  BENCH_JSON %s\n"
+    (Mj_obs.Json.to_string (Par_bench.bench_json t));
+  Par_bench.write_file "BENCH_PAR.json" t;
+  print_endline "  (full report written to BENCH_PAR.json)";
+  if not (List.for_all (fun (r : Par_bench.row) -> r.equal) t.rows) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* PLAN: default-hash vs cost-based lowering                            *)
@@ -1306,8 +1353,8 @@ let experiments =
     ("THM3", fun () -> theorem_experiment "THM3" 3);
     ("SK", sk); ("SPACE", space); ("GAMMA", gamma); ("MONO", mono);
     ("SETOP", setop); ("YANN", yann); ("EST", est); ("RAND", rand);
-    ("PIPE", pipe); ("LEM", lem); ("COST", cost_models); ("C4JT", c4jt); ("CASE", case); ("PAR", par); ("LOSS", loss);
-    ("OBS", obs_metrics); ("KERNEL", kernel); ("FRAME", frame); ("PLAN", plan);
+    ("PIPE", pipe); ("LEM", lem); ("COST", cost_models); ("C4JT", c4jt); ("CASE", case); ("MAKESPAN", makespan); ("LOSS", loss);
+    ("OBS", obs_metrics); ("KERNEL", kernel); ("FRAME", frame); ("PAR", par); ("PLAN", plan);
     ("PERF", perf);
   ]
 

@@ -147,14 +147,47 @@ let telemetry_arg =
            deltas) to $(docv) as JSONL.  Default: $(b,MJ_TELEMETRY), else \
            off.")
 
+let storage_conv =
+  let parse s =
+    match Frame.storage_of_string s with
+    | Some st -> Ok st
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown storage %s (expected heap or bigarray)" s))
+  in
+  Arg.conv
+    (parse, fun fmt st -> Format.pp_print_string fmt (Frame.storage_name st))
+
+let storage_arg =
+  Arg.(
+    value
+    & opt (some storage_conv) None
+    & info [ "storage" ] ~docv:"STORE"
+        ~doc:
+          "Frame-plane row store: 'heap' (boxed int arrays) or 'bigarray' \
+           (off-heap int32 columns the GC never scans).  Default: \
+           $(b,MJ_FRAME_STORAGE), else heap.")
+
+let morsel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "morsel" ] ~docv:"ROWS"
+        ~doc:
+          "Probe-morsel size (rows) for the frame plane's parallel join.  \
+           Default: $(b,MJ_MORSEL), else 16384.")
+
 let config_term =
   Term.(
-    const (fun plane domains policy telemetry ->
-        (plane, domains, policy, telemetry))
-    $ engine_arg $ domains_arg $ policy_arg $ telemetry_arg)
+    const (fun plane domains policy telemetry storage morsel ->
+        (plane, domains, policy, telemetry, storage, morsel))
+    $ engine_arg $ domains_arg $ policy_arg $ telemetry_arg $ storage_arg
+    $ morsel_arg)
 
-let make_config ?obs (plane, domains, policy, telemetry) =
-  Engine.Config.make ?plane ?domains ?policy ?obs ?telemetry ()
+let make_config ?obs (plane, domains, policy, telemetry, storage, morsel) =
+  Engine.Config.make ?plane ?domains ?policy ?obs ?telemetry ?storage ?morsel
+    ()
 
 (* Telemetry plumbing shared by verify/optimize/explain: every record
    carries the engine configuration and the sink's GC totals; the
@@ -371,7 +404,7 @@ let run_optimize (shape_name, shape) n seed rows domain regime config
      Telemetry also needs an active sink, for the GC totals. *)
   let telemetry_on =
     match config with
-    | _, _, _, Some _ -> true
+    | _, _, _, Some _, _, _ -> true
     | _ -> (Engine.Config.of_env ()).Engine.Config.telemetry <> None
   in
   let obs =
@@ -726,10 +759,10 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
      scan/join spans, so the tree walk below is engine-agnostic; only
      the summary tail differs, keyed on the plane-specific stats. *)
   let cfg =
-    let plane, domains, policy, telemetry = config in
+    let plane, domains, policy, telemetry, storage, morsel = config in
     Engine.Config.make ?plane ?domains
       ?policy:(match forced with Some _ -> forced | None -> policy)
-      ~obs ?telemetry ()
+      ~obs ?telemetry ?storage ?morsel ()
   in
   let plan = Engine.lower cfg db strategy in
   let t0 = Obs.monotonic_time () in

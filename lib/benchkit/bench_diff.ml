@@ -32,7 +32,7 @@ let is_timing_field name =
   n > 3 && String.sub name (n - 3) 3 = "_ms"
 
 let is_derived_field = function
-  | "speedup" | "reps" -> true
+  | "speedup" | "reps" | "speedup_floor" | "speedup_ok" -> true
   | name -> is_timing_field name
 
 let row_fields = function Json.Obj fields -> fields | _ -> []

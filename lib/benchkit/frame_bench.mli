@@ -8,13 +8,15 @@
     - ["join-micro"] — natural-join fold over a generated chain/star
       database of [n] tuples per relation, frames pinned to one domain;
       certifies [Relation.equal] of the decoded result.
-    - ["join-radix"] — the same columnar join at 1 domain vs the pool's
-      domain count with the radix partitioner forced on; the speedup
+    - ["join-morsel"] — the same columnar join at 1 domain vs the pool's
+      domain count with the morsel scheduler forced on; the speedup
       column is the parallel scaling, and equality is bit-identical
       frames.
     - ["exec-engine"] — [Exec.execute] (hash plan) vs
       [Frame_engine.execute] on an optimized strategy; certifies equal
-      result relations and equal τ.
+      result relations and equal τ.  At n ≥ 200 the row carries a
+      [speedup_floor] of 1.0: the frame plane must not lose to the seed
+      executor at small n.
     - ["tau-gamma"] — a GAMMA-style trial loop (exact optimum + linear
       optimum per seeded database) driven once by a [Cost.Cache Seed]
       and once by a [Cost.Cache Frame]; certifies bit-identical τ tables
@@ -32,13 +34,16 @@ type row = {
   n : int;          (** tuples per relation, or trial count for tau rows *)
   reps : int;
   seed_ms : float;
-      (** median rep wall time of the seed path (for ["join-radix"]:
+      (** fastest rep wall time of the seed path (for ["join-morsel"]:
           1-domain frames) *)
-  frame_ms : float;  (** median rep wall time of the frame path *)
+  frame_ms : float;  (** fastest rep wall time of the frame path *)
   speedup : float;  (** [seed_ms /. frame_ms] *)
   seed_value : int;
   frame_value : int;
   equal : bool;
+  speedup_floor : float option;
+      (** when set, the row asserts [speedup >= floor]; surfaced as
+          [speedup_ok] in the JSON and by {!floor_failures} *)
 }
 
 type t = {
@@ -51,6 +56,10 @@ type t = {
 val run : ?domains:int -> ?quick:bool -> unit -> t
 (** [quick] (default [false]) trims sizes to CI-smoke scale.  [domains]
     defaults to {!Mj_pool.Pool.default_domains}. *)
+
+val floor_failures : t -> row list
+(** Rows whose measured [speedup] fell below their [speedup_floor] —
+    empty on a healthy run; the bench driver reports them and fails. *)
 
 val bench_json : t -> Mj_obs.Json.t
 val deterministic_json : t -> Mj_obs.Json.t

@@ -1,0 +1,139 @@
+open Mj_relation
+open Mj_hypergraph
+module Dbgen = Mj_workload.Dbgen
+module Pool = Mj_pool.Pool
+module Json = Mj_obs.Json
+
+type row = {
+  storage : Frame.storage;
+  domains : int;
+  shape : string;
+  n : int;
+  reps : int;
+  base_ms : float;
+  par_ms : float;
+  speedup : float;
+  rows_out : int;
+  equal : bool;
+}
+
+type t = {
+  cores : int;
+  morsel : int;
+  clamp_events : int;
+  rows : row list;
+}
+
+(* Fastest rep: preemption and GC pauses only ever add time, so the
+   minimum is the least-contaminated estimate (see Frame_bench.time). *)
+let time reps f =
+  Gc.full_major ();
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (!best, Option.get !result)
+
+let shape_of = function
+  | "chain" -> Querygraph.chain
+  | "cycle" -> Querygraph.cycle
+  | "star" -> Querygraph.star
+  | s -> invalid_arg ("Par_bench: unknown shape " ^ s)
+
+let micro_db shape n =
+  let rng = Random.State.make [| n; 1990; Hashtbl.hash shape |] in
+  Dbgen.uniform_db ~rng ~rows:n ~domain:(max 2 n) (shape_of shape 3)
+
+(* One (shape, n) workload swept over the full storage × domain grid.
+   The reference result is the 1-domain heap join; every cell certifies
+   bit-identical frames against it (Frame.equal is storage-agnostic),
+   so one grid both measures scaling and proves the morsel scheduler
+   deterministic across backends and worker counts. *)
+let sweep ~storages ~domain_counts ~reps (shape, n) =
+  let db = micro_db shape n in
+  let reference =
+    Frame.Db.join_all ~domains:1 (Frame.Db.of_database db)
+  in
+  List.concat_map
+    (fun storage ->
+      let fdb = Frame.Db.of_database ~storage db in
+      let base_ms, base_f =
+        time reps (fun () -> Frame.Db.join_all ~domains:1 fdb)
+      in
+      List.map
+        (fun domains ->
+          let par_ms, par_f =
+            if domains = 1 then (base_ms, base_f)
+            else
+              time reps (fun () ->
+                  Frame.Db.join_all ~domains ~par_threshold:1 fdb)
+          in
+          {
+            storage;
+            domains;
+            shape;
+            n;
+            reps;
+            base_ms;
+            par_ms;
+            speedup = (if par_ms > 0.0 then base_ms /. par_ms else 0.0);
+            rows_out = Frame.cardinality par_f;
+            equal = Frame.equal reference par_f;
+          })
+        domain_counts)
+    storages
+
+let run ?(quick = false) () =
+  let clamp0 = Pool.clamp_events () in
+  let specs =
+    if quick then [ ("chain", 2_000) ] else [ ("chain", 100_000); ("star", 100_000) ]
+  in
+  let reps = if quick then 3 else 5 in
+  let rows =
+    List.concat_map
+      (sweep ~storages:Frame.all_storages ~domain_counts:[ 1; 2; 4; 8 ] ~reps)
+      specs
+  in
+  {
+    cores = Domain.recommended_domain_count ();
+    morsel = Frame.default_morsel;
+    clamp_events = Pool.clamp_events () - clamp0;
+    rows;
+  }
+
+let row_json r =
+  Json.Obj
+    [
+      ("experiment", Json.str "join-scaling");
+      ("storage", Json.str (Frame.storage_name r.storage));
+      ("domains", Json.int r.domains);
+      ("shape", Json.str r.shape);
+      ("n", Json.int r.n);
+      ("reps", Json.int r.reps);
+      ("base_ms", Json.float r.base_ms);
+      ("par_ms", Json.float r.par_ms);
+      ("speedup", Json.float r.speedup);
+      ("rows_out", Json.int r.rows_out);
+      ("equal", Json.bool r.equal);
+    ]
+
+let bench_json t =
+  Json.Obj
+    [
+      ("experiment", Json.str "PAR");
+      ("cores", Json.int t.cores);
+      ("morsel", Json.int t.morsel);
+      ("clamp_events", Json.int t.clamp_events);
+      ("rows", Json.Arr (List.map row_json t.rows));
+    ]
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string (bench_json t));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,49 @@
+(** The PAR benchmark: morsel-join scaling over storage × domains.
+
+    One workload per (shape, n) — a generated uniform database joined
+    with the morsel scheduler forced on — swept over the full grid of
+    {!Mj_relation.Frame.storage} backends and worker domain counts
+    (1/2/4/8).  Per cell:
+
+    - [base_ms] — the 1-domain join on the same storage backend (the
+      scaling denominator);
+    - [par_ms] — the join at the cell's domain count;
+    - [speedup] — [base_ms /. par_ms], the parallel scaling;
+    - [equal] — bit-identical against the 1-domain {e heap} reference,
+      so the grid certifies the determinism contract across backends
+      and worker counts, not just within one.
+
+    The report carries [cores] ([Domain.recommended_domain_count]) and
+    [clamp_events] (the {!Mj_pool.Pool.clamp_events} delta across the
+    run): on a small machine every multi-domain cell is silently capped
+    at the core count, and these two fields are how a reader tells real
+    scaling from a clamped run.  [morsel] records the probe-morsel size
+    the run used. *)
+
+type row = {
+  storage : Mj_relation.Frame.storage;
+  domains : int;  (** requested worker domains (the pool may clamp) *)
+  shape : string;
+  n : int;        (** tuples per relation *)
+  reps : int;
+  base_ms : float;  (** fastest 1-domain wall time, same storage *)
+  par_ms : float;   (** fastest wall time at [domains] *)
+  speedup : float;  (** [base_ms /. par_ms] *)
+  rows_out : int;
+  equal : bool;     (** bit-identical to the 1-domain heap reference *)
+}
+
+type t = {
+  cores : int;
+  morsel : int;
+  clamp_events : int;
+  rows : row list;
+}
+
+val run : ?quick:bool -> unit -> t
+(** [quick] (default [false]) trims sizes to CI-smoke scale. *)
+
+val bench_json : t -> Mj_obs.Json.t
+
+val write_file : string -> t -> unit
+(** Write {!bench_json} (one line) to a file, e.g. [BENCH_PAR.json]. *)

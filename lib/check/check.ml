@@ -83,16 +83,33 @@ let differential db s =
   let cell_skeletons = Hashtbl.create 16 in
   List.iter
     (fun plane ->
+      (* The storage axis only exists on the frame plane: the seed plane
+         has no frames, so one cell covers it. *)
+      let storages =
+        match plane with
+        | Engine.Seed -> [ None ]
+        | Engine.Frame -> List.map Option.some Frame.all_storages
+      in
       List.iter
         (fun policy ->
           List.iter
+            (fun storage ->
+            List.iter
             (fun domains ->
+              let storage_label =
+                match storage with
+                | None -> ""
+                | Some st -> "/" ^ Frame.storage_name st
+              in
               let where =
-                Printf.sprintf "%s/%s/%d-domain" (Engine.plane_name plane)
+                Printf.sprintf "%s%s/%s/%d-domain" (Engine.plane_name plane)
+                  storage_label
                   (Planner.policy_name policy) domains
               in
               let obs = Obs.make () in
-              let cfg = Engine.Config.make ~plane ~domains ~policy ~obs () in
+              let cfg =
+                Engine.Config.make ~plane ~domains ~policy ~obs ?storage ()
+              in
               let r, stats = Engine.run cfg db s in
               if not (Relation.equal r expected) then
                 fail "differential:result"
@@ -117,7 +134,8 @@ let differential db s =
                       where (List.length joins) ref_where
                       (List.length ref_joins));
               let cell =
-                (Engine.plane_name plane, Planner.policy_name policy)
+                ( Engine.plane_name plane ^ storage_label,
+                  Planner.policy_name policy )
               in
               match Hashtbl.find_opt cell_skeletons cell with
               | None -> Hashtbl.add cell_skeletons cell (where, sk)
@@ -125,9 +143,10 @@ let differential db s =
                   if sk <> ref_sk then
                     fail "differential:spans"
                       "%s: scan/join shape differs from %s within the same \
-                       plane × policy cell"
+                       plane × policy × storage cell"
                       where ref_where)
             domain_counts)
+            storages)
         policies)
     planes
 
@@ -363,20 +382,22 @@ let faults db s =
      generators, but raw caller databases may produce τ = 0, where a
      lossy join has nothing to drop. *)
   Failpoint.reset ();
-  if tau > 0 then begin
-    Failpoint.enable Failpoint.Frame_lossy_join;
-    let cfg =
-      Engine.Config.make ~plane:Engine.Frame ~domains:1
-        ~policy:Planner.Hash_all ()
-    in
-    let _, st = Engine.run cfg db s in
-    Failpoint.disable Failpoint.Frame_lossy_join;
-    if st.Engine.tuples_generated = tau then
-      fail "faults:lossy_join"
-        "planted frame-plane mutation went undetected (τ log unchanged at \
-         %d)"
-        tau
-  end
+  if tau > 0 then
+    List.iter
+      (fun storage ->
+        Failpoint.enable Failpoint.Frame_lossy_join;
+        let cfg =
+          Engine.Config.make ~plane:Engine.Frame ~domains:1
+            ~policy:Planner.Hash_all ~storage ()
+        in
+        let _, st = Engine.run cfg db s in
+        Failpoint.disable Failpoint.Frame_lossy_join;
+        if st.Engine.tuples_generated = tau then
+          fail "faults:lossy_join"
+            "planted frame-plane mutation went undetected on %s storage (τ \
+             log unchanged at %d)"
+            (Frame.storage_name storage) tau)
+      Frame.all_storages
 
 (* ------------------------------------------------------------------ *)
 (* One case through every applicable check.                           *)

@@ -25,15 +25,17 @@ module Config = struct
     algo_policy : Planner.policy;
     index_cache : Exec.index_cache;
     telemetry : string option;
+    frame_storage : Frame.storage;
+    morsel : int option;
   }
 
   (* The single point of environment reads in the whole library tree:
-     MJ_DATA_PLANE, MJ_DOMAINS, MJ_ALGO_POLICY and MJ_TELEMETRY are
-     read once per process, here, and the resolved values are pushed
-     down to the two modules that used to read the environment
-     themselves (the pool's default worker count and [Cost.Cache]'s
-     default backend), so every legacy caller keeps its env-driven
-     behavior without a second read. *)
+     MJ_DATA_PLANE, MJ_DOMAINS, MJ_ALGO_POLICY, MJ_TELEMETRY,
+     MJ_FRAME_STORAGE and MJ_MORSEL are read once per process, here,
+     and the resolved values are pushed down to the two modules that
+     used to read the environment themselves (the pool's default
+     worker count and [Cost.Cache]'s default backend), so every legacy
+     caller keeps its env-driven behavior without a second read. *)
   let env =
     lazy
       (let plane =
@@ -61,6 +63,18 @@ module Config = struct
          | Some s when String.trim s <> "" -> Some (String.trim s)
          | _ -> None
        in
+       let frame_storage =
+         match Sys.getenv_opt "MJ_FRAME_STORAGE" with
+         | Some s ->
+             Option.value (Frame.storage_of_string s) ~default:Frame.Heap
+         | None -> Frame.Heap
+       in
+       let morsel =
+         match Sys.getenv_opt "MJ_MORSEL" with
+         | Some s -> (
+             try Some (max 1 (int_of_string (String.trim s))) with _ -> None)
+         | None -> None
+       in
        (match Sys.getenv_opt "MJ_FAILPOINTS" with
        | Some s -> (
            match Mj_failpoint.Failpoint.set_spec s with
@@ -69,10 +83,12 @@ module Config = struct
        | None -> ());
        Cost.Cache.set_env_backend (backend_of_plane plane);
        (match domains with Some d -> Pool.set_env_domains d | None -> ());
-       (plane, domains, policy, telemetry))
+       (plane, domains, policy, telemetry, frame_storage, morsel))
 
   let of_env ?(obs = Obs.noop) () =
-    let plane, domains, policy, telemetry = Lazy.force env in
+    let plane, domains, policy, telemetry, frame_storage, morsel =
+      Lazy.force env
+    in
     {
       plane;
       domains =
@@ -81,9 +97,11 @@ module Config = struct
       algo_policy = policy;
       index_cache = Exec.index_cache ();
       telemetry;
+      frame_storage;
+      morsel;
     }
 
-  let make ?plane ?domains ?policy ?obs ?telemetry () =
+  let make ?plane ?domains ?policy ?obs ?telemetry ?storage ?morsel () =
     let base = of_env ?obs () in
     {
       base with
@@ -92,6 +110,9 @@ module Config = struct
       algo_policy = Option.value policy ~default:base.algo_policy;
       telemetry =
         (match telemetry with Some _ -> telemetry | None -> base.telemetry);
+      frame_storage = Option.value storage ~default:base.frame_storage;
+      morsel =
+        (match morsel with Some m -> Some (max 1 m) | None -> base.morsel);
     }
 
   let backend c = backend_of_plane c.plane
@@ -135,7 +156,8 @@ module Frame_backend = struct
 
   let execute (cfg : Config.t) db plan =
     let r, (s : Frame_engine.stats) =
-      Frame_engine.execute_plan ~obs:cfg.obs ~domains:cfg.domains db plan
+      Frame_engine.execute_plan ~obs:cfg.obs ~domains:cfg.domains
+        ?morsel:cfg.morsel ~storage:cfg.frame_storage db plan
     in
     ( r,
       {

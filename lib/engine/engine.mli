@@ -59,6 +59,14 @@ module Config : sig
     telemetry : string option;
         (** JSONL sidecar path for per-query telemetry records
             ([MJ_TELEMETRY] / [--telemetry]); [None] disables *)
+    frame_storage : Mj_relation.Frame.storage;
+        (** row-store backend for frame-plane executions
+            ([MJ_FRAME_STORAGE] / [--storage]): on-heap [int array]s or
+            off-heap int32 bigarrays *)
+    morsel : int option;
+        (** probe-morsel rows for the frame plane's parallel join
+            ([MJ_MORSEL] / [--morsel]); [None] means
+            [Frame.default_morsel] *)
   }
 
   val of_env : ?obs:Mj_obs.Obs.sink -> unit -> t
@@ -66,11 +74,13 @@ module Config : sig
       environment: [MJ_DATA_PLANE] (["frame"] selects the columnar
       plane), [MJ_DOMAINS] (worker count, clamped ≥ 1),
       [MJ_ALGO_POLICY] (["hash"] or ["cost"]), [MJ_TELEMETRY] (a
-      JSONL sidecar path for per-query telemetry), and [MJ_FAILPOINTS]
-      (a comma-separated list of fault-injection points forwarded to
-      [Mj_failpoint.Failpoint.set_spec]).  The variables are read
-      once per process (memoized) and the resolved values are
-      registered with [Mj_pool.Pool.set_env_domains] and
+      JSONL sidecar path for per-query telemetry), [MJ_FRAME_STORAGE]
+      (["heap"] or ["bigarray"] row stores for the frame plane),
+      [MJ_MORSEL] (probe-morsel rows for the parallel join), and
+      [MJ_FAILPOINTS] (a comma-separated list of fault-injection
+      points forwarded to [Mj_failpoint.Failpoint.set_spec]).  The
+      variables are read once per process (memoized) and the resolved
+      values are registered with [Mj_pool.Pool.set_env_domains] and
       [Cost.Cache.set_env_backend], so legacy default-using callers
       observe the same environment without re-reading it.  Each call
       returns a fresh [index_cache].
@@ -83,6 +93,8 @@ module Config : sig
     ?policy:Planner.policy ->
     ?obs:Mj_obs.Obs.sink ->
     ?telemetry:string ->
+    ?storage:Mj_relation.Frame.storage ->
+    ?morsel:int ->
     unit ->
     t
   (** {!of_env} with explicit overrides — the documented precedence

@@ -8,8 +8,15 @@ type stats = {
   probes : int;
   probe_hits : int;
   partitions : int;
+  morsels : int;
   per_step : (Scheme.Set.t * int) list;
 }
+
+(* Databases whose base relations hold fewer total rows than this run
+   single-domain: at that scale the parallel join's fan-out costs more
+   than the probes it spreads, and the pool would only add spawn/join
+   latency to a sub-millisecond plan. *)
+let tiny_rows = 1024
 
 (* The columnar plane, plugged into the generic Driver walker:
    intermediates are dictionary-encoded frames and every step runs the
@@ -28,6 +35,7 @@ module Frame_plane = struct
     fstats : Frame.stats;
     domains : int option;
     par_threshold : int option;
+    morsel : int option;
     obs : Obs.sink;
     jprobe : Obs.histogram; (* hash probes per join step *)
   }
@@ -44,7 +52,8 @@ module Frame_plane = struct
     let probes_before = ctx.fstats.Frame.probes in
     let j =
       Frame.natural_join ~obs:ctx.obs ?domains:ctx.domains
-        ?par_threshold:ctx.par_threshold ~stats:ctx.fstats f1 f2
+        ?par_threshold:ctx.par_threshold ?morsel:ctx.morsel
+        ~stats:ctx.fstats f1 f2
     in
     if Obs.enabled ctx.obs then
       Obs.observe ctx.jprobe
@@ -73,13 +82,24 @@ end
 
 module Drive = Driver.Make (Frame_plane)
 
-let execute_plan ?(obs = Obs.noop) ?domains ?par_threshold db plan =
+let execute_plan ?(obs = Obs.noop) ?domains ?par_threshold ?morsel ?storage db
+    plan =
+  (* Adaptive cutover: a tiny database is executed single-domain
+     whatever the configured worker count — the non-partitioned join
+     path, no pool, no fan-out. *)
+  let base_rows =
+    List.fold_left
+      (fun acc r -> acc + Relation.cardinality r)
+      0 (Database.relations db)
+  in
+  let domains = if base_rows < tiny_rows then Some 1 else domains in
   let ctx =
     {
-      Frame_plane.fdb = Frame.Db.of_database db;
+      Frame_plane.fdb = Frame.Db.of_database ?storage db;
       fstats = Frame.fresh_stats ();
       domains;
       par_threshold;
+      morsel;
       obs;
       jprobe = Obs.histogram obs "join.probes";
     }
@@ -90,6 +110,7 @@ let execute_plan ?(obs = Obs.noop) ?domains ?par_threshold db plan =
     Obs.add obs "exec.tuples_generated" log.tuples_generated;
     Obs.add obs "frame.dict_size" dict_size;
     Obs.add obs "frame.partitions" ctx.fstats.partitions;
+    Obs.add obs "frame.morsels" ctx.fstats.morsels;
     Obs.add obs "frame.probes" ctx.fstats.probes;
     Obs.add obs "frame.probe_hits" ctx.fstats.probe_hits
   end;
@@ -101,8 +122,10 @@ let execute_plan ?(obs = Obs.noop) ?domains ?par_threshold db plan =
       probes = ctx.fstats.probes;
       probe_hits = ctx.fstats.probe_hits;
       partitions = ctx.fstats.partitions;
+      morsels = ctx.fstats.morsels;
       per_step = log.per_step;
     } )
 
-let execute ?obs ?domains ?par_threshold db strategy =
-  execute_plan ?obs ?domains ?par_threshold db (Physical.of_strategy strategy)
+let execute ?obs ?domains ?par_threshold ?morsel ?storage db strategy =
+  execute_plan ?obs ?domains ?par_threshold ?morsel ?storage db
+    (Physical.of_strategy strategy)

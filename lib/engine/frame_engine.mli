@@ -2,8 +2,9 @@
 
     Evaluates a {!Multijoin.Strategy} bottom-up over
     {!Mj_relation.Frame} frames instead of seed {!Mj_relation.Relation}
-    states: the database is dictionary-encoded once, every step is a
-    compiled-key columnar hash join (radix-partitioned over
+    states: the database is dictionary-encoded once (into the heap or
+    off-heap bigarray row store selected by [?storage]), every step is
+    a compiled-key columnar hash join (morsel-driven over
     [Mj_pool.Pool] on large inputs), and the final frame is decoded
     back, so callers see the same [Relation.t] the materializing
     {!Exec} engine produces.
@@ -12,8 +13,8 @@
     every step a ["join"] span carrying ["scheme"] and ["rows"]
     attributes (so [mjoin explain]'s tree renderer works unchanged),
     and the frame-specific counters [frame.dict_size],
-    [frame.partitions], [frame.probes] and [frame.probe_hits] are added
-    to the sink. *)
+    [frame.partitions], [frame.morsels], [frame.probes] and
+    [frame.probe_hits] are added to the sink. *)
 
 open Mj_relation
 open Multijoin
@@ -24,12 +25,20 @@ type stats = {
   dict_size : int;         (** distinct values interned for the database *)
   probes : int;
   probe_hits : int;
-  partitions : int;        (** radix partitions opened by parallel joins *)
+  partitions : int;        (** index build-partitions opened by parallel joins *)
+  morsels : int;           (** probe morsels claimed by parallel joins *)
   per_step : (Scheme.Set.t * int) list;  (** post-order, like [Cost.step_costs] *)
 }
 
+val tiny_rows : int
+(** The adaptive cutover: databases whose base relations total fewer
+    rows than this (1024) execute single-domain on the non-partitioned
+    join path, whatever [?domains] says — at that scale parallel
+    fan-out only adds latency. *)
+
 val execute :
   ?obs:Mj_obs.Obs.sink -> ?domains:int -> ?par_threshold:int ->
+  ?morsel:int -> ?storage:Frame.storage ->
   Database.t -> Strategy.t -> Relation.t * stats
 (** [execute db s] materializes every step of [s] columnar-side and
     returns the decoded result.  Agrees with [Exec.execute] on the
@@ -39,6 +48,7 @@ val execute :
 
 val execute_plan :
   ?obs:Mj_obs.Obs.sink -> ?domains:int -> ?par_threshold:int ->
+  ?morsel:int -> ?storage:Frame.storage ->
   Database.t -> Physical.t -> Relation.t * stats
 (** Execute an annotated physical plan on the columnar plane.  The
     frame plane has exactly one join kernel, so the per-step algorithm

@@ -14,38 +14,63 @@ let default_domains () =
   | Some d -> d
   | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
 
+(* Every run that had to cut its worker count down to the machine's
+   recommended domain count bumps this — the process-wide record that
+   "4 domains" silently became fewer.  [run_traced] also surfaces the
+   event as the [pool.domains_clamped] sink counter so a single bench
+   trace is diagnosable without process-global state. *)
+let clamped = Atomic.make 0
+let clamp_events () = Atomic.get clamped
+
+let core_cap () = max 1 (Domain.recommended_domain_count ())
+
 (* Internal driver: tasks receive the index of the worker running them
    (0 = the calling domain, 1..d-1 = spawned domains) so [run_traced]
    can tag trace lanes.  Results never depend on the worker index. *)
-let run_w ?domains (tasks : (worker:int -> 'a) array) =
+let run_w ?domains ?(chunk = 1) (tasks : (worker:int -> 'a) array) =
   let n = Array.length tasks in
   let d = match domains with Some d -> max 1 d | None -> default_domains () in
   (* Never oversubscribe cores: extra domains on a saturated machine buy
      no throughput for CPU-bound tasks and pay minor-GC synchronization
      for every domain on every collection.  Results are unaffected —
-     the pool merges in task-index order at any worker count. *)
-  let d = min d (max 1 (Domain.recommended_domain_count ())) in
+     the pool merges in task-index order at any worker count — but the
+     clamp is counted, because a "4-domain" bench on a small machine is
+     really measuring fewer workers. *)
+  let cap = core_cap () in
+  let d =
+    if d > cap then begin
+      if n > cap then Atomic.incr clamped;
+      cap
+    end
+    else d
+  in
   let d = min d n in
+  let chunk = max 1 chunk in
   if d <= 1 then Array.map (fun task -> task ~worker:0) tasks
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
     (* Work-stealing by shared counter: each slot is written by exactly
        one worker, and [Domain.join] publishes those writes before the
-       merge below reads them.  Results are merged in task-index order,
-       so the output is deterministic whatever the interleaving. *)
+       merge below reads them.  Workers claim [chunk] consecutive tasks
+       per fetch-and-add — one atomic operation amortized over a batch,
+       which matters when the tasks are sub-millisecond morsels.
+       Results are merged in task-index order, so the output is
+       deterministic whatever the interleaving. *)
     let worker ~id () =
       let spawned = id > 0 in
       let rec loop ~first =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
+        let base = Atomic.fetch_and_add next chunk in
+        if base < n then begin
           (* The kill failpoint takes a spawned worker down after it has
-             claimed (but not completed) its first task — the worst
-             crash point: the index is lost from the shared counter and
-             only the recovery pass below can finish it.  The calling
-             domain never trips, so a survivor always exists. *)
+             claimed (but not completed) its first batch — the worst
+             crash point: the indices are lost from the shared counter
+             and only the recovery pass below can finish them.  The
+             calling domain never trips, so a survivor always exists. *)
           if spawned && first then Mj_failpoint.Failpoint.trip Pool_worker_kill;
-          results.(i) <- Some (tasks.(i) ~worker:id);
+          for i = base to min n (base + chunk) - 1 do
+            results.(i) <- Some (tasks.(i) ~worker:id)
+          done;
           loop ~first:false
         end
       in
@@ -60,7 +85,7 @@ let run_w ?domains (tasks : (worker:int -> 'a) array) =
           | () -> acc
           | exception Mj_failpoint.Failpoint.Injected _ ->
               (* An injected worker kill degrades gracefully: the dead
-                 worker's claimed task is re-run serially below. *)
+                 worker's claimed tasks are re-run serially below. *)
               acc
           | exception e -> ( match acc with None -> Some e | some -> some))
         None spawned
@@ -78,19 +103,26 @@ let run_w ?domains (tasks : (worker:int -> 'a) array) =
     Array.map (function Some v -> v | None -> assert false) results
   end
 
-let run ?domains tasks =
-  run_w ?domains (Array.map (fun task ~worker:_ -> task ()) tasks)
+let run ?domains ?chunk tasks =
+  run_w ?domains ?chunk (Array.map (fun task ~worker:_ -> task ()) tasks)
 
-let run_traced ?(obs = Mj_obs.Obs.noop) ?domains tasks =
+let run_traced ?(obs = Mj_obs.Obs.noop) ?domains ?chunk tasks =
   if not (Mj_obs.Obs.enabled obs) then
-    run ?domains (Array.map (fun task () -> task Mj_obs.Obs.noop) tasks)
+    run ?domains ?chunk (Array.map (fun task () -> task Mj_obs.Obs.noop) tasks)
   else begin
+    (* Surface a clamp on this very run as a sink counter, mirroring the
+       process-wide [clamp_events] total. *)
+    let requested =
+      match domains with Some d -> max 1 d | None -> default_domains ()
+    in
+    if requested > core_cap () && Array.length tasks > core_cap () then
+      Mj_obs.Obs.add obs "pool.domains_clamped" 1;
     (* One child sink per TASK, not per worker: merging in task-index
        order then yields the same span tree at any domain count — only
        the lane attribute (which worker ran the task) varies. *)
     let children = Array.map (fun _ -> Mj_obs.Obs.fork obs) tasks in
     let results =
-      run_w ?domains
+      run_w ?domains ?chunk
         (Array.mapi
            (fun i task ~worker ->
              let child = children.(i) in
@@ -107,4 +139,4 @@ let map_array ?domains f xs = run ?domains (Array.map (fun x () -> f x) xs)
 let map_list ?domains f xs =
   Array.to_list (map_array ?domains f (Array.of_list xs))
 
-let init ?domains n f = run ?domains (Array.init n (fun i () -> f i))
+let init ?domains n f = run ?domains (Array.init n (fun i -> fun () -> f i))

@@ -32,16 +32,29 @@ val default_domains : unit -> int
 (** The registered {!set_env_domains} value when one exists, else
     [Domain.recommended_domain_count] capped at 8. *)
 
-val run : ?domains:int -> (unit -> 'a) array -> 'a array
+val clamp_events : unit -> int
+(** How many runs so far had their worker count silently cut down to
+    [Domain.recommended_domain_count] — the tell that a "[N]-domain"
+    bench on a small machine actually measured fewer workers.  The same
+    event is surfaced per-trace as the [pool.domains_clamped] sink
+    counter by {!run_traced}. *)
+
+val run : ?domains:int -> ?chunk:int -> (unit -> 'a) array -> 'a array
 (** [run tasks] evaluates every task and returns their results indexed
     like the input.  [domains] defaults to {!default_domains}; the
     worker count is additionally capped at
     [Domain.recommended_domain_count] — oversubscribing cores only adds
-    GC-synchronization overhead and cannot change results. *)
+    GC-synchronization overhead and cannot change results (the clamp is
+    recorded in {!clamp_events}).  [chunk] (default 1) is the number of
+    consecutive tasks a worker claims per atomic fetch-and-add — raise
+    it for floods of sub-millisecond tasks (morsel queues) so the
+    shared counter stops being a contention point.  Chunking changes
+    only which worker runs a task, never the merged result. *)
 
 val run_traced :
   ?obs:Mj_obs.Obs.sink ->
   ?domains:int ->
+  ?chunk:int ->
   (Mj_obs.Obs.sink -> 'a) array ->
   'a array
 (** Like {!run}, but each task receives its own child sink
@@ -54,7 +67,9 @@ val run_traced :
     every task just gets {!Mj_obs.Obs.noop} and this is exactly
     {!run}.  A task re-run by the crash-recovery pass records its
     spans once, on lane 0 — a killed worker dies before the task body
-    starts. *)
+    starts.  When the requested worker count is clamped to the
+    machine's core count, the sink counter [pool.domains_clamped] is
+    bumped so the trace itself says the parallelism was reduced. *)
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,7 +1,12 @@
 (* Columnar relation frames.  See frame.mli for the representation
    contract: one shared dictionary per database, row-major packed int
    codes, rows kept canonical (sorted lexicographically by code,
-   duplicate-free). *)
+   duplicate-free).  Row storage is pluggable: boxed [int array] on the
+   OCaml heap, or an off-heap int32 [Bigarray] that the GC never
+   scans. *)
+
+module Pool = Mj_pool.Pool
+module Obs = Mj_obs.Obs
 
 module Dict = struct
   type t = {
@@ -38,12 +43,78 @@ module Dict = struct
     d.values.(c)
 end
 
+(* ------------------------------------------------------------------ *)
+(* Row storage                                                         *)
+
+type storage = Heap | Bigarray
+
+let storage_name = function Heap -> "heap" | Bigarray -> "bigarray"
+
+let storage_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "heap" -> Some Heap
+  | "bigarray" | "big" -> Some Bigarray
+  | _ -> None
+
+let all_storages = [ Heap; Bigarray ]
+
+type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* The resident row store of a frame.  All transient computation (join
+   output buffers, sort scratch, partition tables) stays on heap [int
+   array]s whatever the storage — only the long-lived packed rows move
+   off-heap, which is where multi-million-row frames hurt the GC.  The
+   accessors are small enough for the classic (non-flambda) inliner, so
+   a read costs one tag check over the raw array load; the bigarray
+   read compiles to a direct sign-extended int32 load, no boxing. *)
+module Store = struct
+  type t = H of int array | B of i32
+
+  let storage = function H _ -> Heap | B _ -> Bigarray
+
+  let[@inline] get s i =
+    match s with
+    | H a -> Array.unsafe_get a i
+    | B b -> Int32.to_int (Bigarray.Array1.unsafe_get b i)
+
+  (* Pack the first [len] ints of a heap buffer into a store.  Codes
+     are dense dictionary indices, far below 2^31, so the int32
+     narrowing is lossless; guarded anyway to fail loudly rather than
+     corrupt. *)
+  let of_heap storage len (a : int array) =
+    match storage with
+    | Heap -> if Array.length a = len then H a else H (Array.sub a 0 len)
+    | Bigarray ->
+        let b =
+          Stdlib.Bigarray.Array1.create Stdlib.Bigarray.int32
+            Stdlib.Bigarray.c_layout len
+        in
+        for i = 0 to len - 1 do
+          let v = Array.unsafe_get a i in
+          if v > 0x3fffffff then
+            invalid_arg "Frame: dictionary code exceeds int32 storage";
+          Bigarray.Array1.unsafe_set b i (Int32.of_int v)
+        done;
+        B b
+
+  let empty storage = of_heap storage 0 [||]
+
+  (* Logical content equality over [len] ints — storage-agnostic, so a
+     heap frame and its bigarray twin compare equal. *)
+  let equal len s1 s2 =
+    match (s1, s2) with
+    | H a1, H a2 when Array.length a1 = len && Array.length a2 = len -> a1 = a2
+    | _ ->
+        let rec go i = i = len || (get s1 i = get s2 i && go (i + 1)) in
+        go 0
+end
+
 type t = {
   scheme : Attr.Set.t;
   attrs : Attr.t array; (* sorted; attrs.(j) labels column j *)
   width : int;
   rows : int;
-  data : int array; (* row-major, length = rows * width, canonical *)
+  data : Store.t; (* row-major, rows * width ints, canonical *)
   dict : Dict.t;
 }
 
@@ -51,14 +122,16 @@ type stats = {
   mutable probes : int;
   mutable probe_hits : int;
   mutable partitions : int;
+  mutable morsels : int;
 }
 
-let fresh_stats () = { probes = 0; probe_hits = 0; partitions = 0 }
+let fresh_stats () = { probes = 0; probe_hits = 0; partitions = 0; morsels = 0 }
 
 let scheme f = f.scheme
 let cardinality f = f.rows
 let is_empty f = f.rows = 0
 let dict f = f.dict
+let storage f = Store.storage f.data
 
 (* ------------------------------------------------------------------ *)
 (* Canonical form                                                      *)
@@ -73,13 +146,24 @@ let row_compare data w i j =
   in
   go 0
 
+(* True iff the first [nrows] rows are already strictly increasing —
+   the common case for base relations, whose interning order tends to
+   follow the source set's sorted order.  One O(rows * w) scan that
+   lets [canonicalize] skip the whole counting sort. *)
+let rows_sorted_distinct w nrows data =
+  let rec go i = i >= nrows || (row_compare data w (i - 1) i < 0 && go (i + 1)) in
+  go 1
+
 (* Sort-unique [nrows] rows of width [w] held in a possibly larger
    buffer; returns a freshly packed canonical (rows, data).  Codes are
    dense dictionary indices, so the lexicographic sort is a stable LSD
    counting sort per column — O(w * (rows + codes)), no comparator
-   calls. *)
+   calls.  Already-canonical input short-circuits to a trim. *)
 let canonicalize w nrows data =
   if nrows = 0 then (0, [||])
+  else if rows_sorted_distinct w nrows data then
+    ( nrows,
+      if Array.length data = nrows * w then data else Array.sub data 0 (nrows * w) )
   else begin
     let maxc = Array.make (max 1 w) 0 in
     for i = 0 to nrows - 1 do
@@ -125,10 +209,73 @@ let canonicalize w nrows data =
     (!kept, out)
   end
 
+(* Parallel canonicalization for large join outputs: partition rows by
+   leading-column value range (equal rows share a leading code, so they
+   land in one partition and local dedup is global dedup; the ranges
+   are value-ordered, so locally sorted partitions concatenate into a
+   globally sorted whole), sort-unique each partition on its own
+   domain, and concatenate in partition order.  The partition of a row
+   depends only on its leading code, so the result is bit-identical to
+   the serial sort at any domain count. *)
+let par_sort_rows = 1 lsl 15
+
+let pow2_at_least n =
+  let p = ref 1 in
+  while !p < n do
+    p := 2 * !p
+  done;
+  !p
+
+let canonicalize_par ~domains w nrows data =
+  if domains <= 1 || nrows < par_sort_rows || w = 0 then canonicalize w nrows data
+  else begin
+    let parts = min 256 (pow2_at_least (4 * domains)) in
+    let maxc0 = ref 0 in
+    for i = 0 to nrows - 1 do
+      let v = Array.unsafe_get data (i * w) in
+      if v > !maxc0 then maxc0 := v
+    done;
+    let div = !maxc0 + 1 in
+    let counts = Array.make parts 0 in
+    for i = 0 to nrows - 1 do
+      let p = Array.unsafe_get data (i * w) * parts / div in
+      Array.unsafe_set counts p (Array.unsafe_get counts p + 1)
+    done;
+    let results =
+      Pool.run ~domains
+        (Array.init parts (fun p () ->
+             let cnt = counts.(p) in
+             if cnt = 0 then (0, [||])
+             else begin
+               (* Gather-by-scan: every task reads the shared buffer but
+                  writes only its own local copy — no synchronization,
+                  and the gather order (row order) is deterministic. *)
+               let local = Array.make (cnt * w) 0 in
+               let li = ref 0 in
+               for i = 0 to nrows - 1 do
+                 if Array.unsafe_get data (i * w) * parts / div = p then begin
+                   Array.blit data (i * w) local (!li * w) w;
+                   incr li
+                 end
+               done;
+               canonicalize w cnt local
+             end))
+    in
+    let kept = Array.fold_left (fun acc (k, _) -> acc + k) 0 results in
+    let out = Array.make (kept * w) 0 in
+    let off = ref 0 in
+    Array.iter
+      (fun (k, part) ->
+        Array.blit part 0 out !off (k * w);
+        off := !off + (k * w))
+      results;
+    (kept, out)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Conversion                                                          *)
 
-let of_relation dict r =
+let of_relation ?(storage = Heap) dict r =
   let scheme = Relation.scheme r in
   let attrs = Array.of_list (Attr.Set.elements scheme) in
   let w = Array.length attrs in
@@ -146,24 +293,99 @@ let of_relation dict r =
   (* Code order need not follow Value order, so re-sort into canonical
      form (the source set is already duplicate-free). *)
   let rows, data = canonicalize w n data in
-  { scheme; attrs; width = w; rows; data; dict }
+  { scheme; attrs; width = w; rows; data = Store.of_heap storage (rows * w) data;
+    dict }
 
 let to_relation f =
-  let tuples = ref [] in
-  for i = f.rows - 1 downto 0 do
-    let base = i * f.width in
-    let bindings =
-      Array.to_list
-        (Array.mapi (fun j a -> (a, Dict.value f.dict f.data.(base + j))) f.attrs)
+  (* Rows are distinct and uniformly over [f.scheme] by construction,
+     so decode rides the trusted constructors: no per-binding duplicate
+     probe, no per-tuple scheme check, one sorting pass for the set.
+
+     That sorting pass compares whole tuples (attribute maps), so it is
+     the expensive part — and it halves in cost when the input is
+     already in [Tuple.compare] order.  Frame rows are sorted by
+     dictionary {e code}, not by [Value.compare], so translate the
+     codes present in this frame to value-order ranks, remap the rows
+     and re-sort them with the comparison-free counting sort; for
+     same-scheme tuples [Tuple.compare] is exactly lexicographic value
+     order over the sorted attribute columns, so the emitted list is
+     already sorted. *)
+  let w = f.width in
+  if f.rows = 0 then Relation.of_uniform_tuples f.scheme []
+  else begin
+    let ncells = f.rows * w in
+    let max_code = ref 0 in
+    for c = 0 to ncells - 1 do
+      let v = Store.get f.data c in
+      if v > !max_code then max_code := v
+    done;
+    let rank = Array.make (!max_code + 1) (-1) in
+    for c = 0 to ncells - 1 do
+      rank.(Store.get f.data c) <- 0
+    done;
+    let present = ref [] in
+    for code = !max_code downto 0 do
+      if rank.(code) >= 0 then present := code :: !present
+    done;
+    let codes = Array.of_list !present in
+    Array.sort
+      (fun c1 c2 -> Value.compare (Dict.value f.dict c1) (Dict.value f.dict c2))
+      codes;
+    Array.iteri (fun r code -> rank.(code) <- r) codes;
+    (* When interning happened to assign codes in value order the rows
+       are already in tuple order; otherwise remap every cell
+       code -> rank and re-sort with the comparison-free LSD counting
+       sort.  Rank is injective, so rows stay distinct and the row
+       count is unchanged. *)
+    let monotone =
+      let rec go i =
+        i >= Array.length codes || (codes.(i - 1) < codes.(i) && go (i + 1))
+      in
+      go 1
     in
-    tuples := Tuple.of_list bindings :: !tuples
-  done;
-  Relation.make f.scheme !tuples
+    let decode rowval =
+      (* Consecutive sorted rows share leading column values, so each
+         tuple is the previous one with only the changed columns
+         rebound — unchanged map nodes are shared, not rebuilt. *)
+      let prev = Array.make w (Value.int 0) in
+      let cur = ref Tuple.empty in
+      let tuples = ref [] in
+      for r = 0 to f.rows - 1 do
+        let base = r * w in
+        if r = 0 then
+          cur :=
+            Tuple.of_columns f.attrs (fun j ->
+                let v = rowval (base + j) in
+                prev.(j) <- v;
+                v)
+        else
+          for j = 0 to w - 1 do
+            let v = rowval (base + j) in
+            if not (Value.equal v prev.(j)) then begin
+              cur := Tuple.set !cur f.attrs.(j) v;
+              prev.(j) <- v
+            end
+          done;
+        tuples := !cur :: !tuples
+      done;
+      Relation.of_uniform_tuples f.scheme (List.rev !tuples)
+    in
+    if monotone then decode (fun cell -> Dict.value f.dict (Store.get f.data cell))
+    else begin
+      let ranked = Array.make ncells 0 in
+      for c = 0 to ncells - 1 do
+        ranked.(c) <- rank.(Store.get f.data c)
+      done;
+      let _, sorted = canonicalize w f.rows ranked in
+      let vals = Array.map (Dict.value f.dict) codes in
+      decode (fun cell -> vals.(sorted.(cell)))
+    end
+  end
 
 let equal f1 f2 =
   Attr.Set.equal f1.scheme f2.scheme
   && f1.rows = f2.rows
-  && f1.data = f2.data
+  && Store.equal (f1.rows * f1.width) f1.data f2.data
 
 (* ------------------------------------------------------------------ *)
 (* Compiled join specs                                                 *)
@@ -209,7 +431,7 @@ let key_hash data base pos =
   let h = ref 0x4bf29ce484222325 in
   for k = 0 to Array.length pos - 1 do
     h :=
-      (!h lxor Array.unsafe_get data (base + Array.unsafe_get pos k))
+      (!h lxor Store.get data (base + Array.unsafe_get pos k))
       * 0x100000001b3
   done;
   !h land max_int
@@ -218,8 +440,8 @@ let keys_match d1 b1 p1 d2 b2 p2 =
   let k = Array.length p1 in
   let rec go i =
     i = k
-    || Array.unsafe_get d1 (b1 + Array.unsafe_get p1 i)
-       = Array.unsafe_get d2 (b2 + Array.unsafe_get p2 i)
+    || Store.get d1 (b1 + Array.unsafe_get p1 i)
+       = Store.get d2 (b2 + Array.unsafe_get p2 i)
        && go (i + 1)
   in
   go 0
@@ -248,8 +470,8 @@ let emit_merged b spec data1 base1 data2 base2 =
   for j = 0 to spec.out_width - 1 do
     let c1 = Array.unsafe_get spec.from1 j in
     Array.unsafe_set d (o + j)
-      (if c1 >= 0 then Array.unsafe_get data1 (base1 + c1)
-       else Array.unsafe_get data2 (base2 + Array.unsafe_get spec.from2 j))
+      (if c1 >= 0 then Store.get data1 (base1 + c1)
+       else Store.get data2 (base2 + Array.unsafe_get spec.from2 j))
   done;
   b.blen <- o + spec.out_width
 
@@ -258,55 +480,12 @@ let emit_merged b spec data1 base1 data2 base2 =
 
 let all_rows f = Array.init f.rows (fun i -> i)
 
-let pow2_at_least n =
-  let p = ref 1 in
-  while !p < n do
-    p := 2 * !p
-  done;
-  !p
-
-(* Hash join of the selected rows.  The index is a chained-array hash
+(* Hash join of two whole frames.  The index is a chained-array hash
    table — [head] maps a bucket to its first entry, [next] threads the
    chain through entry slots — so building and probing allocate nothing
-   beyond two int arrays.  Builds on the smaller selection, probes the
+   beyond two int arrays.  Builds on the smaller frame, probes the
    larger; emitted rows keep the (f1, f2) orientation regardless of
    build side. *)
-let hash_join_idx ~stats spec f1 idx1 f2 idx2 b =
-  let swap = Array.length idx1 > Array.length idx2 in
-  let bf, bidx, bpos, pf, pidx, ppos =
-    if swap then (f2, idx2, spec.k2pos, f1, idx1, spec.k1pos)
-    else (f1, idx1, spec.k1pos, f2, idx2, spec.k2pos)
-  in
-  let nb = Array.length bidx in
-  let bmask = pow2_at_least (2 * max 1 nb) - 1 in
-  let head = Array.make (bmask + 1) (-1) in
-  let next = Array.make (max 1 nb) (-1) in
-  for k = 0 to nb - 1 do
-    let h = key_hash bf.data (Array.unsafe_get bidx k * bf.width) bpos land bmask in
-    Array.unsafe_set next k (Array.unsafe_get head h);
-    Array.unsafe_set head h k
-  done;
-  let np = Array.length pidx in
-  stats.probes <- stats.probes + np;
-  for q = 0 to np - 1 do
-    let pb = Array.unsafe_get pidx q * pf.width in
-    let hit = ref false in
-    let k = ref (Array.unsafe_get head (key_hash pf.data pb ppos land bmask)) in
-    while !k >= 0 do
-      let bb = Array.unsafe_get bidx !k * bf.width in
-      if keys_match pf.data pb ppos bf.data bb bpos then begin
-        hit := true;
-        if swap then emit_merged b spec pf.data pb bf.data bb
-        else emit_merged b spec bf.data bb pf.data pb
-      end;
-      k := Array.unsafe_get next !k
-    done;
-    if !hit then stats.probe_hits <- stats.probe_hits + 1
-  done
-
-(* Full-frame specialization of [hash_join_idx]: every row of both
-   frames participates, so the row-index selections need not be
-   materialized and row bases are direct multiples. *)
 let hash_join_full ~stats spec f1 f2 b =
   let swap = f1.rows > f2.rows in
   let bf, bpos, pf, ppos =
@@ -352,96 +531,177 @@ let product_idx spec f1 idx1 f2 idx2 b =
     idx1
 
 (* ------------------------------------------------------------------ *)
-(* Radix partitioning                                                  *)
-
-let partition_rows f idx pos parts =
-  let mask = parts - 1 in
-  let pid = Array.map (fun i -> key_hash f.data (i * f.width) pos land mask) idx in
-  let counts = Array.make parts 0 in
-  Array.iter (fun p -> counts.(p) <- counts.(p) + 1) pid;
-  let out = Array.init parts (fun p -> Array.make counts.(p) 0) in
-  let fill = Array.make parts 0 in
-  Array.iteri
-    (fun k i ->
-      let p = pid.(k) in
-      out.(p).(fill.(p)) <- i;
-      fill.(p) <- fill.(p) + 1)
-    idx;
-  out
+(* Morsel-driven parallel join                                         *)
 
 let default_par_threshold = 4096
+let default_morsel = 16_384
+
+(* Claim granularity for the pool's shared queue: one atomic op per
+   chunk of tasks.  Morsels are sized so a handful exist per worker —
+   claim singly then; only degenerate floods of tiny tasks batch up. *)
+let claim_chunk ntasks domains = max 1 (ntasks / (domains * 64))
+
+(* The morsel-driven replacement for the old radix fan-out.  One shared
+   read-only hash index over the build side, built in two deterministic
+   parallel phases; then probe-side morsels are pulled from the pool's
+   work queue by whichever worker is free, each filling a private
+   output buffer; buffers merge in morsel-index order.
+
+   Build phase A hashes build rows into a shared scratch array (morsel
+   tasks write disjoint slices).  Phase B threads the chained index:
+   the bucket space is split into contiguous ranges, one task per
+   range, and since a row lands in exactly one bucket, [head] and
+   [next] entries are each written by exactly one task — no locks, and
+   every task scans rows in ascending order, so the chains (and hence
+   the emitted row order) are identical at any domain count.  The
+   final canonical sort makes the frame bit-identical regardless. *)
+let morsel_join ~obs ~domains ~morsel ~stats spec f1 f2 =
+  let swap = f1.rows > f2.rows in
+  let bf, bpos, pf, ppos =
+    if swap then (f2, spec.k2pos, f1, spec.k1pos)
+    else (f1, spec.k1pos, f2, spec.k2pos)
+  in
+  let nb = bf.rows and np = pf.rows in
+  let bw = bf.width and pw = pf.width in
+  let w = spec.out_width in
+  (* Phase A: build-side key hashes, one slice per morsel task. *)
+  let hashes = Array.make (max 1 nb) 0 in
+  let nh = (nb + morsel - 1) / morsel in
+  ignore
+    (Pool.run ~domains ~chunk:(claim_chunk nh domains)
+       (Array.init nh (fun t () ->
+            let lo = t * morsel in
+            let hi = min nb (lo + morsel) in
+            for k = lo to hi - 1 do
+              Array.unsafe_set hashes k (key_hash bf.data (k * bw) bpos)
+            done)));
+  (* Phase B: thread the shared chained index by disjoint bucket
+     ranges. *)
+  let bmask = pow2_at_least (2 * max 1 nb) - 1 in
+  let head = Array.make (bmask + 1) (-1) in
+  let next = Array.make (max 1 nb) (-1) in
+  let bparts = min (bmask + 1) (pow2_at_least (2 * domains)) in
+  let bspan = (bmask + 1) / bparts in
+  stats.partitions <- stats.partitions + bparts;
+  ignore
+    (Pool.run_traced ~obs ~domains
+       (Array.init bparts (fun p child ->
+            let lo = p * bspan and hi = ((p + 1) * bspan) - 1 in
+            let build () =
+              for k = 0 to nb - 1 do
+                let h = Array.unsafe_get hashes k land bmask in
+                if h >= lo && h <= hi then begin
+                  Array.unsafe_set next k (Array.unsafe_get head h);
+                  Array.unsafe_set head h k
+                end
+              done
+            in
+            if Obs.enabled child then
+              Obs.span child
+                ~attrs:
+                  [
+                    ("part", Mj_obs.Json.int p);
+                    ("buckets", Mj_obs.Json.int bspan);
+                  ]
+                "build-part" build
+            else build ())));
+  (* Phase C: probe morsels off the shared queue, private buffers. *)
+  let nmor = (np + morsel - 1) / morsel in
+  stats.morsels <- stats.morsels + nmor;
+  let parts =
+    Pool.run_traced ~obs ~domains ~chunk:(claim_chunk nmor domains)
+      (Array.init nmor (fun m child ->
+           let lo = m * morsel in
+           let hi = min np (lo + morsel) in
+           let st = fresh_stats () in
+           let pb = buf_make (w * (hi - lo + 16)) in
+           let probe () =
+             for q = lo to hi - 1 do
+               let pbase = q * pw in
+               let hit = ref false in
+               let k =
+                 ref
+                   (Array.unsafe_get head
+                      (key_hash pf.data pbase ppos land bmask))
+               in
+               while !k >= 0 do
+                 let bb = !k * bw in
+                 if keys_match pf.data pbase ppos bf.data bb bpos then begin
+                   hit := true;
+                   if swap then emit_merged pb spec pf.data pbase bf.data bb
+                   else emit_merged pb spec bf.data bb pf.data pbase
+                 end;
+                 k := Array.unsafe_get next !k
+               done;
+               if !hit then st.probe_hits <- st.probe_hits + 1
+             done;
+             st.probes <- st.probes + (hi - lo)
+           in
+           if Obs.enabled child then
+             Obs.span child
+               ~attrs:
+                 [
+                   ("morsel", Mj_obs.Json.int m);
+                   ("probe_rows", Mj_obs.Json.int (hi - lo));
+                 ]
+               "morsel"
+               (fun () ->
+                 probe ();
+                 Obs.set_attr child "rows" (Mj_obs.Json.int (pb.blen / w)))
+           else probe ();
+           (pb, st)))
+  in
+  (* Merge per-morsel buffers in morsel-index order. *)
+  let total =
+    Array.fold_left (fun acc ((pb : buf), _) -> acc + pb.blen) 0 parts
+  in
+  let out = Array.make (max 1 total) 0 in
+  let off = ref 0 in
+  Array.iter
+    (fun ((pb : buf), (st : stats)) ->
+      stats.probes <- stats.probes + st.probes;
+      stats.probe_hits <- stats.probe_hits + st.probe_hits;
+      Array.blit pb.bdata 0 out !off pb.blen;
+      off := !off + pb.blen)
+    parts;
+  (total / w, out)
 
 let natural_join ?(obs = Mj_obs.Obs.noop) ?domains
-    ?(par_threshold = default_par_threshold) ?stats f1 f2 =
+    ?(par_threshold = default_par_threshold) ?(morsel = default_morsel) ?stats
+    f1 f2 =
   if f1.dict != f2.dict then
     invalid_arg "Frame.natural_join: frames use different dictionaries";
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   let spec = make_spec f1 f2 in
   let w = spec.out_width in
-  let b = buf_make (w * (max f1.rows f2.rows + 16)) in
-  if Array.length spec.k1pos = 0 then
-    (* Cartesian product: a hash index would be one degenerate bucket. *)
-    product_idx spec f1 (all_rows f1) f2 (all_rows f2) b
-  else begin
-    let d =
-      match domains with Some d -> max 1 d | None -> Mj_pool.Pool.default_domains ()
-    in
-    if d > 1 && min f1.rows f2.rows >= par_threshold then begin
-      (* Radix-partitioned parallel join: both sides split by key hash,
-         partition pairs joined on separate domains, partial outputs
-         merged in task-index order.  The final canonical sort makes the
-         result independent of [parts] and [d]. *)
-      let parts = min 256 (pow2_at_least (4 * d)) in
-      stats.partitions <- stats.partitions + parts;
-      let p1 = partition_rows f1 (all_rows f1) spec.k1pos parts in
-      let p2 = partition_rows f2 (all_rows f2) spec.k2pos parts in
-      let results =
-        (* With tracing on, every partition records a child span on the
-           worker lane that ran it ([Pool.run_traced]); the merged trace
-           shows per-domain timelines under the enclosing join span. *)
-        Mj_pool.Pool.run_traced ~obs ~domains:d
-          (Array.init parts (fun p child ->
-               let st = fresh_stats () in
-               let pb =
-                 buf_make (w * (max (Array.length p1.(p)) (Array.length p2.(p)) + 16))
-               in
-               let join_part () =
-                 hash_join_idx ~stats:st spec f1 p1.(p) f2 p2.(p) pb
-               in
-               if Mj_obs.Obs.enabled child then
-                 Mj_obs.Obs.span child
-                   ~attrs:
-                     [
-                       ("part", Mj_obs.Json.int p);
-                       ("build_rows", Mj_obs.Json.int (Array.length p1.(p)));
-                       ("probe_rows", Mj_obs.Json.int (Array.length p2.(p)));
-                     ]
-                   "partition"
-                   (fun () ->
-                     join_part ();
-                     Mj_obs.Obs.set_attr child "rows"
-                       (Mj_obs.Json.int (pb.blen / w)))
-               else join_part ();
-               (pb, st)))
-      in
-      Array.iter
-        (fun (pb, st) ->
-          stats.probes <- stats.probes + st.probes;
-          stats.probe_hits <- stats.probe_hits + st.probe_hits;
-          buf_reserve b pb.blen;
-          Array.blit pb.bdata 0 b.bdata b.blen pb.blen;
-          b.blen <- b.blen + pb.blen)
-        results
+  let morsel = max 1 morsel in
+  let d =
+    match domains with Some d -> max 1 d | None -> Pool.default_domains ()
+  in
+  let parallel = d > 1 && min f1.rows f2.rows >= par_threshold in
+  let nraw, raw =
+    if Array.length spec.k1pos = 0 then begin
+      (* Cartesian product: a hash index would be one degenerate bucket. *)
+      let b = buf_make (w * (max f1.rows f2.rows + 16)) in
+      product_idx spec f1 (all_rows f1) f2 (all_rows f2) b;
+      (b.blen / w, b.bdata)
     end
-    else hash_join_full ~stats spec f1 f2 b
-  end;
-  let rows, data = canonicalize w (b.blen / w) b.bdata in
+    else if parallel then morsel_join ~obs ~domains:d ~morsel ~stats spec f1 f2
+    else begin
+      let b = buf_make (w * (max f1.rows f2.rows + 16)) in
+      hash_join_full ~stats spec f1 f2 b;
+      (b.blen / w, b.bdata)
+    end
+  in
+  let rows, data =
+    canonicalize_par ~domains:(if parallel then d else 1) w nraw raw
+  in
   {
     scheme = spec.out_scheme;
     attrs = spec.out_attrs;
     width = w;
     rows;
-    data;
+    data = Store.of_heap (Store.storage f1.data) (rows * w) data;
     dict = f1.dict;
   }
 
@@ -451,7 +711,9 @@ let semijoin ?stats f1 f2 =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   let common = Attr.Set.elements (Attr.Set.inter f1.scheme f2.scheme) in
   if common = [] then
-    if f2.rows = 0 then { f1 with rows = 0; data = [||] } else f1
+    if f2.rows = 0 then
+      { f1 with rows = 0; data = Store.empty (Store.storage f1.data) }
+    else f1
   else begin
     let k1pos = Array.of_list (List.map (col_of f1) common) in
     let k2pos = Array.of_list (List.map (col_of f2) common) in
@@ -478,12 +740,16 @@ let semijoin ?stats f1 f2 =
       done;
       if !matched then begin
         stats.probe_hits <- stats.probe_hits + 1;
-        Array.blit f1.data b1 out (!kept * w) w;
+        let dst = !kept * w in
+        for c = 0 to w - 1 do
+          Array.unsafe_set out (dst + c) (Store.get f1.data (b1 + c))
+        done;
         incr kept
       end
     done;
     (* A subsequence of canonical rows is canonical. *)
-    { f1 with rows = !kept; data = Array.sub out 0 (!kept * w) }
+    { f1 with rows = !kept;
+      data = Store.of_heap (Store.storage f1.data) (!kept * w) out }
   end
 
 let project f x =
@@ -501,11 +767,12 @@ let project f x =
   for i = 0 to f.rows - 1 do
     let src = i * f.width and dst = i * w in
     for j = 0 to w - 1 do
-      data.(dst + j) <- f.data.(src + pos.(j))
+      data.(dst + j) <- Store.get f.data (src + pos.(j))
     done
   done;
   let rows, data = canonicalize w f.rows data in
-  { scheme = x; attrs; width = w; rows; data; dict = f.dict }
+  { scheme = x; attrs; width = w; rows;
+    data = Store.of_heap (Store.storage f.data) (rows * w) data; dict = f.dict }
 
 (* ------------------------------------------------------------------ *)
 (* Databases of frames                                                 *)
@@ -513,21 +780,23 @@ let project f x =
 module Db = struct
   type frame = t
 
-  type t = { ddict : Dict.t; frames : frame Scheme.Map.t }
+  type t = { ddict : Dict.t; dstorage : storage; frames : frame Scheme.Map.t }
 
-  let of_database db =
+  let of_database ?(storage = Heap) db =
     let ddict = Dict.create () in
     let frames =
       List.fold_left
-        (fun acc r -> Scheme.Map.add (Relation.scheme r) (of_relation ddict r) acc)
+        (fun acc r ->
+          Scheme.Map.add (Relation.scheme r) (of_relation ~storage ddict r) acc)
         Scheme.Map.empty (Database.relations db)
     in
-    { ddict; frames }
+    { ddict; dstorage = storage; frames }
 
   let dict fdb = fdb.ddict
+  let storage fdb = fdb.dstorage
   let find fdb s = Scheme.Map.find s fdb.frames
 
-  let join_schemes ?obs ?domains ?par_threshold ?stats fdb d =
+  let join_schemes ?obs ?domains ?par_threshold ?morsel ?stats fdb d =
     match Scheme.Set.elements d with
     | [] -> invalid_arg "Frame.Db.join_schemes: empty sub-database"
     | s :: rest ->
@@ -535,11 +804,12 @@ module Db = struct
            Database.join_all. *)
         List.fold_left
           (fun acc s' ->
-            natural_join ?obs ?domains ?par_threshold ?stats acc (find fdb s'))
+            natural_join ?obs ?domains ?par_threshold ?morsel ?stats acc
+              (find fdb s'))
           (find fdb s) rest
 
-  let join_all ?obs ?domains ?par_threshold ?stats fdb =
-    join_schemes ?obs ?domains ?par_threshold ?stats fdb
+  let join_all ?obs ?domains ?par_threshold ?morsel ?stats fdb =
+    join_schemes ?obs ?domains ?par_threshold ?morsel ?stats fdb
       (Scheme.Map.fold (fun s _ acc -> Scheme.Set.add s acc) fdb.frames
          Scheme.Set.empty)
 

@@ -5,15 +5,23 @@
     for map surgery and structural hashing of heap-allocated keys.  A
     {e frame} is the flat, integer-coded twin of a {!Relation}: a
     per-database {!Dict} interns every [Value.t] to a dense int code,
-    and a relation state becomes one row-major [int array] plus a
-    column-index header (the sorted scheme).  Equality, hashing and
+    and a relation state becomes one row-major packed-code buffer plus
+    a column-index header (the sorted scheme).  Equality, hashing and
     joins then work on packed int rows — no per-probe allocation.
 
+    Row storage is pluggable ({!storage}): [Heap] keeps rows in a boxed
+    [int array]; [Bigarray] moves them into an off-heap int32 bigarray
+    the GC never scans, so multi-million-row frames stop inflating
+    major-heap scan time.  The two backends are observationally
+    identical — every operation yields the same canonical rows, and
+    {!equal} compares content across backends.
+
     Frames are kept {e canonical}: rows are sorted lexicographically by
-    code and duplicate-free.  Canonical form makes {!equal} a plain
-    array comparison and makes the radix-partitioned parallel join
-    deterministic at any [MJ_DOMAINS] — however the rows were
-    partitioned, the final sort-unique pass yields bit-identical data.
+    code and duplicate-free.  Canonical form makes {!equal} a content
+    comparison and makes the morsel-driven parallel join deterministic
+    at any [MJ_DOMAINS] — however probe morsels were interleaved over
+    workers, the merge in morsel-index order plus the final sort-unique
+    pass yields bit-identical data.
 
     The public algebra mirrors {!Relation}; [to_relation (of_relation
     dict r) = r] for every state, and each operation agrees with its
@@ -44,6 +52,24 @@ module Dict : sig
   (** Decode.  @raise Invalid_argument if the code is out of range. *)
 end
 
+(** {1 Row storage} *)
+
+type storage =
+  | Heap  (** boxed [int array] rows on the OCaml heap (default) *)
+  | Bigarray
+      (** off-heap int32 [Bigarray] rows, invisible to the GC; codes are
+          dense dictionary indices, so int32 narrowing is lossless *)
+
+val storage_name : storage -> string
+(** ["heap"] / ["bigarray"] — the [MJ_FRAME_STORAGE] spelling. *)
+
+val storage_of_string : string -> storage option
+(** Inverse of {!storage_name} (case-insensitive; ["big"] is accepted
+    for ["bigarray"]). *)
+
+val all_storages : storage list
+(** Both backends, for differential matrices: [[Heap; Bigarray]]. *)
+
 (** {1 Frames} *)
 
 type t
@@ -54,16 +80,18 @@ type t
 type stats = {
   mutable probes : int;      (** hash-table probes during joins *)
   mutable probe_hits : int;  (** probes that produced ≥ 1 output row *)
-  mutable partitions : int;  (** radix partitions opened by parallel joins *)
+  mutable partitions : int;  (** index build-partitions opened by parallel joins *)
+  mutable morsels : int;     (** probe morsels claimed by parallel joins *)
 }
 (** Counters threaded through the join kernels ([mj_relation] cannot
-    depend on [mj_obs]; engines fold these into observability
+    depend on the engines; engines fold these into observability
     counters). *)
 
 val fresh_stats : unit -> stats
 
-val of_relation : Dict.t -> Relation.t -> t
-(** [of_relation dict r] encodes [r], interning its values in [dict]. *)
+val of_relation : ?storage:storage -> Dict.t -> Relation.t -> t
+(** [of_relation dict r] encodes [r], interning its values in [dict].
+    [storage] (default [Heap]) picks the row-store backend. *)
 
 val to_relation : t -> Relation.t
 (** Decode back to the seed representation.  Round-trip identity:
@@ -76,27 +104,43 @@ val cardinality : t -> int
 val is_empty : t -> bool
 val dict : t -> Dict.t
 
+val storage : t -> storage
+(** The backend holding this frame's rows. *)
+
 val equal : t -> t -> bool
-(** Structural equality of canonical frames (scheme + packed rows).
-    Only meaningful for frames sharing one dictionary. *)
+(** Content equality of canonical frames (scheme + packed rows),
+    storage-agnostic: a [Heap] frame equals its [Bigarray] twin.  Only
+    meaningful for frames sharing one dictionary. *)
 
 (** {1 Algebra} *)
 
+val default_morsel : int
+(** Rows per probe morsel of the parallel join (16384). *)
+
 val natural_join :
   ?obs:Mj_obs.Obs.sink ->
-  ?domains:int -> ?par_threshold:int -> ?stats:stats -> t -> t -> t
+  ?domains:int -> ?par_threshold:int -> ?morsel:int -> ?stats:stats ->
+  t -> t -> t
 (** [natural_join f1 f2] is the columnar [R1 ⋈ R2].  The join key
     extractor is compiled once per join: common-column offsets are
     precomputed and multi-column keys are FNV-mixed into one int, so
     probing allocates nothing.  When both sides have at least
     [par_threshold] rows (default 4096) and more than one domain is
-    available, the join radix-partitions both sides by key hash, joins
-    the partition pairs on separate domains via [Mj_pool.Pool], and
-    merges in task-index order; the canonical sort-unique pass makes the
-    result bit-identical at any [domains].  With an active [obs] sink
-    the radix path records one [partition] child span per partition
-    pair (via [Mj_pool.Pool.run_traced]), tagged with the worker lane
-    that ran it — the per-domain timelines of a parallel join.
+    available, the join runs morsel-driven over [Mj_pool.Pool]: one
+    shared read-only hash index is built over the smaller side in two
+    deterministic parallel phases (key hashing over disjoint row
+    slices, then chain threading over disjoint bucket ranges), and the
+    larger side is probed in fixed-size morsels (default {!
+    default_morsel} rows, override with [morsel]) pulled from the
+    pool's work queue, each filling a private output buffer; buffers
+    merge in morsel-index order and the canonical sort-unique pass —
+    itself parallelized by leading-code range for large outputs — makes
+    the result bit-identical at any [domains].  The output inherits
+    [f1]'s {!storage}.  With an active [obs] sink the parallel path
+    records one [build-part] child span per index range and one
+    [morsel] child span per probe morsel (via
+    [Mj_pool.Pool.run_traced]), each tagged with the worker lane that
+    ran it — the per-domain timelines of a parallel join.
     @raise Invalid_argument if the frames use different dictionaries. *)
 
 val semijoin : ?stats:stats -> t -> t -> t
@@ -114,16 +158,20 @@ module Db : sig
 
   type t
   (** All relations of one {!Database} encoded against one shared
-      dictionary. *)
+      dictionary and one row-store backend. *)
 
-  val of_database : Database.t -> t
+  val of_database : ?storage:storage -> Database.t -> t
   val dict : t -> Dict.t
+
+  val storage : t -> storage
+  (** The backend every frame of this database was encoded with. *)
+
   val find : t -> Scheme.t -> frame
   (** @raise Not_found if the scheme is absent. *)
 
   val join_schemes :
     ?obs:Mj_obs.Obs.sink ->
-    ?domains:int -> ?par_threshold:int -> ?stats:stats ->
+    ?domains:int -> ?par_threshold:int -> ?morsel:int -> ?stats:stats ->
     t -> Scheme.Set.t -> frame
   (** Join the named sub-database left-to-right over the sorted scheme
       list — the same order as {!Database.join_all}.
@@ -131,7 +179,8 @@ module Db : sig
 
   val join_all :
     ?obs:Mj_obs.Obs.sink ->
-    ?domains:int -> ?par_threshold:int -> ?stats:stats -> t -> frame
+    ?domains:int -> ?par_threshold:int -> ?morsel:int -> ?stats:stats ->
+    t -> frame
 
   val cardinality_oracle :
     ?domains:int -> ?stats:stats -> t -> Scheme.Set.t -> int

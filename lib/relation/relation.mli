@@ -20,6 +20,14 @@ val make : Attr.Set.t -> Tuple.t list -> t
 (** [make scheme tuples] builds a state.  Duplicate tuples are collapsed.
     @raise Invalid_argument if a tuple's scheme differs from [scheme]. *)
 
+val of_uniform_tuples : Attr.Set.t -> Tuple.t list -> t
+(** [make] for callers that construct every tuple over [scheme]
+    themselves (columnar decode): only the head tuple's scheme is
+    checked, and the set is built in one sorting pass rather than
+    per-tuple checked inserts.  Duplicates are still collapsed.
+    @raise Invalid_argument if the head tuple's scheme differs from
+    [scheme], or [scheme] is empty. *)
+
 val of_rows : string -> Value.t list list -> t
 (** [of_rows "AB" [[p; 0]; [q; 0]]] builds a state over the scheme written
     in the paper's single-character shorthand; each row lists values in the

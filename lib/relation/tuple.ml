@@ -15,6 +15,22 @@ let of_list bindings =
 let of_string_list bindings =
   of_list (List.map (fun (name, v) -> (Attr.make name, v)) bindings)
 
+(* Trusted fast path for columnar decode: the caller guarantees the
+   attributes are distinct, so the per-binding membership probe of
+   [of_list] is skipped. *)
+let of_distinct_bindings bindings =
+  List.fold_left (fun acc (a, v) -> Attr.Map.add a v acc) Attr.Map.empty
+    bindings
+
+(* Same contract, driven by column index — lets a columnar decode loop
+   build each tuple without materialising a bindings list per row. *)
+let of_columns attrs get =
+  let tu = ref Attr.Map.empty in
+  for j = Array.length attrs - 1 downto 0 do
+    tu := Attr.Map.add (Array.unsafe_get attrs j) (get j) !tu
+  done;
+  !tu
+
 let bindings t = Attr.Map.bindings t
 
 let scheme t =

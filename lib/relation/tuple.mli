@@ -17,6 +17,19 @@ val of_list : (Attr.t * Value.t) list -> t
 val of_string_list : (string * Value.t) list -> t
 (** [of_string_list] is {!of_list} with attribute names as strings. *)
 
+val of_distinct_bindings : (Attr.t * Value.t) list -> t
+(** [of_list] minus the duplicate-attribute probe: the caller
+    guarantees the attributes are distinct (a later binding for the
+    same attribute would silently win).  The fast path for decoding
+    columnar rows, where the scheme is an attribute {e set} by
+    construction. *)
+
+val of_columns : Attr.t array -> (int -> Value.t) -> t
+(** [of_columns attrs get] is
+    [of_distinct_bindings [(attrs.(0), get 0); ...]] without the
+    intermediate list — the same distinct-attributes contract, driven
+    by column index for row-major decode loops. *)
+
 val bindings : t -> (Attr.t * Value.t) list
 (** Bindings in increasing attribute order. *)
 

@@ -166,18 +166,23 @@ let cache_backends_agree =
           = Cost.Cache.card_mask framec (m + 1))
         (List.init (Bitdb.full u) Fun.id))
 
-let radix_deterministic =
-  qtest "radix join is bit-identical at any domain count" gen_db (fun db ->
+let morsel_deterministic =
+  qtest "morsel join is bit-identical at any domain count" gen_db (fun db ->
       let fdb = Frame.Db.of_database db in
       let one = Frame.Db.join_all ~domains:1 fdb in
-      let par = Frame.Db.join_all ~domains:4 ~par_threshold:1 fdb in
-      let par' = Frame.Db.join_all ~domains:3 ~par_threshold:2 fdb in
-      Frame.equal one par && Frame.equal one par')
+      List.for_all
+        (fun (domains, morsel) ->
+          Frame.equal one
+            (Frame.Db.join_all ~domains ~par_threshold:1 ~morsel fdb))
+        [ (2, 2); (4, 1); (4, 3); (8, 2); (3, 1000) ])
 
-let count_partition_spans obs =
+(* The parallel join records one [build-part] span per index range and
+   one [morsel] span per probe morsel, every span tagged with the
+   worker lane that ran it. *)
+let count_morsel_spans obs =
   let parts = ref 0 and laned = ref 0 in
   let rec walk (s : Mj_obs.Obs.span_tree) =
-    if s.Mj_obs.Obs.name = "partition" then begin
+    if s.Mj_obs.Obs.name = "morsel" || s.Mj_obs.Obs.name = "build-part" then begin
       incr parts;
       match List.assoc_opt "domain" s.Mj_obs.Obs.attrs with
       | Some (Mj_obs.Json.Num _) -> incr laned
@@ -188,27 +193,148 @@ let count_partition_spans obs =
   List.iter walk (Mj_obs.Obs.trace obs);
   (!parts, !laned)
 
-let radix_traced =
-  qtest "tracing the radix join records partition lanes, same result"
+let morsel_traced =
+  qtest "tracing the morsel join records morsel lanes, same result"
     ~count:60 gen_db (fun db ->
       let fdb = Frame.Db.of_database db in
-      let plain = Frame.Db.join_all ~domains:4 ~par_threshold:1 fdb in
+      let plain = Frame.Db.join_all ~domains:4 ~par_threshold:1 ~morsel:2 fdb in
       let obs = Mj_obs.Obs.make ~gc:false () in
-      let traced = Frame.Db.join_all ~obs ~domains:4 ~par_threshold:1 fdb in
-      let parts, laned = count_partition_spans obs in
+      let traced =
+        Frame.Db.join_all ~obs ~domains:4 ~par_threshold:1 ~morsel:2 fdb
+      in
+      let parts, laned = count_morsel_spans obs in
       Frame.equal plain traced && parts = laned)
 
-let test_radix_traced_chain () =
+let test_morsel_traced_chain () =
   (* A chain join always shares attributes step to step, so forcing the
-     radix path must record at least one lane-tagged partition span. *)
+     morsel path must record at least one lane-tagged morsel span. *)
   let rng = Random.State.make [| 42 |] in
   let db = Dbgen.uniform_db ~rng ~rows:8 ~domain:3 (Querygraph.chain 3) in
   let fdb = Frame.Db.of_database db in
   let obs = Mj_obs.Obs.make ~gc:false () in
-  ignore (Frame.Db.join_all ~obs ~domains:4 ~par_threshold:1 fdb);
-  let parts, laned = count_partition_spans obs in
-  Alcotest.(check bool) "partition spans recorded" true (parts > 0);
-  Alcotest.(check int) "every partition span carries a lane" parts laned
+  ignore (Frame.Db.join_all ~obs ~domains:4 ~par_threshold:1 ~morsel:2 fdb);
+  let parts, laned = count_morsel_spans obs in
+  Alcotest.(check bool) "morsel spans recorded" true (parts > 0);
+  Alcotest.(check int) "every morsel span carries a lane" parts laned
+
+(* ------------------------------------------------------------------ *)
+(* Storage backends                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let storage_round_trip =
+  qtest "bigarray frames round-trip every relation" gen_db (fun db ->
+      let dict = Frame.Dict.create () in
+      List.for_all
+        (fun r ->
+          let f = Frame.of_relation ~storage:Frame.Bigarray dict r in
+          Frame.storage f = Frame.Bigarray
+          && Frame.cardinality f = Relation.cardinality r
+          && Relation.equal (Frame.to_relation f) r)
+        (Database.relations db))
+
+let storage_algebra_agrees =
+  qtest "heap and bigarray agree on join/semijoin/project" gen_db_pick
+    (fun (db, pick) ->
+      let r1, r2 = pick_two db pick in
+      let dict = Frame.Dict.create () in
+      let h1 = Frame.of_relation dict r1 and h2 = Frame.of_relation dict r2 in
+      let b1 = Frame.of_relation ~storage:Frame.Bigarray dict r1
+      and b2 = Frame.of_relation ~storage:Frame.Bigarray dict r2 in
+      let x =
+        Attr.Set.of_list
+          (pick_subset pick (Attr.Set.elements (Relation.scheme r1)))
+      in
+      (* Frame.equal is storage-agnostic, so heap results compare
+         directly against their bigarray twins. *)
+      Frame.equal h1 b1
+      && Frame.equal (Frame.natural_join h1 h2) (Frame.natural_join b1 b2)
+      && Frame.equal (Frame.semijoin h1 h2) (Frame.semijoin b1 b2)
+      && Frame.equal (Frame.project h1 x) (Frame.project b1 x)
+      && Frame.storage (Frame.natural_join b1 b2) = Frame.Bigarray)
+
+let storage_oracle_agrees =
+  qtest "bigarray cardinality_oracle matches the seed tau" gen_db_pick
+    (fun (db, pick) ->
+      let fdb = Frame.Db.of_database ~storage:Frame.Bigarray db in
+      let sub =
+        Scheme.Set.of_list (pick_subset pick (Database.scheme_list db))
+      in
+      Frame.Db.storage fdb = Frame.Bigarray
+      && Frame.Db.cardinality_oracle fdb sub
+         = Relation.cardinality (Database.join_all (Database.restrict db sub)))
+
+let storage_morsel_deterministic =
+  qtest "bigarray morsel join is bit-identical at any domain count" ~count:60
+    gen_db (fun db ->
+      let heap = Frame.Db.join_all ~domains:1 (Frame.Db.of_database db) in
+      let fdb = Frame.Db.of_database ~storage:Frame.Bigarray db in
+      let one = Frame.Db.join_all ~domains:1 fdb in
+      Frame.equal heap one
+      && List.for_all
+           (fun (domains, morsel) ->
+             Frame.equal one
+               (Frame.Db.join_all ~domains ~par_threshold:1 ~morsel fdb))
+           [ (2, 2); (4, 3); (8, 2) ])
+
+let test_storage_names () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Frame.storage_name s ^ " round-trips") true
+        (Frame.storage_of_string (Frame.storage_name s) = Some s))
+    Frame.all_storages;
+  Alcotest.(check bool) "bogus storage rejected" true
+    (Frame.storage_of_string "columnar" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Morsel boundaries                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two single-attribute relations sharing attribute K with value
+   overlap [lo, hi) — a join whose output size is exactly the overlap,
+   convenient for pinning morsel-boundary row counts. *)
+let range_db n1 n2 =
+  let k = Attr.make "K" in
+  let rel lo hi =
+    Relation.make
+      (Attr.Set.of_list [ k ])
+      (List.init (hi - lo) (fun i -> Tuple.of_list [ (k, Value.int (lo + i)) ]))
+  in
+  (rel 0 n1, rel 0 n2)
+
+let join_rows ~storage ~domains ~morsel n1 n2 =
+  let r1, r2 = range_db n1 n2 in
+  let dict = Frame.Dict.create () in
+  let f1 = Frame.of_relation ~storage dict r1
+  and f2 = Frame.of_relation ~storage dict r2 in
+  let stats = Frame.fresh_stats () in
+  let j =
+    Frame.natural_join ~domains ~par_threshold:1 ~morsel ~stats f1 f2
+  in
+  (Frame.cardinality j, stats)
+
+let test_morsel_boundaries () =
+  List.iter
+    (fun storage ->
+      let name n = Printf.sprintf "%s n=%d" (Frame.storage_name storage) n in
+      (* empty probe side: the parallel path degenerates to zero
+         morsels and an empty (but well-formed) result *)
+      let rows, _ = join_rows ~storage ~domains:4 ~morsel:4 0 7 in
+      Alcotest.(check int) (name 0) 0 rows;
+      (* n < morsel, n = k*morsel - 1, k*morsel, k*morsel + 1: claimed
+         morsel counts differ, results must not *)
+      List.iter
+        (fun n ->
+          let rows, stats = join_rows ~storage ~domains:4 ~morsel:4 n (n + 3) in
+          Alcotest.(check int) (name n) n rows;
+          (* the probe side is the larger one: n + 3 rows in morsels
+             of 4 *)
+          Alcotest.(check int)
+            (name n ^ " morsel count")
+            ((n + 3 + 3) / 4)
+            stats.Frame.morsels)
+        [ 1; 3; 7; 8; 9; 16; 17 ])
+    Frame.all_storages
 
 let engines_agree =
   qtest "Frame_engine agrees with Exec on left-deep plans" ~count:60 gen_db
@@ -241,12 +367,21 @@ let () =
           oracle_agrees;
           cache_backends_agree;
         ] );
+      ( "storage",
+        [
+          Alcotest.test_case "storage names" `Quick test_storage_names;
+          storage_round_trip;
+          storage_algebra_agrees;
+          storage_oracle_agrees;
+          storage_morsel_deterministic;
+        ] );
       ( "parallel",
         [
-          radix_deterministic;
-          radix_traced;
-          Alcotest.test_case "forced radix chain records lanes" `Quick
-            test_radix_traced_chain;
+          morsel_deterministic;
+          morsel_traced;
+          Alcotest.test_case "forced morsel chain records lanes" `Quick
+            test_morsel_traced_chain;
+          Alcotest.test_case "morsel boundaries" `Quick test_morsel_boundaries;
           engines_agree;
         ] );
     ]

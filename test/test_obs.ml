@@ -414,13 +414,22 @@ let traced_run ~domains =
 let rec skeleton (s : Obs.span_tree) =
   s.Obs.name ^ "(" ^ String.concat "," (List.map skeleton s.Obs.children) ^ ")"
 
+(* [pool.domains_clamped] is a per-machine diagnostic, not a semantic
+   counter: it fires exactly when the requested domain count exceeds
+   the machine's cores, so a 4-domain trace on a small host carries it
+   while the 1-domain trace never does.  Determinism is asserted on
+   everything else. *)
+let semantic_counters obs =
+  List.filter (fun (name, _) -> name <> "pool.domains_clamped")
+    (Obs.counters obs)
+
 let test_traced_pool_deterministic () =
   let a = traced_run ~domains:1 and b = traced_run ~domains:4 in
   Alcotest.(check bool)
     "same span skeleton at 1 and 4 domains" true
     (List.map skeleton (Obs.trace a) = List.map skeleton (Obs.trace b));
   Alcotest.(check (list (pair string int)))
-    "merged counters identical" (Obs.counters a) (Obs.counters b);
+    "merged counters identical" (semantic_counters a) (semantic_counters b);
   Alcotest.(check (option int))
     "counter folded across children" (Some 36)
     (List.assoc_opt "work" (Obs.counters b))
