@@ -18,6 +18,7 @@ module Kernel_bench = Mj_benchkit.Kernel_bench
 module Frame_bench = Mj_benchkit.Frame_bench
 module Plan_bench = Mj_benchkit.Plan_bench
 module Par_bench = Mj_benchkit.Par_bench
+module Wcoj_bench = Mj_benchkit.Wcoj_bench
 module Engine = Mj_engine.Engine
 
 (* Set by the --quick flag: trims the KERNEL grid to CI-smoke scale. *)
@@ -1218,16 +1219,24 @@ let par () =
       "  (pool clamped %d multi-domain run(s) to the core count; scaling\n\
       \   numbers above 1 domain are not meaningful on this machine)\n"
       t.clamp_events;
-  Printf.printf "  %-9s %-8s %-7s %-7s %-5s %-12s %-12s %-9s %-6s\n" "storage"
-    "domains" "shape" "n" "reps" "1-dom ms" "par ms" "speedup" "equal";
+  Printf.printf "  %-9s %-8s %-7s %-7s %-5s %-12s %-12s %-9s %-8s %-6s\n"
+    "storage" "domains" "shape" "n" "reps" "1-dom ms" "par ms" "speedup"
+    "clamped" "equal";
   List.iter
     (fun (r : Par_bench.row) ->
-      Printf.printf "  %-9s %-8d %-7s %-7d %-5d %-12.3f %-12.3f %-9s %s\n"
+      Printf.printf "  %-9s %-8d %-7s %-7d %-5d %-12.3f %-12.3f %-9s %-8s %s\n"
         (Mj_relation.Frame.storage_name r.storage)
         r.domains r.shape r.n r.reps r.base_ms r.par_ms
-        (Printf.sprintf "%.2fx" r.speedup)
+        (* a clamped cell timed oversubscription, not scaling *)
+        (if r.clamped then "-" else Printf.sprintf "%.2fx" r.speedup)
+        (if r.clamped then "yes" else "no")
         (if r.equal then "OK" else "FAIL"))
     t.rows;
+  let unclamped =
+    List.filter (fun (r : Par_bench.row) -> not r.clamped) t.rows
+  in
+  check "every unclamped cell reports a positive speedup"
+    (List.for_all (fun (r : Par_bench.row) -> r.speedup > 0.0) unclamped);
   check "every cell is bit-identical to the 1-domain heap reference"
     (List.for_all (fun (r : Par_bench.row) -> r.equal) t.rows);
   Printf.printf "  BENCH_JSON %s\n"
@@ -1235,6 +1244,48 @@ let par () =
   Par_bench.write_file "BENCH_PAR.json" t;
   print_endline "  (full report written to BENCH_PAR.json)";
   if not (List.for_all (fun (r : Par_bench.row) -> r.equal) t.rows) then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* WCOJ: generic join vs best binary plan on cyclic skewed workloads    *)
+(* ------------------------------------------------------------------ *)
+
+let wcoj () =
+  section "WCOJ"
+    "Worst-case-optimal generic join vs the best binary plan on cyclic \
+     zipf-skewed workloads (bit-identical results, AGM-priced)";
+  let t = Wcoj_bench.run ~quick:!quick () in
+  Printf.printf "  cores: %d%s\n" t.cores (if !quick then " (quick grid)" else "");
+  Printf.printf "  %-9s %-8s %-7s %-5s %-11s %-11s %-8s %-10s %-9s %-11s %-7s %-6s\n"
+    "shape" "n" "domain" "skew" "binary ms" "wcoj ms" "speedup" "tau-bin"
+    "tau-wcoj" "agm-bound" "floor" "equal";
+  List.iter
+    (fun (r : Wcoj_bench.row) ->
+      Printf.printf
+        "  %-9s %-8d %-7d %-5.2f %-11.3f %-11.3f %-8s %-10d %-9d %-11s %-7s %s\n"
+        r.shape r.n r.domain r.skew r.binary_ms r.wcoj_ms
+        (Printf.sprintf "%.2fx" r.speedup)
+        r.tau_binary r.tau_wcoj
+        (match r.agm_bound with
+        | Some b -> Printf.sprintf "%.3g" b
+        | None -> "-")
+        (match r.speedup_floor with
+        | Some f -> Printf.sprintf "%.1fx" f
+        | None -> "-")
+        (if r.equal then "OK" else "FAIL"))
+    t.rows;
+  check "generic join is bit-identical to the binary plan on every row"
+    (List.for_all (fun (r : Wcoj_bench.row) -> r.equal) t.rows);
+  check "the generic join materializes no binary intermediate (tau = output)"
+    (List.for_all
+       (fun (r : Wcoj_bench.row) -> r.tau_wcoj = r.rows_out)
+       t.rows);
+  check "every floored row meets its speedup floor"
+    (List.for_all Wcoj_bench.floor_ok t.rows);
+  Printf.printf "  BENCH_JSON %s\n"
+    (Mj_obs.Json.to_string (Wcoj_bench.bench_json t));
+  Wcoj_bench.write_file "BENCH_WCOJ.json" t;
+  print_endline "  (full report written to BENCH_WCOJ.json)";
+  if Wcoj_bench.failures t <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* PLAN: default-hash vs cost-based lowering                            *)
@@ -1354,7 +1405,7 @@ let experiments =
     ("SK", sk); ("SPACE", space); ("GAMMA", gamma); ("MONO", mono);
     ("SETOP", setop); ("YANN", yann); ("EST", est); ("RAND", rand);
     ("PIPE", pipe); ("LEM", lem); ("COST", cost_models); ("C4JT", c4jt); ("CASE", case); ("MAKESPAN", makespan); ("LOSS", loss);
-    ("OBS", obs_metrics); ("KERNEL", kernel); ("FRAME", frame); ("PAR", par); ("PLAN", plan);
+    ("OBS", obs_metrics); ("KERNEL", kernel); ("FRAME", frame); ("PAR", par); ("WCOJ", wcoj); ("PLAN", plan);
     ("PERF", perf);
   ]
 
@@ -1386,7 +1437,7 @@ let () =
         (match Mj_engine.Planner.policy_of_string v with
         | Some p -> policy := Some p
         | None ->
-            Printf.eprintf "unknown policy %s (expected hash or cost)\n" v;
+            Printf.eprintf "unknown policy %s (expected hash, cost or wcoj)\n" v;
             exit 2);
         parse rest
     | a :: rest -> a :: parse rest

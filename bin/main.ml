@@ -102,7 +102,8 @@ let policy_conv =
     | Some p -> Ok p
     | None ->
         Error
-          (`Msg (Printf.sprintf "unknown policy %s (expected hash or cost)" s))
+          (`Msg
+            (Printf.sprintf "unknown policy %s (expected hash, cost or wcoj)" s))
   in
   Arg.conv
     (parse, fun fmt p -> Format.pp_print_string fmt (Planner.policy_name p))
@@ -132,8 +133,10 @@ let policy_arg =
     & opt (some policy_conv) None
     & info [ "policy" ]
         ~doc:
-          "Plan-lowering policy: 'hash' (every join step a hash join) or \
-           'cost' (catalog-driven per-step algorithm choice).  Default: \
+          "Plan-lowering policy: 'hash' (every join step a hash join), \
+           'cost' (catalog-driven per-step algorithm choice) or 'wcoj' \
+           (worst-case-optimal generic join on cyclic queries, binary \
+           cost-based lowering on acyclic ones).  Default: \
            $(b,MJ_ALGO_POLICY), else hash.")
 
 let telemetry_arg =
@@ -794,6 +797,15 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
     (Planner.policy_name cfg.Engine.Config.algo_policy)
     (Engine.plane_name cfg.Engine.Config.plane)
     (Physical.to_string plan);
+  (* Cyclic queries carry an AGM certificate: the fractional-cover
+     bound on the output that no join strategy — binary or generic —
+     can exceed, and the figure the wcoj policy prices plans against. *)
+  (if Planner.is_cyclic d then
+     match Cost.Cache.agm (Cost.Cache.create db) d with
+     | Some bound ->
+         Format.printf "AGM bound: %.4g rows (cyclic query, est result %d)@.@."
+           bound (est_oracle d)
+     | None -> ());
   let rec show indent (sp : Obs.span_tree) =
     (match sp.Obs.name with
     | ("scan" | "join") as kind ->
@@ -817,6 +829,13 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
             ("act", Json.int actual);
           ]
         in
+        (* A generic-join span carries its variable elimination order
+           (driver attr "order"); binary spans have none. *)
+        let order_sfx =
+          match attr_str sp.Obs.attrs "order" with
+          | Some o -> Printf.sprintf "  order=%s" o
+          | None -> ""
+        in
         (match Hashtbl.find_opt est_tbl scheme with
         | Some est ->
             let q = q_error ~est ~actual in
@@ -830,16 +849,16 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
                 @ [ ("est", Json.int est); ("q_error", Json.float q) ])
               :: !steps;
             Format.printf
-              "%s%-12s %-26s %8.3f ms  est=%-6d act=%-6d q-err=%.2f@." indent
+              "%s%-12s %-26s %8.3f ms  est=%-6d act=%-6d q-err=%.2f%s@." indent
               label scheme
               (sp.Obs.duration *. 1e3)
-              est actual q
+              est actual q order_sfx
         | None ->
             steps := Json.Obj step_base :: !steps;
-            Format.printf "%s%-12s %-26s %8.3f ms  act=%-6d@." indent label
+            Format.printf "%s%-12s %-26s %8.3f ms  act=%-6d%s@." indent label
               scheme
               (sp.Obs.duration *. 1e3)
-              actual)
+              actual order_sfx)
     | other -> Format.printf "%s%s  %8.3f ms@." indent other (sp.Obs.duration *. 1e3));
     List.iter (show (indent ^ "  ")) sp.Obs.children
   in

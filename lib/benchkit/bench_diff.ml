@@ -32,8 +32,16 @@ let is_timing_field name =
   n > 3 && String.sub name (n - 3) 3 = "_ms"
 
 let is_derived_field = function
-  | "speedup" | "reps" | "speedup_floor" | "speedup_ok" -> true
+  (* "clamped" is derived, not identity: whether a row was clamped
+     depends on the machine's core count, and a row must still match
+     its twin from a run on differently sized hardware. *)
+  | "speedup" | "reps" | "speedup_floor" | "speedup_ok" | "clamped" -> true
   | name -> is_timing_field name
+
+let is_clamped row =
+  match List.assoc_opt "clamped" (match row with Json.Obj f -> f | _ -> []) with
+  | Some (Json.Bool b) -> b
+  | _ -> false
 
 let row_fields = function Json.Obj fields -> fields | _ -> []
 
@@ -80,6 +88,12 @@ let diff ~threshold old_doc new_doc =
       (fun (key, orow) ->
         match List.assoc_opt key new_rows with
         | None -> []
+        | Some nrow when is_clamped orow || is_clamped nrow ->
+            (* A clamped cell (domains > cores on either machine) timed
+               oversubscription noise; comparing it would gate CI on
+               scheduler jitter.  The row still matched, so it is not
+               reported missing. *)
+            []
         | Some nrow ->
             let ntimes = timing_fields nrow in
             List.filter_map

@@ -1,11 +1,16 @@
 (** Bench regression gate over [BENCH_*.json] trajectory files.
 
     Rows are matched on their identity fields (everything except
-    ["*_ms"] timings, ["speedup"], ["reps"]); every timing field
-    present in both copies of a matched row is compared, and a
+    ["*_ms"] timings and derived fields: ["speedup"], ["reps"],
+    ["speedup_floor"], ["speedup_ok"], ["clamped"]); every timing
+    field present in both copies of a matched row is compared, and a
     comparison whose increase exceeds the percentage threshold is a
     regression.  Rows present on only one side (e.g. a [--quick] grid
-    diffed against a full one) are listed but never fail the gate. *)
+    diffed against a full one) are listed but never fail the gate.
+    Matched rows marked ["clamped": true] on either side (a PAR cell
+    that requested more domains than the machine has cores) are
+    skipped entirely: their timings measure oversubscription noise,
+    not performance. *)
 
 type comparison = {
   key : string;  (** identity fields, rendered ["k=v k=v ..."] *)

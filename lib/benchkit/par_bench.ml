@@ -7,6 +7,7 @@ module Json = Mj_obs.Json
 type row = {
   storage : Frame.storage;
   domains : int;
+  clamped : bool;
   shape : string;
   n : int;
   reps : int;
@@ -54,7 +55,7 @@ let micro_db shape n =
    bit-identical frames against it (Frame.equal is storage-agnostic),
    so one grid both measures scaling and proves the morsel scheduler
    deterministic across backends and worker counts. *)
-let sweep ~storages ~domain_counts ~reps (shape, n) =
+let sweep ~cores ~storages ~domain_counts ~reps (shape, n) =
   let db = micro_db shape n in
   let reference =
     Frame.Db.join_all ~domains:1 (Frame.Db.of_database db)
@@ -76,6 +77,12 @@ let sweep ~storages ~domain_counts ~reps (shape, n) =
           {
             storage;
             domains;
+            (* More domains than cores: the pool clamps the worker
+               count, so timings for this cell measure oversubscription
+               noise, not scaling.  Consumers (the PAR speedup check,
+               bench-diff) skip timing comparisons on clamped rows;
+               bit-identity is still enforced. *)
+            clamped = domains > cores;
             shape;
             n;
             reps;
@@ -94,13 +101,15 @@ let run ?(quick = false) () =
     if quick then [ ("chain", 2_000) ] else [ ("chain", 100_000); ("star", 100_000) ]
   in
   let reps = if quick then 3 else 5 in
+  let cores = Domain.recommended_domain_count () in
   let rows =
     List.concat_map
-      (sweep ~storages:Frame.all_storages ~domain_counts:[ 1; 2; 4; 8 ] ~reps)
+      (sweep ~cores ~storages:Frame.all_storages ~domain_counts:[ 1; 2; 4; 8 ]
+         ~reps)
       specs
   in
   {
-    cores = Domain.recommended_domain_count ();
+    cores;
     morsel = Frame.default_morsel;
     clamp_events = Pool.clamp_events () - clamp0;
     rows;
@@ -112,6 +121,7 @@ let row_json r =
       ("experiment", Json.str "join-scaling");
       ("storage", Json.str (Frame.storage_name r.storage));
       ("domains", Json.int r.domains);
+      ("clamped", Json.bool r.clamped);
       ("shape", Json.str r.shape);
       ("n", Json.int r.n);
       ("reps", Json.int r.reps);

@@ -23,6 +23,12 @@
 type row = {
   storage : Mj_relation.Frame.storage;
   domains : int;  (** requested worker domains (the pool may clamp) *)
+  clamped : bool;
+      (** [domains > cores]: the pool capped the worker count, so this
+          cell's timings measure oversubscription, not scaling.
+          Consumers (the PAR speedup gate, [bench-diff]) skip timing
+          comparisons on clamped rows; the [equal] bit-identity check
+          is still enforced. *)
   shape : string;
   n : int;        (** tuples per relation *)
   reps : int;

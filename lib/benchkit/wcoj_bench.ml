@@ -1,0 +1,174 @@
+open Mj_relation
+open Mj_hypergraph
+open Multijoin
+module Dbgen = Mj_workload.Dbgen
+module Planner = Mj_engine.Planner
+module Json = Mj_obs.Json
+
+type row = {
+  shape : string;
+  n : int;
+  domain : int;
+  skew : float;
+  reps : int;
+  binary_ms : float;
+  wcoj_ms : float;
+  speedup : float;
+  rows_out : int;
+  tau_binary : int;
+  tau_wcoj : int;
+  agm_bound : float option;
+  equal : bool;
+  speedup_floor : float option;
+}
+
+type t = { cores : int; rows : row list }
+
+(* Fastest rep with interleaved contenders (see Frame_bench.time): the
+   floored rows compare a ratio, so noise on a longer timescale than
+   one rep must land on both sides of it. *)
+let time2 reps f g =
+  Gc.compact ();
+  let fb = ref infinity and gb = ref infinity in
+  let fr = ref None and gr = ref None in
+  for _ = 1 to reps do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    fr := Some (f ());
+    let t1 = Unix.gettimeofday () in
+    if t1 -. t0 < !fb then fb := t1 -. t0;
+    Gc.full_major ();
+    let t2 = Unix.gettimeofday () in
+    gr := Some (g ());
+    let t3 = Unix.gettimeofday () in
+    if t3 -. t2 < !gb then gb := t3 -. t2
+  done;
+  ((!fb *. 1000.0, Option.get !fr), (!gb *. 1000.0, Option.get !gr))
+
+let shape_of = function
+  | "triangle" -> Querygraph.cycle 3
+  | "clique4" -> Querygraph.clique 4
+  | s -> invalid_arg ("Wcoj_bench: unknown shape " ^ s)
+
+(* The blow-up population: zipf-skewed columns.  Binary plans pay the
+   skew quadratically in their intermediates (hot values meet hot
+   values), the generic join only in the output — exactly the
+   worst-case gap the AGM bound prices. *)
+let skewed_db shape n domain skew =
+  let rng = Random.State.make [| n; domain; 1990; Hashtbl.hash shape |] in
+  Dbgen.skewed_db ~rng ~rows:n ~domain ~skew (shape_of shape)
+
+(* The best binary contender: the same left-to-right columnar fold the
+   engine's binary plans run, on a pre-encoded database so the row
+   measures the join kernels rather than dictionary encoding.  On these
+   symmetric cyclic shapes every binary order materializes an
+   isomorphic intermediate, so the fold is also the best binary order
+   up to symmetry. *)
+let binary_join fdb d = Frame.Db.join_schemes ~domains:1 fdb d
+
+let binary_tau fdb d =
+  match Scheme.Set.elements d with
+  | [] -> 0
+  | s :: rest ->
+      let _, tau =
+        List.fold_left
+          (fun (acc, tau) s' ->
+            let j = Frame.natural_join ~domains:1 acc (Frame.Db.find fdb s') in
+            (j, tau + Frame.cardinality j))
+          (Frame.Db.find fdb s, 0)
+          rest
+      in
+      tau
+
+let bench_row ?floor ~reps (shape, n, domain, skew) =
+  let db = skewed_db shape n domain skew in
+  let fdb = Frame.Db.of_database db in
+  let d = Database.schemes db in
+  let order = Planner.elimination_order d in
+  let (binary_ms, binary_f), (wcoj_ms, wcoj_f) =
+    time2 reps
+      (fun () -> binary_join fdb d)
+      (fun () -> Frame.Db.generic_join fdb ~order d)
+  in
+  let agm_bound = Cost.Cache.agm (Cost.Cache.create db) d in
+  {
+    shape;
+    n;
+    domain;
+    skew;
+    reps;
+    binary_ms;
+    wcoj_ms;
+    speedup = (if wcoj_ms > 0.0 then binary_ms /. wcoj_ms else 0.0);
+    rows_out = Frame.cardinality wcoj_f;
+    tau_binary = binary_tau fdb d;
+    tau_wcoj = Frame.cardinality wcoj_f;
+    agm_bound;
+    equal = Frame.equal wcoj_f binary_f;
+    speedup_floor = floor;
+  }
+
+let floor_ok r =
+  match r.speedup_floor with None -> true | Some f -> r.speedup >= f
+
+let failures t =
+  List.filter (fun r -> not (floor_ok r && r.equal)) t.rows
+
+let run ?(quick = false) () =
+  let rows =
+    if quick then
+      [
+        bench_row ~floor:1.0 ~reps:3 ("triangle", 10_000, 1_000, 0.5);
+        bench_row ~reps:3 ("clique4", 3_000, 500, 0.5);
+      ]
+    else
+      [
+        bench_row ~floor:5.0 ~reps:3 ("triangle", 100_000, 10_000, 0.5);
+        bench_row ~floor:1.0 ~reps:3 ("triangle", 10_000, 1_000, 0.5);
+        bench_row ~reps:3 ("clique4", 10_000, 2_000, 0.5);
+      ]
+  in
+  { cores = Domain.recommended_domain_count (); rows }
+
+let row_json r =
+  Json.Obj
+    ([
+       ("experiment", Json.str "wcoj");
+       ("shape", Json.str r.shape);
+       ("n", Json.int r.n);
+       ("domain", Json.int r.domain);
+       ("skew", Json.float r.skew);
+       ("reps", Json.int r.reps);
+       ("binary_ms", Json.float r.binary_ms);
+       ("wcoj_ms", Json.float r.wcoj_ms);
+       ("speedup", Json.float r.speedup);
+       ("rows_out", Json.int r.rows_out);
+       ("tau_binary", Json.int r.tau_binary);
+       ("tau_wcoj", Json.int r.tau_wcoj);
+     ]
+    @ (match r.agm_bound with
+      | Some b -> [ ("agm_bound", Json.float b) ]
+      | None -> [])
+    @ [ ("equal", Json.bool r.equal) ]
+    @
+    match r.speedup_floor with
+    | Some f ->
+        [
+          ("speedup_floor", Json.float f);
+          ("speedup_ok", Json.bool (floor_ok r));
+        ]
+    | None -> [])
+
+let bench_json t =
+  Json.Obj
+    [
+      ("experiment", Json.str "WCOJ");
+      ("cores", Json.int t.cores);
+      ("rows", Json.Arr (List.map row_json t.rows));
+    ]
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string (bench_json t));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,58 @@
+(** The WCOJ benchmark: generic join vs the best binary plan on cyclic,
+    zipf-skewed workloads.
+
+    Triangle and 4-clique counting over {!Mj_workload.Dbgen.skewed_db}
+    populations — the regime where binary plans materialize an
+    intermediate that is polynomially larger than the output (hot
+    values meet hot values) while the generic join's work is bounded by
+    the AGM fractional-cover bound.  Both contenders run on one
+    pre-encoded {!Mj_relation.Frame.Db}, single-domain, interleaved
+    reps, fastest rep kept; per row:
+
+    - [binary_ms] / [wcoj_ms] — the columnar left-to-right fold vs
+      {!Mj_relation.Frame.generic_join} under the planner's elimination
+      order;
+    - [tau_binary] / [tau_wcoj] — the τ certificates: what each
+      contender materialized ([tau_wcoj] is exactly the output
+      cardinality — the generic join has no intermediates);
+    - [agm_bound] — the AGM output bound of the sub-database, the
+      theoretical ceiling both τ figures are compared against;
+    - [equal] — bit-identical result frames, certified every run;
+    - [speedup_floor] — rows carrying a floor gate the bench: a
+      violated floor (or a failed equality) is reported by {!failures}
+      and turns into a non-zero exit in [bench WCOJ]. *)
+
+type row = {
+  shape : string;  (** ["triangle"] or ["clique4"] *)
+  n : int;  (** tuples per relation *)
+  domain : int;  (** attribute domain size *)
+  skew : float;  (** zipf exponent of the data generator *)
+  reps : int;
+  binary_ms : float;
+  wcoj_ms : float;
+  speedup : float;  (** [binary_ms /. wcoj_ms] *)
+  rows_out : int;  (** result cardinality (triangles / 4-cliques) *)
+  tau_binary : int;  (** Σ intermediate+final rows of the binary fold *)
+  tau_wcoj : int;  (** = [rows_out]: the node's single τ entry *)
+  agm_bound : float option;  (** AGM output bound of the sub-database *)
+  equal : bool;  (** generic and binary frames bit-identical *)
+  speedup_floor : float option;
+}
+
+type t = { cores : int; rows : row list }
+
+val run : ?quick:bool -> unit -> t
+(** [quick] (default [false]) trims sizes to CI-smoke scale (triangle
+    n=10⁴ with a 1.0× floor, 4-clique n=3·10³); the full grid adds
+    triangle n=10⁵ with the 5.0× floor. *)
+
+val floor_ok : row -> bool
+
+val failures : t -> row list
+(** Rows violating their floor or the equality certificate — non-empty
+    means [bench WCOJ] exits non-zero. *)
+
+val bench_json : t -> Mj_obs.Json.t
+
+val write_file : string -> t -> unit
+(** Write {!bench_json} (one line) to a file, e.g. [BENCH_WCOJ.json]. *)

@@ -150,6 +150,110 @@ let differential db s =
         policies)
     planes
 
+(* The worst-case-optimal leg of the matrix.  The [Wcoj] policy is kept
+   out of [policies] deliberately: on a cyclic strategy it rewrites the
+   whole plan into one n-ary node, so its τ and span shapes legitimately
+   differ from every binary cell — the main differential's
+   "join spans agree cell-for-cell" invariant would be vacuously
+   destroyed, not checked.  Instead the wcoj cells get their own
+   expected τ/step log, derived from the lowered plan itself through the
+   exact-cardinality cache, and the span-shape invariant is scoped to
+   the wcoj cells (which must agree with each other across planes,
+   storages and domain counts). *)
+let wcoj_steps cache plan =
+  let rec go acc = function
+    | Physical.Scan _ -> acc
+    | Physical.Join (_, l, r) ->
+        let acc = go (go acc l) r in
+        let d = Scheme.Set.union (Physical.schemes l) (Physical.schemes r) in
+        (d, Cost.Cache.card cache d) :: acc
+    | Physical.Generic_join (ss, _) ->
+        let d = Scheme.Set.of_list ss in
+        (d, Cost.Cache.card cache d) :: acc
+  in
+  List.rev (go [] plan)
+
+let wcoj_differential db s =
+  guard @@ fun () ->
+  let expected = Cost.eval db s in
+  let cache = Cost.Cache.create db in
+  let plan = Planner.lower ~policy:Planner.Wcoj db s in
+  let steps = wcoj_steps cache plan in
+  let tau = List.fold_left (fun acc (_, c) -> acc + c) 0 steps in
+  (* On a cyclic strategy the single n-ary step must price at the full
+     result — the τ certificate that the generic join materializes no
+     binary intermediate at all. *)
+  (match plan with
+  | Physical.Generic_join _ ->
+      let result_card = Relation.cardinality expected in
+      if tau <> result_card then
+        fail "wcoj:tau_shape" "generic join τ=%d ≠ |R_D|=%d" tau result_card
+  | _ -> ());
+  (* Join spans must agree across the whole wcoj matrix; the full
+     scan/join shape only within one plane × storage cell — the acyclic
+     arm is the cost-based chooser, whose index-nested-loop fast path
+     skips inner scans on the seed plane but not the frame plane. *)
+  let reference_joins = ref None in
+  let cell_skeletons = Hashtbl.create 8 in
+  List.iter
+    (fun plane ->
+      let storages =
+        match plane with
+        | Engine.Seed -> [ None ]
+        | Engine.Frame -> List.map Option.some Frame.all_storages
+      in
+      List.iter
+        (fun storage ->
+          List.iter
+            (fun domains ->
+              let cell =
+                Engine.plane_name plane
+                ^
+                match storage with
+                | None -> ""
+                | Some st -> "/" ^ Frame.storage_name st
+              in
+              let where = Printf.sprintf "%s/wcoj/%d-domain" cell domains in
+              let obs = Obs.make () in
+              let cfg =
+                Engine.Config.make ~plane ~domains ~policy:Planner.Wcoj ~obs
+                  ?storage ()
+              in
+              let r, stats = Engine.run cfg db s in
+              if not (Relation.equal r expected) then
+                fail "wcoj:result" "%s: %d rows, reference has %d (strategy %s)"
+                  where
+                  (Relation.cardinality r)
+                  (Relation.cardinality expected)
+                  (Strategy.to_string s);
+              if stats.Engine.tuples_generated <> tau then
+                fail "wcoj:tau" "%s: reported τ=%d, plan prices %d" where
+                  stats.Engine.tuples_generated tau;
+              if not (step_log_equal stats.Engine.per_step steps) then
+                fail "wcoj:steps" "%s: per-step log %a ≠ %a" where pp_step_log
+                  stats.Engine.per_step pp_step_log steps;
+              let sk = skeleton obs in
+              let joins = List.filter (fun (n, _) -> n = "join") sk in
+              (match !reference_joins with
+              | None -> reference_joins := Some (where, joins)
+              | Some (ref_where, ref_joins) ->
+                  if joins <> ref_joins then
+                    fail "wcoj:spans"
+                      "%s: %d join spans with a different shape than %s's %d"
+                      where (List.length joins) ref_where
+                      (List.length ref_joins));
+              match Hashtbl.find_opt cell_skeletons cell with
+              | None -> Hashtbl.add cell_skeletons cell (where, sk)
+              | Some (ref_where, ref_sk) ->
+                  if sk <> ref_sk then
+                    fail "wcoj:spans"
+                      "%s: scan/join shape differs from %s within the same \
+                       plane × storage cell"
+                      where ref_where)
+            domain_counts)
+        storages)
+    planes
+
 (* ------------------------------------------------------------------ *)
 (* Metamorphic: rewrites that provably preserve result or cost.       *)
 (* ------------------------------------------------------------------ *)
@@ -409,6 +513,8 @@ let run_case ?(faults = true) d =
   let db, s = Gen.materialize d in
   let ( >>> ) o k = match o with Pass -> k () | Fail _ -> o in
   differential db s
+  >>> fun () ->
+  wcoj_differential db s
   >>> fun () ->
   metamorphic db s
   >>> fun () ->

@@ -10,6 +10,14 @@
       whole matrix, and the same full scan/join skeleton across domain
       counts within each plane × policy cell (the index-nested-loop
       fast path legitimately elides indexed inner scans).
+    - {!wcoj_differential}: the worst-case-optimal leg, separately.
+      The [Wcoj] policy collapses cyclic strategies into one n-ary
+      generic join, so its τ and span shapes legitimately differ from
+      every binary cell; its expected per-step log is therefore derived
+      from the lowered plan itself through the exact-cardinality cache
+      (for a cyclic case: exactly one step pricing at [|R_D|]), and
+      planes × storages × domain counts must agree with {e each other}
+      on result, τ, steps and join spans.
     - {!metamorphic}: strategy rewrites that provably preserve the
       result or the cost — commuting every step leaves τ unchanged,
       {!Multijoin.Transform} surgeries and a left-deep rebuild leave
@@ -45,6 +53,7 @@ type outcome = Pass | Fail of failure
 val pp_failure : Format.formatter -> failure -> unit
 
 val differential : Database.t -> Strategy.t -> outcome
+val wcoj_differential : Database.t -> Strategy.t -> outcome
 val metamorphic : Database.t -> Strategy.t -> outcome
 
 val theorems : Database.t -> outcome
@@ -55,7 +64,8 @@ val faults : Database.t -> Strategy.t -> outcome
 
 val run_case : ?faults:bool -> Gen.descriptor -> outcome
 (** Materialize the descriptor and run every applicable check:
-    differential and metamorphic always, theorem postconditions when
+    differential (binary and wcoj legs) and metamorphic always,
+    theorem postconditions when
     the database has at most 5 relations, and the fault-injection pass
     when [faults] (default [true]) {e and} no failpoint is already
     active — an externally injected fault (self-test, [MJ_FAILPOINTS])

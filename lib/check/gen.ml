@@ -2,7 +2,7 @@ open Mj_hypergraph
 open Multijoin
 module Dbgen = Mj_workload.Dbgen
 
-type shape = Chain | Star | Cycle | Random_graph
+type shape = Chain | Star | Cycle | Clique | Random_graph
 type regime = Uniform | Skewed | Superkey
 
 type descriptor = {
@@ -18,12 +18,14 @@ let shape_name = function
   | Chain -> "chain"
   | Star -> "star"
   | Cycle -> "cycle"
+  | Clique -> "clique"
   | Random_graph -> "random"
 
 let shape_of_name = function
   | "chain" -> Some Chain
   | "star" -> Some Star
   | "cycle" -> Some Cycle
+  | "clique" -> Some Clique
   | "random" -> Some Random_graph
   | _ -> None
 
@@ -39,10 +41,15 @@ let regime_of_name = function
   | _ -> None
 
 (* Ranks orient the shrink order: lower is simpler. *)
-let shape_rank = function Chain -> 0 | Star -> 1 | Cycle -> 2 | Random_graph -> 3
+let shape_rank = function
+  | Chain -> 0
+  | Star -> 1
+  | Cycle -> 2
+  | Clique -> 3
+  | Random_graph -> 4
 let regime_rank = function Uniform -> 0 | Skewed -> 1 | Superkey -> 2
 
-let min_n = function Cycle -> 3 | Chain | Star | Random_graph -> 2
+let min_n = function Cycle | Clique -> 3 | Chain | Star | Random_graph -> 2
 
 let normalize d =
   let n = max (min_n d.shape) d.n in
@@ -66,6 +73,7 @@ let materialize d =
     | Chain -> Querygraph.chain d.n
     | Star -> Querygraph.star d.n
     | Cycle -> Querygraph.cycle d.n
+    | Clique -> Querygraph.clique d.n
     | Random_graph -> Querygraph.random ~extra_edge_prob:0.3 ~rng d.n
   in
   let db =
@@ -82,7 +90,7 @@ let generate rng ~max_n =
   normalize
     {
       seed = Random.State.int rng 100_000;
-      shape = pick [ Chain; Star; Cycle; Random_graph ];
+      shape = pick [ Chain; Star; Cycle; Clique; Random_graph ];
       n = 2 + Random.State.int rng (max 1 (max_n - 1));
       rows = 1 + Random.State.int rng 8;
       domain = 1 + Random.State.int rng 8;

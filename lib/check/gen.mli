@@ -18,13 +18,13 @@
 open Mj_relation
 open Multijoin
 
-type shape = Chain | Star | Cycle | Random_graph
+type shape = Chain | Star | Cycle | Clique | Random_graph
 type regime = Uniform | Skewed | Superkey
 
 type descriptor = {
   seed : int;      (** drives both data and strategy randomness *)
   shape : shape;
-  n : int;         (** relations; ≥ 2, and ≥ 3 for cycles *)
+  n : int;         (** relations; ≥ 2, and ≥ 3 for cycles and cliques *)
   rows : int;      (** rows per base relation, ≥ 1 *)
   domain : int;    (** attribute domain size, ≥ 1 *)
   regime : regime;

@@ -59,6 +59,7 @@ module Cache = struct
     db : Database.t;
     univ : Bitdb.t;
     table : (int, int) Hashtbl.t;
+    agm_table : (int, float option) Hashtbl.t;
     backend : backend;
     mutable fdb : Mj_relation.Frame.Db.t option; (* built on first miss *)
     hits : Obs.counter;
@@ -74,6 +75,7 @@ module Cache = struct
       db;
       univ = Bitdb.make (Database.schemes db);
       table = Hashtbl.create 256;
+      agm_table = Hashtbl.create 64;
       backend;
       fdb = None;
       hits = Obs.counter obs "cost.cache_hits";
@@ -140,6 +142,29 @@ module Cache = struct
   let misses c = Obs.value c.misses
   let bypasses c = Obs.value c.bypasses
   let entries c = Hashtbl.length c.table
+
+  (* The AGM fractional-cover output bound of a sub-database, over
+     {e base} cardinalities only — pricing never joins anything, so the
+     bound is as cheap as the cover LP (3^k half-integral vertices,
+     k ≤ Cover.max_lp_relations) and is memoized per mask like the
+     τ oracle above.  [None] for sub-databases the LP does not price
+     (empty or more than 8 relations). *)
+  let agm_mask c mask =
+    match Hashtbl.find_opt c.agm_table mask with
+    | Some b -> b
+    | None ->
+        let card i =
+          Relation.cardinality (base c.db (Bitdb.scheme c.univ i))
+        in
+        let b = Cover.agm_bound c.univ mask ~card in
+        Hashtbl.add c.agm_table mask b;
+        b
+
+  let agm c schemes =
+    match Bitdb.mask_of_set c.univ schemes with
+    | mask -> agm_mask c mask
+    | exception Not_found ->
+        invalid_arg "Cost.Cache: scheme not in the database"
 end
 
 let cached_oracle ?obs ?backend db = Cache.card (Cache.create ?obs ?backend db)

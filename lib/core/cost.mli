@@ -81,6 +81,18 @@ module Cache : sig
   (** [Scheme.Set] edge of the same cache.
       @raise Invalid_argument if a scheme is not in the database. *)
 
+  val agm_mask : t -> int -> float option
+  (** The AGM fractional-cover output bound of the sub-database denoted
+      by a mask (see {!Mj_hypergraph.Cover.agm_bound}), computed over
+      base-relation cardinalities only — no join is ever materialized —
+      and memoized per mask.  [None] when the LP does not price the
+      sub-database (empty, or more than
+      [Mj_hypergraph.Cover.max_lp_relations] relations). *)
+
+  val agm : t -> Scheme.Set.t -> float option
+  (** [Scheme.Set] edge of {!agm_mask}.
+      @raise Invalid_argument if a scheme is not in the database. *)
+
   val hits : t -> int
   val misses : t -> int
 

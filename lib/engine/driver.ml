@@ -17,6 +17,9 @@ module type PLANE = sig
   val index_join :
     ctx -> common:Attr.Set.t -> outer:item -> inner:Scheme.t -> item option
 
+  val generic_join :
+    ctx -> schemes:Scheme.t list -> order:Attr.t list -> item
+
   val cardinality : item -> int
   val note_step : ctx -> int -> unit
   val algo_label : Physical.algorithm -> string
@@ -81,6 +84,30 @@ module Make (P : PLANE) = struct
                   | Some it -> finish (Attr.Set.union ls inner) it
                   | None -> ordinary ls left)
               | _ -> ordinary ls left)
+      | Physical.Generic_join (ss, order) ->
+          (* One n-ary step: the whole sub-hypergraph is joined in a
+             single worst-case-optimal pass, so the node contributes
+             exactly one τ entry — its output cardinality — where a
+             binary lowering would contribute one per internal step. *)
+          Obs.span obs "join" (fun () ->
+              let node_schemes = Scheme.Set.of_list ss in
+              let out_scheme =
+                List.fold_left Attr.Set.union Attr.Set.empty ss
+              in
+              if Obs.enabled obs then begin
+                Obs.set_attr obs "algo" (Json.str "wcoj");
+                Obs.set_attr obs "scheme" (Json.str (scheme_key node_schemes));
+                Obs.set_attr obs "order"
+                  (Json.str
+                     (String.concat "," (List.map Attr.to_string order)))
+              end;
+              let it = P.generic_join ctx ~schemes:ss ~order in
+              let n = P.cardinality it in
+              generated := !generated + n;
+              steps := (node_schemes, n) :: !steps;
+              P.note_step ctx n;
+              if Obs.enabled obs then Obs.set_attr obs "rows" (Json.int n);
+              (out_scheme, it))
     in
     let out_scheme, item = Obs.span obs P.root_span (fun () -> run plan) in
     let result = P.to_relation ctx out_scheme item in

@@ -52,6 +52,18 @@ module type PLANE = sig
       base-relation indexes and the driver falls back to executing the
       scan and calling {!join}. *)
 
+  val generic_join :
+    ctx -> schemes:Scheme.t list -> order:Attr.t list -> item
+  (** One {!Physical.Generic_join} step: the worst-case-optimal join of
+      the named base relations, binding attributes in [order].  Both
+      planes must produce the canonical result relation (the frame plane
+      runs the leapfrog kernel; the seed plane a reference
+      sorted-intersection backtracker), so plans containing the node
+      stay bit-identical across planes.  The driver wraps the step in a
+      single ["join"] span with [algo = "wcoj"] and an [order]
+      attribute, and the step contributes one τ entry: its output
+      cardinality. *)
+
   val cardinality : item -> int
   val note_step : ctx -> int -> unit
   (** Called with each join step's output cardinality (for plane

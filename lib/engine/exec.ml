@@ -243,6 +243,68 @@ module Seed_plane = struct
   let index_join ctx ~common ~outer ~inner =
     Some (index_join ctx.c ctx.cache ctx.db outer common inner)
 
+  (* The reference generic join: bind the attributes of [order] one at a
+     time, intersecting the sorted distinct values each participating
+     relation still allows under the partial assignment, and recurse
+     under every common value.  Deliberately simple — tuple lists are
+     re-filtered per binding — because this plane exists to certify the
+     frame plane's leapfrog kernel: both must produce the identical
+     canonical relation. *)
+  let generic_join ctx ~schemes ~order =
+    let rels =
+      List.map
+        (fun s ->
+          let tuples = Relation.tuples (base_relation ctx.db s) in
+          Obs.incr ctx.c.scanned (List.length tuples);
+          (s, tuples))
+        schemes
+    in
+    let out = ref [] in
+    let rec go bound rels = function
+      | [] -> out := Tuple.of_list (List.rev bound) :: !out
+      | a :: attrs ->
+          let holders, others =
+            List.partition (fun (s, _) -> Attr.Set.mem a s) rels
+          in
+          let values_of (_, tuples) =
+            List.sort_uniq Value.compare
+              (List.map (fun t -> Tuple.get t a) tuples)
+          in
+          let inter xs ys =
+            let rec go xs ys =
+              match (xs, ys) with
+              | [], _ | _, [] -> []
+              | x :: xtl, y :: ytl ->
+                  Obs.incr ctx.c.compared 1;
+                  let cmp = Value.compare x y in
+                  if cmp < 0 then go xtl ys
+                  else if cmp > 0 then go xs ytl
+                  else x :: go xtl ytl
+            in
+            go xs ys
+          in
+          let common =
+            match List.map values_of holders with
+            | [] -> assert false (* every order attribute has a holder *)
+            | vs :: rest -> List.fold_left inter vs rest
+          in
+          List.iter
+            (fun v ->
+              let holders' =
+                List.map
+                  (fun (s, tuples) ->
+                    ( s,
+                      List.filter
+                        (fun t -> Value.equal (Tuple.get t a) v)
+                        tuples ))
+                  holders
+              in
+              go ((a, v) :: bound) (holders' @ others) attrs)
+            common
+    in
+    go [] rels order;
+    List.rev !out
+
   let cardinality = List.length
 
   let note_step ctx n =

@@ -74,6 +74,11 @@ module Frame_plane = struct
     else j
 
   let index_join _ctx ~common:_ ~outer:_ ~inner:_ = None
+
+  let generic_join ctx ~schemes ~order =
+    Frame.Db.generic_join ~stats:ctx.fstats ctx.fdb ~order
+      (Scheme.Set.of_list schemes)
+
   let cardinality = Frame.cardinality
   let note_step _ctx _n = ()
   let algo_label _ = "frame-hash"

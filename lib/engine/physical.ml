@@ -11,6 +11,7 @@ type algorithm =
 type t =
   | Scan of Scheme.t
   | Join of algorithm * t * t
+  | Generic_join of Scheme.t list * Attr.t list
 
 let rec of_strategy ?(algo = fun _ _ -> Hash_join) = function
   | Strategy.Leaf s -> Scan s
@@ -22,6 +23,11 @@ let rec of_strategy ?(algo = fun _ _ -> Hash_join) = function
 let rec strategy_of = function
   | Scan s -> Strategy.leaf s
   | Join (_, l, r) -> Strategy.join (strategy_of l) (strategy_of r)
+  | Generic_join (ss, _) ->
+      (* The node has no binary structure of its own; its strategy
+         shadow is the left-deep chain over its relations — the τ
+         comparisons in the planner read costs off this shadow. *)
+      Strategy.left_deep ss
 
 let schemes p = Strategy.schemes (strategy_of p)
 
@@ -29,6 +35,7 @@ let algorithms p =
   let rec go acc = function
     | Scan _ -> acc
     | Join (a, l, r) -> go (go (a :: acc) l) r
+    | Generic_join _ -> acc
   in
   List.rev (go [] p)
 
@@ -43,5 +50,10 @@ let rec pp fmt = function
   | Scan s -> Scheme.pp fmt s
   | Join (a, l, r) ->
       Format.fprintf fmt "(%a %s %a)" pp l (algorithm_name a) pp r
+  | Generic_join (ss, order) ->
+      Format.fprintf fmt "(wcoj";
+      List.iter (fun s -> Format.fprintf fmt " %a" Scheme.pp s) ss;
+      Format.fprintf fmt " | %s)"
+        (String.concat "," (List.map Attr.to_string order))
 
 let to_string p = Format.asprintf "%a" pp p

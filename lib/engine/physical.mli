@@ -23,7 +23,13 @@
       several joins against the same base relation) reuse "existing
       indices" instead of rebuilding them (the Section 1 argument for
       linear strategies).  On a non-scan inner it degrades to an
-      ordinary hash join. *)
+      ordinary hash join.
+
+    Beyond the binary algorithms, a plan may contain one n-ary
+    [Generic_join] node: the worst-case-optimal join of a (typically
+    cyclic) sub-hypergraph, evaluated attribute-by-attribute in a fixed
+    elimination order with no binary intermediates — see
+    {!Mj_relation.Frame.generic_join} and [Planner.Wcoj]. *)
 
 open Mj_relation
 open Multijoin
@@ -38,13 +44,20 @@ type algorithm =
 type t =
   | Scan of Scheme.t
   | Join of algorithm * t * t
+  | Generic_join of Scheme.t list * Attr.t list
+      (** [(relations, elimination order)]: the worst-case-optimal join
+          of the listed base relations, binding attributes in the given
+          order.  The order is a permutation of the relations' attribute
+          union, fixed at plan time so execution is deterministic. *)
 
 val of_strategy : ?algo:(Scheme.Set.t -> Scheme.Set.t -> algorithm) -> Strategy.t -> t
 (** Annotate every step; [algo] receives the children's scheme sets and
     defaults to [Hash_join] everywhere. *)
 
 val strategy_of : t -> Strategy.t
-(** Forget the annotations.
+(** Forget the annotations.  A [Generic_join] has no binary structure to
+    forget; it maps to the left-deep chain over its relations (the
+    strategy shadow the planner's τ comparisons are made against).
     @raise Invalid_argument if the plan violates (S3). *)
 
 val schemes : t -> Scheme.Set.t

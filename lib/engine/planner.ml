@@ -1,4 +1,5 @@
 open Mj_relation
+open Mj_hypergraph
 open Multijoin
 module Catalog = Mj_optimizer.Catalog
 module Estimate = Mj_optimizer.Estimate
@@ -6,17 +7,20 @@ module Estimate = Mj_optimizer.Estimate
 type policy =
   | Hash_all
   | Cost_based
+  | Wcoj
   | Forced of Physical.algorithm
 
 let policy_name = function
   | Hash_all -> "hash"
   | Cost_based -> "cost"
+  | Wcoj -> "wcoj"
   | Forced a -> "forced-" ^ Physical.algorithm_name a
 
 let policy_of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "hash" -> Some Hash_all
   | "cost" -> Some Cost_based
+  | "wcoj" -> Some Wcoj
   | _ -> None
 
 let block_size = 64
@@ -129,10 +133,58 @@ let choose env left_schemes right_schemes right_leaf =
            (fun (best, bc) (a, c) -> if c < bc then (a, c) else (best, bc))
            (a0, c0) rest)
 
-let lower ?(policy = Hash_all) ?oracle ?indexes db strategy =
+(* Where the generic join earns its keep: a database scheme whose
+   hypergraph is cyclic.  On α-acyclic schemes a semijoin-reduced binary
+   plan is already worst-case optimal (Yannakakis), so the node would
+   only replace one optimal evaluation with another. *)
+let is_cyclic schemes =
+  Scheme.Set.cardinal schemes >= 3 && not (Gyo.is_alpha_acyclic schemes)
+
+(* The elimination order of a generic join, fixed at plan time: most
+   shared attributes first (each level then intersects the most
+   relations, shrinking the search space earliest), ties by attribute
+   name.  A pure function of the scheme set, so plans — and therefore
+   executions, spans and τ — are reproducible across runs, planes and
+   domain counts. *)
+let elimination_order schemes =
+  let count a =
+    Scheme.Set.fold
+      (fun s acc -> if Attr.Set.mem a s then acc + 1 else acc)
+      schemes 0
+  in
+  let attrs = Attr.Set.elements (Scheme.Set.universe schemes) in
+  List.stable_sort
+    (fun a b ->
+      match compare (count b) (count a) with
+      | 0 -> Attr.compare a b
+      | c -> c)
+    attrs
+
+let rec lower ?(policy = Hash_all) ?oracle ?indexes db strategy =
   match policy with
   | Hash_all -> Physical.of_strategy strategy
   | Forced a -> Physical.of_strategy ~algo:(fun _ _ -> a) strategy
+  | Wcoj ->
+      (* Priced by the AGM bound, by dominance rather than per-plan
+         arithmetic: the generic join's worst case over the whole
+         sub-database is AGM(D), while any binary plan's worst case is
+         AGM(D) for its final step {e plus} a strictly positive AGM term
+         per internal step — on a cyclic scheme the internal terms are
+         polynomially large (triangle: N^{3/2} vs N^2), so Generic_join
+         wins unconditionally wherever it applies.  Catalog estimates
+         cannot see the skew that inflates binary intermediates (the
+         uniform formula underestimates zipfian blow-ups by orders of
+         magnitude), so estimate-level pricing would mispick exactly on
+         the workloads the node exists for; the bound itself is still
+         surfaced — [Cost.Cache.agm], [mjoin explain] — as the
+         certificate of why.  Acyclic strategies fall back to the
+         cost-based arm: there binary plans are already optimal and the
+         chooser picks good per-step algorithms. *)
+      let schemes = Strategy.schemes strategy in
+      if is_cyclic schemes then
+        Physical.Generic_join
+          (Scheme.Set.elements schemes, elimination_order schemes)
+      else lower ~policy:Cost_based ?oracle ?indexes db strategy
   | Cost_based ->
       let catalog = Catalog.of_database db in
       let oracle =

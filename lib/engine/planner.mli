@@ -37,18 +37,39 @@ open Multijoin
 type policy =
   | Hash_all  (** every step [Hash_join] — the pre-planner behavior *)
   | Cost_based  (** catalog-driven per-step choice *)
+  | Wcoj
+      (** worst-case-optimal: cyclic strategies collapse into one
+          {!Physical.Generic_join} node over the whole scheme set;
+          acyclic ones fall back to the [Cost_based] arm *)
   | Forced of Physical.algorithm  (** every step the given algorithm *)
 
 val policy_name : policy -> string
-(** ["hash"], ["cost"], or ["forced-<algo>"]. *)
+(** ["hash"], ["cost"], ["wcoj"], or ["forced-<algo>"]. *)
 
 val policy_of_string : string -> policy option
-(** Parses the [--policy] flag values ["hash"] and ["cost"]
+(** Parses the [--policy] flag values ["hash"], ["cost"] and ["wcoj"]
     (case-insensitive); forced policies are built programmatically
     (e.g. from [mjoin explain --algo]). *)
 
 val block_size : int
 (** Block size priced and emitted for [Block_nested_loop] (64). *)
+
+val is_cyclic : Scheme.Set.t -> bool
+(** Does the [Wcoj] policy emit a generic join for this scheme set?
+    True iff it has at least three relations and its hypergraph is not
+    α-acyclic (GYO).  On α-acyclic schemes binary plans are already
+    worst-case optimal (Yannakakis), so the node is reserved for the
+    cyclic case where the AGM bound separates the two: the generic
+    join's worst case is [AGM(D)] while every binary plan additionally
+    pays a strictly positive AGM term per internal step — polynomially
+    larger on cyclic schemes (triangle: [N^{3/2}] vs [N²]). *)
+
+val elimination_order : Scheme.Set.t -> Attr.t list
+(** The attribute-binding order of an emitted {!Physical.Generic_join}:
+    attributes shared by more relations first (so the earliest levels
+    intersect the most iterators), ties by attribute order.  A pure
+    function of the scheme set — plans are reproducible across runs,
+    planes and domain counts. *)
 
 val lower :
   ?policy:policy ->
@@ -62,7 +83,11 @@ val lower :
     estimator (pass {!Multijoin.Cost.cardinality_oracle} for
     true-cardinality lowering) and [indexes] — typically the
     [Engine.Config]'s cache — marks which base-relation indexes are
-    already warm.
+    already warm.  Under [Wcoj], a strategy whose scheme set
+    {!is_cyclic} lowers to a single {!Physical.Generic_join} over the
+    whole set (its join order is discarded — the node is n-ary) with
+    {!elimination_order}; otherwise the [Cost_based] arm applies
+    unchanged.
     @raise Not_found under [Cost_based] if the strategy mentions a
     scheme outside [db] (the estimator has no statistics for it);
     execution would reject such a plan anyway. *)

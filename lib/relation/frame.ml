@@ -775,6 +775,245 @@ let project f x =
     data = Store.of_heap (Store.storage f.data) (rows * w) data; dict = f.dict }
 
 (* ------------------------------------------------------------------ *)
+(* Trie iterators and the generic (worst-case-optimal) join            *)
+
+(* A frame *is* a trie: canonical rows are sorted lexicographically by
+   code, so the rows sharing a fixed prefix of column values form one
+   contiguous run and each deeper column refines the run.  A trie
+   iterator is therefore three small int stacks over the packed rows —
+   no nodes, no pointers.  The only preparation cost is column order:
+   the generic join binds attributes in one global elimination order,
+   and a relation whose induced column order differs from its natural
+   (sorted-attribute) order needs its rows re-sorted once per order —
+   one LSD counting sort, after which iteration is allocation-free. *)
+module Trie = struct
+  type nonrec t = {
+    tattrs : Attr.t array; (* columns, in elimination-induced order *)
+    tw : int;
+    trows : int;
+    tdata : int array; (* row-major, sorted lexicographically *)
+    mutable depth : int; (* -1 at the root, else the bound column *)
+    tlo : int array; (* per depth: start of the parent's run *)
+    thi : int array; (* per depth: end of the parent's run *)
+    tpos : int array; (* per depth: start row of the current key's run *)
+  }
+
+  let of_frame ~order f =
+    if not (List.for_all (fun a -> List.mem a order) (Array.to_list f.attrs))
+    then
+      invalid_arg "Frame.Trie.of_frame: order does not cover the scheme";
+    let induced =
+      (* The frame's attributes, reordered by their position in the
+         global elimination order. *)
+      List.filter (fun a -> Attr.Set.mem a f.scheme) order
+    in
+    let tattrs = Array.of_list induced in
+    let w = f.width in
+    let perm = Array.map (col_of f) tattrs in
+    let identity =
+      let rec go j = j >= w || (perm.(j) = j && go (j + 1)) in
+      go 0
+    in
+    let tdata =
+      match (identity, f.data) with
+      | true, Store.H a when Array.length a = f.rows * w -> a
+      | _ ->
+          let buf = Array.make (max 1 (f.rows * w)) 0 in
+          for i = 0 to f.rows - 1 do
+            let src = i * w and dst = i * w in
+            for j = 0 to w - 1 do
+              buf.(dst + j) <- Store.get f.data (src + perm.(j))
+            done
+          done;
+          if identity then buf
+          else begin
+            (* Permuted rows of a canonical frame are distinct but no
+               longer sorted; one counting sort restores the trie
+               invariant. *)
+            let rows, sorted = canonicalize w f.rows buf in
+            assert (rows = f.rows);
+            sorted
+          end
+    in
+    {
+      tattrs;
+      tw = w;
+      trows = f.rows;
+      tdata;
+      depth = -1;
+      tlo = Array.make (max 1 w) 0;
+      thi = Array.make (max 1 w) 0;
+      tpos = Array.make (max 1 w) 0;
+    }
+
+  let arity t = t.tw
+  let attrs t = Array.to_list t.tattrs
+
+  (* First row in [lo, hi) whose column [d] is ≥ [v].  Within a parent
+     run the rows share columns 0..d-1, so column [d] is non-decreasing
+     and binary search applies. *)
+  let lower_bound t d lo hi v =
+    let lo = ref lo and hi = ref hi in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Array.unsafe_get t.tdata ((mid * t.tw) + d) < v then lo := mid + 1
+      else hi := mid
+    done;
+    !lo
+
+  let at_end t = t.tpos.(t.depth) >= t.thi.(t.depth)
+  let key t = t.tdata.((t.tpos.(t.depth) * t.tw) + t.depth)
+
+  let run_end t =
+    let d = t.depth in
+    lower_bound t d (t.tpos.(d) + 1) t.thi.(d) (key t + 1)
+
+  let open_ t =
+    let d = t.depth in
+    let lo, hi =
+      if d < 0 then (0, t.trows)
+      else begin
+        assert (not (at_end t));
+        (t.tpos.(d), run_end t)
+      end
+    in
+    let d' = d + 1 in
+    t.depth <- d';
+    t.tlo.(d') <- lo;
+    t.thi.(d') <- hi;
+    t.tpos.(d') <- lo
+
+  let up t =
+    assert (t.depth >= 0);
+    t.depth <- t.depth - 1
+
+  let next t = t.tpos.(t.depth) <- run_end t
+
+  let seek t v =
+    let d = t.depth in
+    if (not (at_end t)) && key t < v then
+      t.tpos.(d) <- lower_bound t d (t.tpos.(d) + 1) t.thi.(d) v
+end
+
+(* Leapfrog alignment of the iterators bound to one attribute: seek
+   every iterator below the running maximum up to it until all agree on
+   one key (true) or some iterator exhausts its run (false).  Each seek
+   only moves forward, so the loop is linear in the runs' length. *)
+let leapfrog_align ~stats its =
+  let k = Array.length its in
+  let rec go () =
+    let max_key = ref min_int in
+    let agree = ref true in
+    let alive = ref true in
+    for i = 0 to k - 1 do
+      let it = its.(i) in
+      if Trie.at_end it then alive := false
+      else begin
+        let v = Trie.key it in
+        if !max_key <> min_int && v <> !max_key then agree := false;
+        if v > !max_key then max_key := v
+      end
+    done;
+    if not !alive then false
+    else if !agree then true
+    else begin
+      for i = 0 to k - 1 do
+        stats.probes <- stats.probes + 1;
+        Trie.seek its.(i) !max_key
+      done;
+      go ()
+    end
+  in
+  go ()
+
+let generic_join ?stats ~order frames =
+  match frames with
+  | [] -> invalid_arg "Frame.generic_join: no frames"
+  | f0 :: rest ->
+      List.iter
+        (fun f ->
+          if f.dict != f0.dict then
+            invalid_arg "Frame.generic_join: frames use different dictionaries")
+        rest;
+      let stats = match stats with Some s -> s | None -> fresh_stats () in
+      let out_scheme =
+        List.fold_left
+          (fun acc f -> Attr.Set.union acc f.scheme)
+          Attr.Set.empty frames
+      in
+      let order_arr = Array.of_list order in
+      let nlv = Array.length order_arr in
+      if
+        nlv <> Attr.Set.cardinal out_scheme
+        || not (List.for_all (fun a -> Attr.Set.mem a out_scheme) order)
+      then
+        invalid_arg
+          "Frame.generic_join: order is not a permutation of the attributes";
+      let tries = Array.of_list (List.map (Trie.of_frame ~order) frames) in
+      (* Iterators participating at each level: the relations whose
+         scheme carries that attribute, in frame-list order. *)
+      let iters_at =
+        Array.map
+          (fun a ->
+            Array.of_list
+              (List.filter
+                 (fun t -> List.exists (Attr.equal a) (Trie.attrs t))
+                 (Array.to_list tries)))
+          order_arr
+      in
+      let out_attrs = Array.of_list (Attr.Set.elements out_scheme) in
+      let w = nlv in
+      let lvl_of_col =
+        Array.map
+          (fun a ->
+            let rec go i = if Attr.equal order_arr.(i) a then i else go (i + 1) in
+            go 0)
+          out_attrs
+      in
+      let vals = Array.make (max 1 nlv) 0 in
+      let b = buf_make (w * 64) in
+      let emit () =
+        buf_reserve b w;
+        let d = b.bdata and o = b.blen in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d (o + j) vals.(Array.unsafe_get lvl_of_col j)
+        done;
+        b.blen <- o + w
+      in
+      (* Depth-first over the elimination order: at each level open the
+         participating iterators one column deeper, walk the leapfrog
+         intersection of their runs, and recurse under every common
+         key.  Codes flow straight from the packed rows into the output
+         buffer — no per-tuple allocation anywhere on the path. *)
+      let rec go lv =
+        let its = iters_at.(lv) in
+        Array.iter Trie.open_ its;
+        let ok = ref (leapfrog_align ~stats its) in
+        while !ok do
+          stats.probe_hits <- stats.probe_hits + 1;
+          vals.(lv) <- Trie.key its.(0);
+          if lv = nlv - 1 then emit () else go (lv + 1);
+          Trie.next its.(0);
+          ok := leapfrog_align ~stats its
+        done;
+        Array.iter Trie.up its
+      in
+      if nlv > 0 then go 0;
+      (* Assignments are enumerated in elimination-order lexicographic
+         sequence; when that differs from the sorted-attribute column
+         order one final counting sort restores canonical form (rows
+         are already distinct either way). *)
+      let rows, data = canonicalize w (b.blen / w) b.bdata in
+      {
+        scheme = out_scheme;
+        attrs = out_attrs;
+        width = w;
+        rows;
+        data = Store.of_heap (Store.storage f0.data) (rows * w) data;
+        dict = f0.dict;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* Databases of frames                                                 *)
 
 module Db = struct
@@ -815,4 +1054,9 @@ module Db = struct
 
   let cardinality_oracle ?domains ?stats fdb d =
     cardinality (join_schemes ?domains ?stats fdb d)
+
+  let generic_join ?stats fdb ~order d =
+    match Scheme.Set.elements d with
+    | [] -> invalid_arg "Frame.Db.generic_join: empty sub-database"
+    | schemes -> generic_join ?stats ~order (List.map (find fdb) schemes)
 end

@@ -151,6 +151,84 @@ val project : t -> Attr.Set.t -> t
     @raise Invalid_argument if [x] is not a non-empty subset of the
     scheme. *)
 
+(** {1 Trie iterators and the generic join} *)
+
+(** Linear trie iterators over a frame's packed rows.
+
+    A canonical frame {e is} a trie: rows are sorted lexicographically
+    by code, so the rows sharing a fixed prefix of column values form
+    one contiguous run, and each deeper column refines the run.  The
+    iterator is three small int stacks over the packed buffer — opening
+    a level narrows to the current key's run, [next]/[seek] move by
+    binary search inside the parent's run — with no node structures and
+    no allocation after {!Trie.of_frame}.
+
+    Iterators bind columns in the order induced by a global attribute
+    [order] (the generic join's elimination order).  When the induced
+    order differs from the frame's natural sorted-attribute order the
+    rows are re-sorted once by {!Trie.of_frame} (one LSD counting
+    sort); when it coincides, the frame's own buffer is iterated in
+    place. *)
+module Trie : sig
+  type frame := t
+
+  type t
+  (** Mutable iterator state: current depth plus per-depth
+      [(lo, hi, pos)] run bounds. *)
+
+  val of_frame : order:Attr.t list -> frame -> t
+  (** Build an iterator for [f] binding columns in the order its
+      attributes appear in [order].  The iterator starts at the root
+      (no column bound).
+      @raise Invalid_argument if [order] does not cover the scheme. *)
+
+  val arity : t -> int
+  (** Number of columns (= the frame's width). *)
+
+  val attrs : t -> Attr.t list
+  (** The columns in binding (induced) order. *)
+
+  val open_ : t -> unit
+  (** Descend one level: bind the next column, positioning at the first
+      key of the run selected by the levels above (the whole frame at
+      the root). *)
+
+  val up : t -> unit
+  (** Return to the previous level. *)
+
+  val at_end : t -> bool
+  (** No keys left at the current level. *)
+
+  val key : t -> int
+  (** The current key (code) at the current level.  Only valid when
+      [not (at_end t)]. *)
+
+  val next : t -> unit
+  (** Advance to the next distinct key at the current level. *)
+
+  val seek : t -> int -> unit
+  (** [seek t v] advances to the least key [≥ v] at the current level
+      (or the end).  Never moves backwards: seeking below the current
+      key is a no-op, so repeated seeks are monotone. *)
+end
+
+val generic_join : ?stats:stats -> order:Attr.t list -> t list -> t
+(** [generic_join ~order frames] is the worst-case-optimal (leapfrog)
+    join of [frames]: attributes are bound one at a time in [order],
+    and at each level the participating relations' tries are
+    intersected by leapfrogging — repeatedly seeking the iterators
+    below the running maximum key up to it — so the work at a level is
+    bounded by the {e smallest} participating run, not by any
+    intermediate join.  Matching assignments stream codes directly into
+    a packed output buffer; one final canonical sort-unique pass yields
+    the same frame [natural_join] would produce, in time bounded by the
+    AGM fractional-cover bound of the sub-database (up to log factors).
+    [stats.probes] counts leapfrog seeks and [stats.probe_hits] counts
+    aligned keys.  The output inherits the first frame's {!storage}.
+    @raise Invalid_argument if [frames] is empty, the frames use
+    different dictionaries, or [order] is not a permutation of the
+    union of the schemes. *)
+
 (** {1 Databases of frames} *)
 
 module Db : sig
@@ -187,4 +265,11 @@ module Db : sig
   (** [cardinality_oracle fdb d] is τ of the join of the sub-database
       [d], counted through the columnar path — the drop-in backend for
       [Cost.Cache]. *)
+
+  val generic_join :
+    ?stats:stats -> t -> order:Attr.t list -> Scheme.Set.t -> frame
+  (** {!Mj_relation.Frame.generic_join} over the named sub-database, in
+      sorted scheme order.
+      @raise Invalid_argument on the empty set or if [order] is not a
+      permutation of the sub-database's attributes. *)
 end
