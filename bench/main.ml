@@ -19,6 +19,7 @@ module Frame_bench = Mj_benchkit.Frame_bench
 module Plan_bench = Mj_benchkit.Plan_bench
 module Par_bench = Mj_benchkit.Par_bench
 module Wcoj_bench = Mj_benchkit.Wcoj_bench
+module Yann_bench = Mj_benchkit.Yann_bench
 module Engine = Mj_engine.Engine
 
 (* Set by the --quick flag: trims the KERNEL grid to CI-smoke scale. *)
@@ -596,7 +597,48 @@ let yann () =
   print_endline
     "  (ratio 1.000 would answer the open question positively on these\n\
     \   populations; ratios above 1 show Yannakakis's order is lossless\n\
-    \   but not always tau-optimal)"
+    \   but not always tau-optimal)";
+  print_newline ();
+  print_endline
+    "  Gated leg: semijoin program vs best binary plan on planted\n\
+    \  dangling-star workloads (bit-identical, engine-certified, top-k)";
+  let t = Yann_bench.run ~quick:!quick () in
+  Printf.printf "  cores: %d%s\n" t.cores
+    (if !quick then " (quick grid)" else "");
+  Printf.printf
+    "  %-10s %-8s %-7s %-9s %-11s %-11s %-8s %-10s %-9s %-7s %-6s %-5s %-5s\n"
+    "shape" "n" "fanout" "matching" "binary ms" "yann ms" "speedup" "tau-bin"
+    "tau-yann" "floor" "equal" "cert" "topk";
+  List.iter
+    (fun (r : Yann_bench.row) ->
+      Printf.printf
+        "  %-10s %-8d %-7d %-9d %-11.3f %-11.3f %-8s %-10d %-9d %-7s %-6s \
+         %-5s %s\n"
+        r.shape r.n r.fanout r.matching r.binary_ms r.yann_ms
+        (Printf.sprintf "%.2fx" r.speedup)
+        r.tau_binary r.tau_yann
+        (match r.speedup_floor with
+        | Some f -> Printf.sprintf "%.1fx" f
+        | None -> "-")
+        (if r.equal then "OK" else "FAIL")
+        (if r.cert_ok then "OK" else "FAIL")
+        (if r.topk_ok then "OK" else "FAIL"))
+    t.rows;
+  check "yann result is bit-identical to the binary fold on every row"
+    (List.for_all (fun (r : Yann_bench.row) -> r.equal) t.rows);
+  check "engine matrix {seed,frame} x {1,4} domains agrees on result and tau"
+    (List.for_all (fun (r : Yann_bench.row) -> r.cert_ok) t.rows);
+  check "top-k streams the sorted prefix without materializing the join"
+    (List.for_all
+       (fun (r : Yann_bench.row) -> r.topk_ok && r.topk_probes < r.binary_probes)
+       t.rows);
+  check "every floored row meets its speedup floor"
+    (List.for_all Yann_bench.floor_ok t.rows);
+  Printf.printf "  BENCH_JSON %s\n"
+    (Mj_obs.Json.to_string (Yann_bench.bench_json t));
+  Yann_bench.write_file "BENCH_YANN.json" t;
+  print_endline "  (full report written to BENCH_YANN.json)";
+  if Yann_bench.failures t <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* EST: does estimate-driven optimization find good plans?              *)
@@ -1437,7 +1479,8 @@ let () =
         (match Mj_engine.Planner.policy_of_string v with
         | Some p -> policy := Some p
         | None ->
-            Printf.eprintf "unknown policy %s (expected hash, cost or wcoj)\n" v;
+            Printf.eprintf
+              "unknown policy %s (expected hash, cost, wcoj or yann)\n" v;
             exit 2);
         parse rest
     | a :: rest -> a :: parse rest

@@ -42,6 +42,9 @@ let shape_conv =
     | "chain" -> Ok ("chain", fun ~rng:_ n -> Querygraph.chain n)
     | "cycle" -> Ok ("cycle", fun ~rng:_ n -> Querygraph.cycle n)
     | "star" -> Ok ("star", fun ~rng:_ n -> Querygraph.star n)
+    | "path" -> Ok ("path", fun ~rng:_ n -> Querygraph.path n)
+    | "snowflake" ->
+        Ok ("snowflake", fun ~rng:_ n -> Querygraph.snowflake ~fanout:2 n)
     | "clique" -> Ok ("clique", fun ~rng:_ n -> Querygraph.clique n)
     | "random" ->
         Ok ("random", fun ~rng n -> Querygraph.random ~extra_edge_prob:0.3 ~rng n)
@@ -53,7 +56,8 @@ let shape_arg =
   Arg.(
     value
     & opt shape_conv ("chain", fun ~rng:_ n -> Querygraph.chain n)
-    & info [ "shape" ] ~doc:"Query shape: chain, cycle, star, clique, random.")
+    & info [ "shape" ]
+        ~doc:"Query shape: chain, cycle, star, path, snowflake, clique, random.")
 
 let n_arg =
   Arg.(value & opt int 5 & info [ "n"; "size" ] ~doc:"Number of relations.")
@@ -103,7 +107,8 @@ let policy_conv =
     | None ->
         Error
           (`Msg
-            (Printf.sprintf "unknown policy %s (expected hash, cost or wcoj)" s))
+            (Printf.sprintf
+               "unknown policy %s (expected hash, cost, wcoj or yann)" s))
   in
   Arg.conv
     (parse, fun fmt p -> Format.pp_print_string fmt (Planner.policy_name p))
@@ -134,9 +139,11 @@ let policy_arg =
     & info [ "policy" ]
         ~doc:
           "Plan-lowering policy: 'hash' (every join step a hash join), \
-           'cost' (catalog-driven per-step algorithm choice) or 'wcoj' \
+           'cost' (catalog-driven per-step algorithm choice), 'wcoj' \
            (worst-case-optimal generic join on cyclic queries, binary \
-           cost-based lowering on acyclic ones).  Default: \
+           cost-based lowering on acyclic ones) or 'yann' (Yannakakis \
+           semijoin program over a cost-chosen join tree on acyclic \
+           queries, wcoj fallthrough on cyclic ones).  Default: \
            $(b,MJ_ALGO_POLICY), else hash.")
 
 let telemetry_arg =
@@ -797,18 +804,40 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
     (Planner.policy_name cfg.Engine.Config.algo_policy)
     (Engine.plane_name cfg.Engine.Config.plane)
     (Physical.to_string plan);
-  (* Cyclic queries carry an AGM certificate: the fractional-cover
-     bound on the output that no join strategy — binary or generic —
-     can exceed, and the figure the wcoj policy prices plans against. *)
-  (if Planner.is_cyclic d then
+  (* Every query gets its acyclicity classification: cyclic queries
+     carry an AGM certificate — the fractional-cover bound on the
+     output that no join strategy, binary or generic, can exceed, and
+     the figure the wcoj policy prices plans against — while α-acyclic
+     ones name the classification GYO established (the gate to the
+     Yannakakis path). *)
+  (if Planner.is_cyclic d then begin
+     Format.printf "classification: cyclic (GYO reduction non-empty)@.";
      match Cost.Cache.agm (Cost.Cache.create db) d with
      | Some bound ->
          Format.printf "AGM bound: %.4g rows (cyclic query, est result %d)@.@."
            bound (est_oracle d)
-     | None -> ());
+     | None -> Format.printf "@."
+   end
+   else begin
+     Format.printf "classification: alpha-acyclic (GYO reduces to one edge)@.";
+     (* A yann plan also shows the chosen join tree: the cost-selected
+        root and the leaf-to-root semijoin (ear elimination) order. *)
+     (match plan with
+     | Physical.Semijoin_program rt | Physical.Ranked_enumerate (rt, _) ->
+         Format.printf "join tree root: %s@.semijoin order (leaf-to-root): %s@."
+           (Scheme.to_string rt.Jointree.root)
+           (String.concat ", "
+              (List.map
+                 (fun (ear, parent) ->
+                   Printf.sprintf "%s -> %s" (Scheme.to_string ear)
+                     (Scheme.to_string parent))
+                 rt.Jointree.elims))
+     | _ -> ());
+     Format.printf "@."
+   end);
   let rec show indent (sp : Obs.span_tree) =
     (match sp.Obs.name with
-    | ("scan" | "join") as kind ->
+    | ("scan" | "join" | "semijoin" | "topk") as kind ->
         let scheme =
           Option.value ~default:"?" (attr_str sp.Obs.attrs "scheme")
         in
@@ -832,8 +861,17 @@ let run_explain scenario (shape_name, shape) n seed rows domain regime
         (* A generic-join span carries its variable elimination order
            (driver attr "order"); binary spans have none. *)
         let order_sfx =
-          match attr_str sp.Obs.attrs "order" with
+          (match attr_str sp.Obs.attrs "order" with
           | Some o -> Printf.sprintf "  order=%s" o
+          | None -> "")
+          (* Yannakakis spans: semijoins carry their sweep direction,
+             the ranked enumerator its budget. *)
+          ^ (match attr_str sp.Obs.attrs "dir" with
+            | Some dir -> Printf.sprintf "  dir=%s" dir
+            | None -> "")
+          ^
+          match attr_int sp.Obs.attrs "k" with
+          | Some k -> Printf.sprintf "  k=%d" k
           | None -> ""
         in
         (match Hashtbl.find_opt est_tbl scheme with
@@ -929,6 +967,112 @@ let explain_cmd =
           graceful (run_explain sc sh n seed rows domain regime st algo cfg) tr)
       $ scenario $ shape_arg $ n_arg $ seed_arg $ rows_arg $ domain_arg
       $ regime_arg $ strategy $ algo $ config_term $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* topk                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Ranked enumeration: the k lexicographically least tuples of the full
+   join, computed on the Yannakakis path without materializing the
+   join.  Only α-acyclic queries qualify ([Planner.lower_ranked]); a
+   cyclic input is a loud error, not a silent fallback to a full
+   evaluation. *)
+let run_topk scenario (shape_name, shape) n seed rows domain regime k config
+    trace_file =
+  let name, db =
+    match scenario with
+    | Some (nm, db) -> (nm, db)
+    | None ->
+        let rng = Random.State.make [| seed |] in
+        let d = shape ~rng n in
+        ( Printf.sprintf "%s-%d (%s data, seed %d)" shape_name n regime seed,
+          make_db ~regime ~rng ~rows ~domain d )
+  in
+  let d = Database.schemes db in
+  let obs = Obs.make () in
+  let cfg =
+    (* The ranked path is the yann lowering by construction; --policy is
+       still parsed (shared config block) but does not change it. *)
+    let plane, domains, _policy, telemetry, storage, morsel = config in
+    Engine.Config.make ?plane ?domains ~policy:Planner.Yannakakis ~obs
+      ?telemetry ?storage ?morsel ()
+  in
+  let strategy = Strategy.left_deep (Scheme.Set.elements d) in
+  let plan =
+    match Planner.lower_ranked db strategy ~k with
+    | Some plan -> plan
+    | None ->
+        failwith
+          (Format.asprintf
+             "query %a is cyclic: ranked enumeration needs an alpha-acyclic \
+              query (the GYO reduction must empty); evaluate it with --policy \
+              wcoj instead"
+             Scheme.Set.pp d)
+  in
+  Format.printf "Scenario %s@.lowered (yann, %s plane): %s@.@." name
+    (Engine.plane_name cfg.Engine.Config.plane)
+    (Physical.to_string plan);
+  let t0 = Obs.monotonic_time () in
+  let result, stats = Engine.execute_plan cfg db plan in
+  let duration_ms = (Obs.monotonic_time () -. t0) *. 1e3 in
+  Format.printf "top-%d (lexicographic, %.3f ms):@.%a@." k duration_ms
+    Relation.pp result;
+  (* The output-sensitivity receipt: probes/scans bounded by the trie
+     prefix the k answers touch, not by the full join. *)
+  (match (stats.Engine.seed, stats.Engine.frame) with
+  | Some es, _ ->
+      Format.printf
+        "@.rows=%d, tau=%d, scanned=%d, probes=%d (seed plane)@."
+        stats.Engine.result_rows stats.Engine.tuples_generated
+        es.Mj_engine.Exec.tuples_scanned es.Mj_engine.Exec.hash_probes
+  | None, Some fs ->
+      Format.printf
+        "@.rows=%d, tau=%d, probes=%d, dict=%d values (frame plane)@."
+        stats.Engine.result_rows stats.Engine.tuples_generated
+        fs.Mj_engine.Frame_engine.probes fs.Mj_engine.Frame_engine.dict_size
+  | None, None -> assert false);
+  emit_telemetry cfg ~cmd:"topk" ~query:name
+    [
+      ("plan", Json.str (Physical.to_string plan));
+      ("k", Json.int k);
+      ("tau", Json.int stats.Engine.tuples_generated);
+      ("result_rows", Json.int stats.Engine.result_rows);
+      ("duration_ms", Json.float duration_ms);
+    ];
+  match trace_file with
+  | Some path ->
+      Export.write_jsonl path obs;
+      Format.printf "trace written to %s (%d events)@." path
+        (List.length (Export.trace_events obs))
+  | None -> ()
+
+let topk_cmd =
+  let scenario =
+    Arg.(
+      value
+      & opt (some scenario_conv) None
+      & info [ "scenario" ]
+          ~doc:"Rank a paper scenario instead of a generated database.")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "limit"; "k" ] ~docv:"K"
+          ~doc:"How many tuples to enumerate (the k of top-k).")
+  in
+  Cmd.v
+    (Cmd.info "topk"
+       ~doc:
+         "Ranked enumeration: stream the K lexicographically least tuples \
+          of the join of an alpha-acyclic query, without materializing the \
+          full join (errors on cyclic queries)")
+    Term.(
+      const
+        (fun sc sh n seed rows domain regime k cfg tr ->
+          graceful (run_topk sc sh n seed rows domain regime k cfg) tr)
+      $ scenario $ shape_arg $ n_arg $ seed_arg $ rows_arg $ domain_arg
+      $ regime_arg $ limit $ config_term $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                                *)
@@ -1275,4 +1419,4 @@ let () =
        (Cmd.group info
           [ examples_cmd; conditions_cmd; verify_cmd; enumerate_cmd;
             optimize_cmd; space_cmd; analyze_cmd; plan_cmd; query_cmd;
-            explain_cmd; stats_cmd; bench_diff_cmd; fuzz_cmd ]))
+            explain_cmd; topk_cmd; stats_cmd; bench_diff_cmd; fuzz_cmd ]))

@@ -1,0 +1,351 @@
+open Mj_relation
+open Mj_hypergraph
+module Planner = Mj_engine.Planner
+module Engine = Mj_engine.Engine
+module Json = Mj_obs.Json
+module Strategy = Multijoin.Strategy
+
+type row = {
+  shape : string;
+  n : int;  (** hub rows *)
+  fanout : int;  (** rows a heavy key explodes into *)
+  matching : int;  (** hub rows that survive the full join *)
+  reps : int;
+  binary_ms : float;
+  yann_ms : float;
+  speedup : float;
+  rows_out : int;
+  tau_binary : int;
+  tau_yann : int;
+  equal : bool;  (** yann result bit-identical to the binary fold's *)
+  cert_ok : bool;  (** {seed,frame} × {1,4} domains agree on result and τ *)
+  topk_k : int;
+  topk_ok : bool;  (** top-k = k-prefix of the sorted full output *)
+  topk_probes : int;
+  binary_probes : int;
+  speedup_floor : float option;
+}
+
+type t = { cores : int; rows : row list }
+
+let attr fmt = Printf.ksprintf Attr.make fmt
+
+(* The planted dangling-star population.  Hub rows fall into [k = 3]
+   groups: group [g] carries a {e heavy} key at spokes [g] and
+   [(g+1) mod k] — [fanout] spoke rows explode behind each — and a
+   {e dangling} key at spoke [(g+2) mod k] that no spoke row matches,
+   so the row dies there.  Whatever order a binary plan joins the
+   spokes, the group whose dangling spoke comes {e last} is heavy at
+   both earlier spokes and fans out by [fanout²] before it can be
+   killed, so every binary order materializes an [Ω(n·fanout²/k)]
+   intermediate — asymptotically above the [O(n·fanout)] input; only
+   the [matching] rows (light and matched at every spoke) reach the
+   output.  Yannakakis's up-sweep semijoins kill every dangling row
+   for O(input) work before any join runs, so its join phase is
+   [k · matching] tuples — the instance-optimal gap this bench
+   prices. *)
+let star_k = 3
+
+let star_db ~n ~fanout ~matching =
+  let k = star_k in
+  let s i = attr "s%d" i and t i = attr "t%d" i in
+  let hub_scheme = Attr.Set.of_list (List.init k s) in
+  let hub_rows = ref [] in
+  for j = 0 to n - 1 do
+    let g = j mod k in
+    let row =
+      List.init k (fun i ->
+          let v = if j >= matching && i = (g + 2) mod k then n + j else j in
+          (s i, Value.int v))
+    in
+    hub_rows := Tuple.of_list row :: !hub_rows
+  done;
+  let spokes =
+    List.init k (fun i ->
+        let scheme = Attr.Set.of_list [ s i; t i ] in
+        let rows = ref [] in
+        for j = 0 to n - 1 do
+          if j < matching then
+            rows := Tuple.of_list [ (s i, Value.int j); (t i, Value.int 0) ] :: !rows
+          else begin
+            let g = j mod k in
+            if i <> (g + 2) mod k then
+              for tv = 0 to fanout - 1 do
+                rows :=
+                  Tuple.of_list [ (s i, Value.int j); (t i, Value.int tv) ]
+                  :: !rows
+              done
+          end
+        done;
+        Relation.make scheme !rows)
+  in
+  Database.of_relations (Relation.make hub_scheme !hub_rows :: spokes)
+
+(* The snowflake twin: hub → dimension → sub-dimension, two levels
+   deep.  Heavy keys explode at the dimension level behind a link key
+   the sub-dimension does not carry, so a binary fold multiplies every
+   heavy group by [fanout] before the sub-dimensions can filter;
+   Yannakakis reduces dimensions by sub-dimensions first and never
+   multiplies at all. *)
+let snowflake_db ~n ~fanout ~matching =
+  let k = star_k in
+  let d i = attr "d%d" i
+  and u i = attr "u%d" i
+  and e i = attr "e%d" i
+  and w i = attr "w%d" i in
+  let hub_scheme = Attr.Set.of_list (List.init k d) in
+  let hub_rows = ref [] in
+  for j = 0 to n - 1 do
+    hub_rows :=
+      Tuple.of_list (List.init k (fun i -> (d i, Value.int j))) :: !hub_rows
+  done;
+  let dims =
+    List.init k (fun i ->
+        let scheme = Attr.Set.of_list [ d i; u i; e i ] in
+        let rows = ref [] in
+        for j = 0 to n - 1 do
+          if j < matching then
+            rows :=
+              Tuple.of_list
+                [ (d i, Value.int j); (u i, Value.int 0); (e i, Value.int j) ]
+              :: !rows
+          else if j mod k = i then
+            (* Heavy: [fanout] rows behind a dangling link key. *)
+            for uv = 0 to fanout - 1 do
+              rows :=
+                Tuple.of_list
+                  [
+                    (d i, Value.int j); (u i, Value.int uv);
+                    (e i, Value.int (n + j));
+                  ]
+                :: !rows
+            done
+          else
+            rows :=
+              Tuple.of_list
+                [ (d i, Value.int j); (u i, Value.int 0); (e i, Value.int j) ]
+              :: !rows
+        done;
+        Relation.make scheme !rows)
+  in
+  let subs =
+    List.init k (fun i ->
+        let scheme = Attr.Set.of_list [ e i; w i ] in
+        let rows = ref [] in
+        for j = 0 to matching - 1 do
+          rows := Tuple.of_list [ (e i, Value.int j); (w i, Value.int 0) ] :: !rows
+        done;
+        Relation.make scheme !rows)
+  in
+  Database.of_relations ((Relation.make hub_scheme !hub_rows :: dims) @ subs)
+
+let build_db shape ~n ~fanout ~matching =
+  match shape with
+  | "star" -> star_db ~n ~fanout ~matching
+  | "snowflake" -> snowflake_db ~n ~fanout ~matching
+  | s -> invalid_arg ("Yann_bench: unknown shape " ^ s)
+
+(* Fastest rep with interleaved contenders (see Wcoj_bench.time2). *)
+let time2 reps f g =
+  Gc.compact ();
+  let fb = ref infinity and gb = ref infinity in
+  let fr = ref None and gr = ref None in
+  for _ = 1 to reps do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    fr := Some (f ());
+    let t1 = Unix.gettimeofday () in
+    if t1 -. t0 < !fb then fb := t1 -. t0;
+    Gc.full_major ();
+    let t2 = Unix.gettimeofday () in
+    gr := Some (g ());
+    let t3 = Unix.gettimeofday () in
+    if t3 -. t2 < !gb then gb := t3 -. t2
+  done;
+  ((!fb *. 1000.0, Option.get !fr), (!gb *. 1000.0, Option.get !gr))
+
+(* The binary contender: the engine's left-to-right columnar fold on a
+   pre-encoded database — the same kernels the binary policies run, so
+   the row measures algorithms, not encoding. *)
+let binary_join ?stats fdb d = Frame.Db.join_schemes ?stats ~domains:1 fdb d
+
+let binary_tau fdb d =
+  match Scheme.Set.elements d with
+  | [] -> 0
+  | s :: rest ->
+      let _, tau =
+        List.fold_left
+          (fun (acc, tau) s' ->
+            let j = Frame.natural_join ~domains:1 acc (Frame.Db.find fdb s') in
+            (j, tau + Frame.cardinality j))
+          (Frame.Db.find fdb s, 0)
+          rest
+      in
+      tau
+
+(* The Yannakakis contender, mirroring the engine's kernel sequence:
+   semijoin sweeps leaf-to-root then root-to-leaf over the cost-chosen
+   rooted tree, then a left-deep join fold root-outward.  Returns the
+   result and the join-phase τ (semijoins contribute none). *)
+let yann_join ?stats fdb rt =
+  let order = Jointree.join_order rt in
+  let items = List.map (fun sch -> (sch, ref (Frame.Db.find fdb sch))) order in
+  let item_of sch = snd (List.find (fun (s', _) -> Scheme.equal sch s') items) in
+  let semi target source =
+    let t = item_of target and src = item_of source in
+    t := Frame.semijoin ?stats !t !src
+  in
+  List.iter (fun (ear, parent) -> semi parent ear) rt.Jointree.elims;
+  List.iter (fun (ear, parent) -> semi ear parent) (List.rev rt.Jointree.elims);
+  match order with
+  | [] -> invalid_arg "Yann_bench: empty join tree"
+  | root :: rest ->
+      List.fold_left
+        (fun (acc, tau) sch ->
+          let j = Frame.natural_join ?stats ~domains:1 acc !(item_of sch) in
+          (j, tau + Frame.cardinality j))
+        (!(item_of root), 0)
+        rest
+
+(* Cross-plane certification: both planes × both domain counts under
+   the yann policy must report the bit-identical relation and τ. *)
+let certify db =
+  let d = Database.schemes db in
+  let s = Strategy.left_deep (Scheme.Set.elements d) in
+  let reference = ref None in
+  List.for_all
+    (fun (plane, domains) ->
+      let cfg =
+        Engine.Config.make ~plane ~domains ~policy:Planner.Yannakakis ()
+      in
+      let r, st = Engine.run cfg db s in
+      match !reference with
+      | None ->
+          reference := Some (r, st.Engine.tuples_generated);
+          true
+      | Some (r0, t0) ->
+          Relation.equal r r0 && st.Engine.tuples_generated = t0)
+    [
+      (Engine.Seed, 1); (Engine.Seed, 4); (Engine.Frame, 1); (Engine.Frame, 4);
+    ]
+
+let bench_row ?floor ?(topk_k = 10) ~reps (shape, n, fanout, matching) =
+  let db = build_db shape ~n ~fanout ~matching in
+  let fdb = Frame.Db.of_database db in
+  let d = Database.schemes db in
+  let rt =
+    match Planner.yann_tree db d with
+    | Some rt -> rt
+    | None -> invalid_arg ("Yann_bench: " ^ shape ^ " scheme is not acyclic")
+  in
+  let bstats = Frame.fresh_stats () in
+  let (binary_ms, binary_f), (yann_ms, (yann_f, tau_yann)) =
+    time2 reps
+      (fun () -> binary_join ~stats:bstats fdb d)
+      (fun () -> yann_join fdb rt)
+  in
+  let binary_probes = bstats.Frame.probes in
+  (* Ranked enumeration: the first [topk_k] tuples of the sorted full
+     output, straight off the base frames — no reduction, no full
+     join.  The probe counter is the output-sensitivity receipt. *)
+  let tstats = Frame.fresh_stats () in
+  let order = Attr.Set.elements (Scheme.Set.universe d) in
+  let frames = List.map (Frame.Db.find fdb) (Scheme.Set.elements d) in
+  let tk = Frame.topk ~stats:tstats ~order ~k:topk_k frames in
+  let want =
+    List.filteri
+      (fun i _ -> i < topk_k)
+      (Relation.tuples (Frame.to_relation binary_f))
+  in
+  let topk_ok =
+    List.equal Tuple.equal (Relation.tuples (Frame.to_relation tk)) want
+  in
+  {
+    shape;
+    n;
+    fanout;
+    matching;
+    reps;
+    binary_ms;
+    yann_ms;
+    speedup = (if yann_ms > 0.0 then binary_ms /. yann_ms else 0.0);
+    rows_out = Frame.cardinality yann_f;
+    tau_binary = binary_tau fdb d;
+    tau_yann;
+    equal = Frame.equal yann_f binary_f;
+    cert_ok = certify db;
+    topk_k;
+    topk_ok;
+    topk_probes = tstats.Frame.probes;
+    binary_probes;
+    speedup_floor = floor;
+  }
+
+let floor_ok r =
+  match r.speedup_floor with None -> true | Some f -> r.speedup >= f
+
+let failures t =
+  List.filter
+    (fun r -> not (floor_ok r && r.equal && r.cert_ok && r.topk_ok))
+    t.rows
+
+let run ?(quick = false) () =
+  let rows =
+    if quick then
+      [
+        bench_row ~floor:1.0 ~reps:3 ("star", 10_000, 8, 200);
+        bench_row ~reps:3 ("snowflake", 10_000, 8, 200);
+      ]
+    else
+      [
+        bench_row ~floor:3.0 ~reps:3 ("star", 100_000, 16, 1_000);
+        bench_row ~floor:3.0 ~reps:3 ("snowflake", 100_000, 16, 1_000);
+        bench_row ~floor:1.0 ~reps:3 ("star", 10_000, 8, 200);
+      ]
+  in
+  { cores = Domain.recommended_domain_count (); rows }
+
+let row_json r =
+  Json.Obj
+    ([
+       ("experiment", Json.str "yann");
+       ("shape", Json.str r.shape);
+       ("n", Json.int r.n);
+       ("fanout", Json.int r.fanout);
+       ("matching", Json.int r.matching);
+       ("reps", Json.int r.reps);
+       ("binary_ms", Json.float r.binary_ms);
+       ("yann_ms", Json.float r.yann_ms);
+       ("speedup", Json.float r.speedup);
+       ("rows_out", Json.int r.rows_out);
+       ("tau_binary", Json.int r.tau_binary);
+       ("tau_yann", Json.int r.tau_yann);
+       ("equal", Json.bool r.equal);
+       ("cert_ok", Json.bool r.cert_ok);
+       ("topk_k", Json.int r.topk_k);
+       ("topk_ok", Json.bool r.topk_ok);
+       ("topk_probes", Json.int r.topk_probes);
+       ("binary_probes", Json.int r.binary_probes);
+     ]
+    @
+    match r.speedup_floor with
+    | Some f ->
+        [
+          ("speedup_floor", Json.float f);
+          ("speedup_ok", Json.bool (floor_ok r));
+        ]
+    | None -> [])
+
+let bench_json t =
+  Json.Obj
+    [
+      ("experiment", Json.str "YANN");
+      ("cores", Json.int t.cores);
+      ("rows", Json.Arr (List.map row_json t.rows));
+    ]
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string (bench_json t));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,70 @@
+(** The YANN benchmark: Yannakakis's semijoin program vs the best
+    binary plan on planted dangling-star and snowflake workloads.
+
+    The population is adversarial for {e every} binary join order: hub
+    rows fall into [k] groups, each heavy (fan-out [fanout]) at two
+    spokes and dangling at the third, so whatever order a binary plan
+    joins the spokes, the group whose dangling spoke comes last
+    multiplies by [fanout²] {e before} it can be killed — an
+    [Ω(n·fanout²/k)] intermediate, asymptotically above the
+    [O(n·fanout)] input — while only [matching] rows reach the output.
+    Yannakakis's up/down semijoin sweeps remove every dangling row for
+    O(input) work before any join runs, so its join phase materializes
+    [k·matching] tuples: the instance-optimal gap.
+    Both contenders run on one pre-encoded {!Mj_relation.Frame.Db},
+    single-domain, interleaved reps, fastest rep kept; per row:
+
+    - [binary_ms] / [yann_ms] — the columnar left-to-right fold vs the
+      semijoin sweeps + join fold over {!Mj_engine.Planner.yann_tree}'s
+      cost-chosen rooted tree;
+    - [tau_binary] / [tau_yann] — the τ certificates (semijoins
+      contribute none; [tau_yann] is the join phase only);
+    - [equal] — yann and binary result frames bit-identical;
+    - [cert_ok] — the engine matrix {seed,frame} × {1,4} domains under
+      the yann policy agrees on result and τ;
+    - [topk_ok] / [topk_probes] — {!Mj_relation.Frame.topk} streams
+      exactly the [topk_k]-prefix of the sorted full output straight
+      off the base frames, with the probe counter as the
+      output-sensitivity receipt against [binary_probes];
+    - [speedup_floor] — rows carrying a floor gate the bench: a
+      violated floor (or a failed equality/certification) is reported
+      by {!failures} and turns into a non-zero exit in [bench YANN]. *)
+
+type row = {
+  shape : string;  (** ["star"] or ["snowflake"] *)
+  n : int;  (** hub rows *)
+  fanout : int;  (** rows a heavy key explodes into *)
+  matching : int;  (** hub rows surviving the full join (= [rows_out]) *)
+  reps : int;
+  binary_ms : float;
+  yann_ms : float;
+  speedup : float;  (** [binary_ms /. yann_ms] *)
+  rows_out : int;
+  tau_binary : int;  (** Σ intermediate+final rows of the binary fold *)
+  tau_yann : int;  (** Σ join-phase rows after the full reduction *)
+  equal : bool;
+  cert_ok : bool;
+  topk_k : int;
+  topk_ok : bool;
+  topk_probes : int;
+  binary_probes : int;
+  speedup_floor : float option;
+}
+
+type t = { cores : int; rows : row list }
+
+val run : ?quick:bool -> unit -> t
+(** [quick] (default [false]) trims sizes to CI-smoke scale (n=10⁴,
+    fan-out 8, 1.0× floor on the star row); the full grid runs star and
+    snowflake at n=10⁵, fan-out 16, with the 3.0× floor. *)
+
+val floor_ok : row -> bool
+
+val failures : t -> row list
+(** Rows violating their floor or any certificate ([equal], [cert_ok],
+    [topk_ok]) — non-empty means [bench YANN] exits non-zero. *)
+
+val bench_json : t -> Mj_obs.Json.t
+
+val write_file : string -> t -> unit
+(** Write {!bench_json} (one line) to a file, e.g. [BENCH_YANN.json]. *)

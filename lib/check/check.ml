@@ -1,6 +1,7 @@
 open Mj_relation
 open Multijoin
 module Hypergraph = Mj_hypergraph.Hypergraph
+module Jointree = Mj_hypergraph.Jointree
 module Obs = Mj_obs.Obs
 module Json = Mj_obs.Json
 module Engine = Mj_engine.Engine
@@ -38,10 +39,11 @@ let policies =
     Planner.Forced Physical.Index_nested_loop;
   ]
 
-(* The structural fingerprint of a trace: every "scan"/"join" span in
-   DFS order with its scheme attribute.  Algorithm names and timings
-   are allowed to differ across the matrix; the shape is not. *)
-let skeleton obs =
+(* The structural fingerprint of a trace: every named span ("scan" and
+   "join" by default; the yann leg adds "semijoin" and "topk") in DFS
+   order with its scheme attribute.  Algorithm names and timings are
+   allowed to differ across the matrix; the shape is not. *)
+let skeleton ?(names = [ "scan"; "join" ]) obs =
   let scheme_of attrs =
     match List.assoc_opt "scheme" attrs with
     | Some (Json.Str s) -> s
@@ -49,9 +51,9 @@ let skeleton obs =
   in
   let rec walk acc (sp : Obs.span_tree) =
     let acc =
-      match sp.Obs.name with
-      | "scan" | "join" -> (sp.Obs.name, scheme_of sp.Obs.attrs) :: acc
-      | _ -> acc
+      if List.mem sp.Obs.name names then
+        (sp.Obs.name, scheme_of sp.Obs.attrs) :: acc
+      else acc
     in
     List.fold_left walk acc sp.Obs.children
   in
@@ -170,6 +172,8 @@ let wcoj_steps cache plan =
     | Physical.Generic_join (ss, _) ->
         let d = Scheme.Set.of_list ss in
         (d, Cost.Cache.card cache d) :: acc
+    | Physical.Semijoin_program _ | Physical.Ranked_enumerate _ ->
+        invalid_arg "wcoj_steps: yannakakis node in a wcoj plan"
   in
   List.rev (go [] plan)
 
@@ -253,6 +257,154 @@ let wcoj_differential db s =
             domain_counts)
         storages)
     planes
+
+(* The Yannakakis leg of the matrix.  Like the wcoj leg, the [yann]
+   policy's τ and span shapes legitimately differ from every binary
+   cell — semijoins generate no τ, and the join phase folds along the
+   cost-chosen join tree — so its expected step log is derived from the
+   lowered plan itself.  The derivation is the theorem the leg checks:
+   after a full reduction (up then down sweep), every reduced relation
+   is the projection of [R_D] onto its scheme, so the join phase's
+   intermediate over any root-containing subtree prefix of
+   [Jointree.join_order] is exactly [π_{prefix attrs}(R_D)] — the
+   instance-optimality certificate (every intermediate ≤ |R_D|).
+   Cyclic strategies fall through to the wcoj arm and are priced like
+   that leg.  On acyclic plans the ranked enumerator is also checked:
+   for several k, [Ranked_enumerate (rt, k)] must stream exactly the
+   first k tuples of the sorted full output. *)
+let yann_steps expected rt =
+  match Jointree.join_order rt with
+  | [] | [ _ ] -> []
+  | first :: rest ->
+      let _, _, steps =
+        List.fold_left
+          (fun (set, attrs, acc) s ->
+            let set = Scheme.Set.add s set in
+            let attrs = Attr.Set.union attrs s in
+            let c = Relation.cardinality (Relation.project expected attrs) in
+            (set, attrs, (set, c) :: acc))
+          (Scheme.Set.singleton first, first, [])
+          rest
+      in
+      List.rev steps
+
+let yann_differential db s =
+  guard @@ fun () ->
+  let expected = Cost.eval db s in
+  let plan = Planner.lower ~policy:Planner.Yannakakis db s in
+  let steps =
+    match plan with
+    | Physical.Semijoin_program rt -> yann_steps expected rt
+    | _ -> wcoj_steps (Cost.Cache.create db) plan
+  in
+  let tau = List.fold_left (fun acc (_, c) -> acc + c) 0 steps in
+  let reference_joins = ref None in
+  let cell_skeletons = Hashtbl.create 8 in
+  let span_names = [ "scan"; "join"; "semijoin"; "topk" ] in
+  List.iter
+    (fun plane ->
+      let storages =
+        match plane with
+        | Engine.Seed -> [ None ]
+        | Engine.Frame -> List.map Option.some Frame.all_storages
+      in
+      List.iter
+        (fun storage ->
+          List.iter
+            (fun domains ->
+              let cell =
+                Engine.plane_name plane
+                ^
+                match storage with
+                | None -> ""
+                | Some st -> "/" ^ Frame.storage_name st
+              in
+              let where = Printf.sprintf "%s/yann/%d-domain" cell domains in
+              let obs = Obs.make () in
+              let cfg =
+                Engine.Config.make ~plane ~domains ~policy:Planner.Yannakakis
+                  ~obs ?storage ()
+              in
+              let r, stats = Engine.run cfg db s in
+              if not (Relation.equal r expected) then
+                fail "yann:result" "%s: %d rows, reference has %d (strategy %s)"
+                  where
+                  (Relation.cardinality r)
+                  (Relation.cardinality expected)
+                  (Strategy.to_string s);
+              if stats.Engine.tuples_generated <> tau then
+                fail "yann:tau" "%s: reported τ=%d, plan prices %d" where
+                  stats.Engine.tuples_generated tau;
+              if not (step_log_equal stats.Engine.per_step steps) then
+                fail "yann:steps" "%s: per-step log %a ≠ %a" where pp_step_log
+                  stats.Engine.per_step pp_step_log steps;
+              let sk = skeleton ~names:span_names obs in
+              let joins = List.filter (fun (n, _) -> n = "join") sk in
+              (match !reference_joins with
+              | None -> reference_joins := Some (where, joins)
+              | Some (ref_where, ref_joins) ->
+                  if joins <> ref_joins then
+                    fail "yann:spans"
+                      "%s: %d join spans with a different shape than %s's %d"
+                      where (List.length joins) ref_where
+                      (List.length ref_joins));
+              match Hashtbl.find_opt cell_skeletons cell with
+              | None -> Hashtbl.add cell_skeletons cell (where, sk)
+              | Some (ref_where, ref_sk) ->
+                  if sk <> ref_sk then
+                    fail "yann:spans"
+                      "%s: scan/semijoin/join shape differs from %s within \
+                       the same plane × storage cell"
+                      where ref_where)
+            domain_counts)
+        storages)
+    planes;
+  (* Ranked enumeration: top-k must be the k-prefix of the sorted full
+     output, on every plane and storage, with τ = the rows streamed. *)
+  match plan with
+  | Physical.Semijoin_program rt ->
+      let full = Relation.tuples expected in
+      let card = List.length full in
+      let ks = List.sort_uniq compare [ 1; (card + 1) / 2; card; card + 3 ] in
+      let prefix k =
+        List.filteri (fun i _ -> i < k) full
+      in
+      List.iter
+        (fun plane ->
+          let storages =
+            match plane with
+            | Engine.Seed -> [ None ]
+            | Engine.Frame -> List.map Option.some Frame.all_storages
+          in
+          List.iter
+            (fun storage ->
+              List.iter
+                (fun k ->
+                  let where =
+                    Printf.sprintf "%s/topk k=%d" (Engine.plane_name plane) k
+                  in
+                  let cfg =
+                    Engine.Config.make ~plane ~domains:1
+                      ~policy:Planner.Yannakakis ?storage ()
+                  in
+                  let r, stats =
+                    Engine.execute_plan cfg db
+                      (Physical.Ranked_enumerate (rt, k))
+                  in
+                  let want = prefix k in
+                  if
+                    not
+                      (List.equal Tuple.equal (Relation.tuples r) want)
+                  then
+                    fail "yann:topk" "%s: %d rows ≠ the sorted %d-prefix"
+                      where (Relation.cardinality r) (List.length want);
+                  if stats.Engine.tuples_generated <> List.length want then
+                    fail "yann:topk_tau" "%s: τ=%d ≠ %d rows streamed" where
+                      stats.Engine.tuples_generated (List.length want))
+                ks)
+            storages)
+        planes
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Metamorphic: rewrites that provably preserve result or cost.       *)
@@ -501,7 +653,37 @@ let faults db s =
             "planted frame-plane mutation went undetected on %s storage (τ \
              log unchanged at %d)"
             (Frame.storage_name storage) tau)
-      Frame.all_storages
+      Frame.all_storages;
+  (* Its acyclic-path twin: a lossy semijoin reducer must be visible in
+     the yann cells — as a changed result or a changed τ log — whenever
+     the strategy actually takes the semijoin-program path and the full
+     join is non-empty (every non-empty semijoin output then loses its
+     last row, and that row extends to at least one output tuple). *)
+  Failpoint.reset ();
+  let expected = Cost.eval db s in
+  (match Planner.lower ~policy:Planner.Yannakakis db s with
+  | Physical.Semijoin_program _ when not (Relation.is_empty expected) ->
+      List.iter
+        (fun storage ->
+          Failpoint.enable Failpoint.Yann_lossy_semijoin;
+          let cfg =
+            Engine.Config.make ~plane:Engine.Frame ~domains:1
+              ~policy:Planner.Yannakakis ~storage ()
+          in
+          let r, st = Engine.run cfg db s in
+          Failpoint.disable Failpoint.Yann_lossy_semijoin;
+          if Failpoint.hits Failpoint.Yann_lossy_semijoin = 0 then
+            fail "faults:lossy_semijoin"
+              "yann.lossy_semijoin never fired on a semijoin-program plan";
+          if Relation.equal r expected then
+            fail "faults:lossy_semijoin"
+              "planted lossy semijoin went undetected on %s storage (result \
+               unchanged at %d rows, τ=%d)"
+              (Frame.storage_name storage)
+              (Relation.cardinality expected)
+              st.Engine.tuples_generated)
+        Frame.all_storages
+  | _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* One case through every applicable check.                           *)
@@ -515,6 +697,8 @@ let run_case ?(faults = true) d =
   differential db s
   >>> fun () ->
   wcoj_differential db s
+  >>> fun () ->
+  yann_differential db s
   >>> fun () ->
   metamorphic db s
   >>> fun () ->

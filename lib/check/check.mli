@@ -18,6 +18,17 @@
       (for a cyclic case: exactly one step pricing at [|R_D|]), and
       planes × storages × domain counts must agree with {e each other}
       on result, τ, steps and join spans.
+    - {!yann_differential}: the Yannakakis leg.  The [yann] policy
+      lowers α-acyclic strategies to a semijoin program over a
+      cost-chosen join tree, so its expected step log is derived from
+      the plan via the Goodman–Shmueli property: after a full
+      reduction, every join-phase intermediate over a subtree prefix
+      is [π_{prefix}(R_D)] — each priced step ≤ |R_D|.  Planes ×
+      storages × domain counts must agree on result, τ, steps and
+      scan/semijoin/join/topk span shapes, and on acyclic plans the
+      ranked enumerator must stream exactly the k-prefix of the
+      sorted full output for several k (cyclic strategies fall through
+      to the wcoj arm and are priced like that leg).
     - {!metamorphic}: strategy rewrites that provably preserve the
       result or the cost — commuting every step leaves τ unchanged,
       {!Multijoin.Transform} surgeries and a left-deep rebuild leave
@@ -33,9 +44,10 @@
       a killed pool worker must not change pool results, a poisoned
       τ-cache must detect and bypass its corrupt entries, oversized
       estimates must not change execution results, and the planted
-      frame-plane mutation must be {e visible} in the τ log (this is
-      what the self-test leans on).  Failpoint state is saved and
-      restored around the pass.
+      frame-plane mutations must be {e visible} — [frame.lossy_join]
+      in the τ log, [yann.lossy_semijoin] in the yann cells' result
+      (this is what the self-test leans on).  Failpoint state is saved
+      and restored around the pass.
 
     All four return the first violated invariant as a {!failure}; the
     fuzz driver shrinks whatever case produced it. *)
@@ -54,6 +66,7 @@ val pp_failure : Format.formatter -> failure -> unit
 
 val differential : Database.t -> Strategy.t -> outcome
 val wcoj_differential : Database.t -> Strategy.t -> outcome
+val yann_differential : Database.t -> Strategy.t -> outcome
 val metamorphic : Database.t -> Strategy.t -> outcome
 
 val theorems : Database.t -> outcome
@@ -64,7 +77,7 @@ val faults : Database.t -> Strategy.t -> outcome
 
 val run_case : ?faults:bool -> Gen.descriptor -> outcome
 (** Materialize the descriptor and run every applicable check:
-    differential (binary and wcoj legs) and metamorphic always,
+    differential (binary, wcoj and yann legs) and metamorphic always,
     theorem postconditions when
     the database has at most 5 relations, and the fault-injection pass
     when [faults] (default [true]) {e and} no failpoint is already

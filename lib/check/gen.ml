@@ -2,7 +2,7 @@ open Mj_hypergraph
 open Multijoin
 module Dbgen = Mj_workload.Dbgen
 
-type shape = Chain | Star | Cycle | Clique | Random_graph
+type shape = Chain | Star | Cycle | Clique | Random_graph | Path | Snowflake
 type regime = Uniform | Skewed | Superkey
 
 type descriptor = {
@@ -20,6 +20,8 @@ let shape_name = function
   | Cycle -> "cycle"
   | Clique -> "clique"
   | Random_graph -> "random"
+  | Path -> "path"
+  | Snowflake -> "snowflake"
 
 let shape_of_name = function
   | "chain" -> Some Chain
@@ -27,6 +29,8 @@ let shape_of_name = function
   | "cycle" -> Some Cycle
   | "clique" -> Some Clique
   | "random" -> Some Random_graph
+  | "path" -> Some Path
+  | "snowflake" -> Some Snowflake
   | _ -> None
 
 let regime_name = function
@@ -40,16 +44,23 @@ let regime_of_name = function
   | "superkey" -> Some Superkey
   | _ -> None
 
-(* Ranks orient the shrink order: lower is simpler. *)
+(* Ranks orient the shrink order: lower is simpler.  The two acyclic
+   shapes added for the yann path are APPENDED (5, 6): the rank feeds
+   the materialize RNG seed, so renumbering would silently change every
+   committed repro descriptor. *)
 let shape_rank = function
   | Chain -> 0
   | Star -> 1
   | Cycle -> 2
   | Clique -> 3
   | Random_graph -> 4
+  | Path -> 5
+  | Snowflake -> 6
 let regime_rank = function Uniform -> 0 | Skewed -> 1 | Superkey -> 2
 
-let min_n = function Cycle | Clique -> 3 | Chain | Star | Random_graph -> 2
+let min_n = function
+  | Cycle | Clique -> 3
+  | Chain | Star | Random_graph | Path | Snowflake -> 2
 
 let normalize d =
   let n = max (min_n d.shape) d.n in
@@ -75,6 +86,8 @@ let materialize d =
     | Cycle -> Querygraph.cycle d.n
     | Clique -> Querygraph.clique d.n
     | Random_graph -> Querygraph.random ~extra_edge_prob:0.3 ~rng d.n
+    | Path -> Querygraph.path d.n
+    | Snowflake -> Querygraph.snowflake ~fanout:2 d.n
   in
   let db =
     match d.regime with
@@ -90,7 +103,7 @@ let generate rng ~max_n =
   normalize
     {
       seed = Random.State.int rng 100_000;
-      shape = pick [ Chain; Star; Cycle; Clique; Random_graph ];
+      shape = pick [ Chain; Star; Cycle; Clique; Random_graph; Path; Snowflake ];
       n = 2 + Random.State.int rng (max 1 (max_n - 1));
       rows = 1 + Random.State.int rng 8;
       domain = 1 + Random.State.int rng 8;

@@ -18,7 +18,12 @@
 open Mj_relation
 open Multijoin
 
-type shape = Chain | Star | Cycle | Clique | Random_graph
+type shape = Chain | Star | Cycle | Clique | Random_graph | Path | Snowflake
+(** [Path] (payload-carrying chains) and [Snowflake] (two-level stars,
+    fan-out 2) are the guaranteed-α-acyclic shapes added for the
+    Yannakakis path; campaigns that draw them exercise the semijoin
+    program and its projections. *)
+
 type regime = Uniform | Skewed | Superkey
 
 type descriptor = {

@@ -53,8 +53,6 @@ module Cache = struct
     | None -> env_backend := Some b
     | Some _ -> ()
 
-  let backend_of_env () = Option.value !env_backend ~default:Seed
-
   type t = {
     db : Database.t;
     univ : Bitdb.t;
@@ -69,7 +67,9 @@ module Cache = struct
 
   let create ?(obs = Obs.noop) ?backend db =
     let backend =
-      match backend with Some b -> b | None -> backend_of_env ()
+      match backend with
+      | Some b -> b
+      | None -> Option.value !env_backend ~default:Seed
     in
     {
       db;

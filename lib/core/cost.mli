@@ -47,18 +47,11 @@ module Cache : sig
     | Frame  (** count through the columnar {!Mj_relation.Frame} path *)
 
   val set_env_backend : backend -> unit
-  (** Register the process-wide default backend.  Called exactly once
-      by [Mj_engine.Engine.Config.of_env] with the resolved value of
-      [MJ_DATA_PLANE] — this module never reads the environment.  The
-      first registration wins; later calls are ignored. *)
-
-  val backend_of_env : unit -> backend
-  (** @deprecated The single-read shim over {!set_env_backend}: the
-      registered backend when one exists, else [Seed].  Callers built
-      before the unified engine keep their behavior — entry points
-      resolve [MJ_DATA_PLANE=frame] once through
-      [Mj_engine.Engine.Config.of_env], which registers it here — but
-      new code should thread an [Engine.Config] instead. *)
+  (** Register the process-wide default backend — what {!create} falls
+      back to when no explicit [?backend] is passed.  Called exactly
+      once by [Mj_engine.Engine.Config.of_env] with the resolved value
+      of [MJ_DATA_PLANE] — this module never reads the environment.
+      The first registration wins; later calls are ignored. *)
 
   val create : ?obs:Mj_obs.Obs.sink -> ?backend:backend -> Database.t -> t
   (** Both backends produce identical cardinalities (certified by

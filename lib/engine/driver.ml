@@ -20,6 +20,11 @@ module type PLANE = sig
   val generic_join :
     ctx -> schemes:Scheme.t list -> order:Attr.t list -> item
 
+  val semijoin : ctx -> common:Attr.Set.t -> item -> item -> item
+
+  val ranked :
+    ctx -> order:Attr.t list -> k:int -> (Scheme.t * item) list -> item
+
   val cardinality : item -> int
   val note_step : ctx -> int -> unit
   val algo_label : Physical.algorithm -> string
@@ -107,6 +112,95 @@ module Make (P : PLANE) = struct
               steps := (node_schemes, n) :: !steps;
               P.note_step ctx n;
               if Obs.enabled obs then Obs.set_attr obs "rows" (Json.int n);
+              (out_scheme, it))
+      | Physical.Semijoin_program rt -> yannakakis rt None
+      | Physical.Ranked_enumerate (rt, k) -> yannakakis rt (Some k)
+    (* Yannakakis over a rooted join tree: scan every node, sweep
+       semijoins leaf-to-root then root-to-leaf (each a "semijoin" span
+       with [scheme]/[rows]/[dir] attributes but NO τ entry — semijoins
+       generate no tuples under the paper's measure), then either join
+       the reduced relations root-outward (one "join" span and one τ
+       entry per step, like any binary plan) or hand the whole reduced
+       tree to the plane's ranked enumerator (one "topk" span, one τ
+       entry: the ≤ k rows it streamed out). *)
+    and yannakakis (rt : Mj_hypergraph.Jointree.rooted) limit =
+      let order = Mj_hypergraph.Jointree.join_order rt in
+      let scan_node s =
+        Obs.span obs "scan" (fun () ->
+            let it = P.scan ctx s in
+            if Obs.enabled obs then begin
+              Obs.set_attr obs "scheme"
+                (Json.str (scheme_key (Scheme.Set.singleton s)));
+              Obs.set_attr obs "rows" (Json.int (P.cardinality it))
+            end;
+            it)
+      in
+      let items = List.map (fun s -> (s, ref (scan_node s))) order in
+      let item_of s = snd (List.find (fun (s', _) -> Scheme.equal s s') items) in
+      let semijoin_step dir target source =
+        let t = item_of target and sc = item_of source in
+        Obs.span obs "semijoin" (fun () ->
+            let common = Attr.Set.inter target source in
+            t := P.semijoin ctx ~common !t !sc;
+            if Obs.enabled obs then begin
+              Obs.set_attr obs "scheme"
+                (Json.str (scheme_key (Scheme.Set.singleton target)));
+              Obs.set_attr obs "dir" (Json.str dir);
+              Obs.set_attr obs "rows" (Json.int (P.cardinality !t))
+            end)
+      in
+      List.iter
+        (fun (ear, parent) -> semijoin_step "up" parent ear)
+        rt.Mj_hypergraph.Jointree.elims;
+      List.iter
+        (fun (ear, parent) -> semijoin_step "down" ear parent)
+        (List.rev rt.Mj_hypergraph.Jointree.elims);
+      let out_scheme = List.fold_left Attr.Set.union Attr.Set.empty order in
+      match limit with
+      | None ->
+          let join_step (acc_set, acc_scheme, acc) s =
+            Obs.span obs "join" (fun () ->
+                let node_schemes = Scheme.Set.add s acc_set in
+                if Obs.enabled obs then begin
+                  Obs.set_attr obs "algo"
+                    (Json.str (P.algo_label Physical.Hash_join));
+                  Obs.set_attr obs "scheme"
+                    (Json.str (scheme_key node_schemes))
+                end;
+                let common = Attr.Set.inter acc_scheme s in
+                let it = P.join ctx Physical.Hash_join ~common acc !(item_of s) in
+                let n = P.cardinality it in
+                generated := !generated + n;
+                steps := (node_schemes, n) :: !steps;
+                P.note_step ctx n;
+                if Obs.enabled obs then Obs.set_attr obs "rows" (Json.int n);
+                (node_schemes, Attr.Set.union acc_scheme s, it))
+          in
+          let root = rt.Mj_hypergraph.Jointree.root in
+          let _, _, it =
+            List.fold_left join_step
+              (Scheme.Set.singleton root, root, !(item_of root))
+              (List.tl order)
+          in
+          (out_scheme, it)
+      | Some k ->
+          Obs.span obs "topk" (fun () ->
+              let node_schemes = Scheme.Set.of_list order in
+              let it =
+                P.ranked ctx
+                  ~order:(Attr.Set.elements out_scheme)
+                  ~k
+                  (List.map (fun (s, r) -> (s, !r)) items)
+              in
+              let n = P.cardinality it in
+              generated := !generated + n;
+              steps := (node_schemes, n) :: !steps;
+              P.note_step ctx n;
+              if Obs.enabled obs then begin
+                Obs.set_attr obs "scheme" (Json.str (scheme_key node_schemes));
+                Obs.set_attr obs "k" (Json.int k);
+                Obs.set_attr obs "rows" (Json.int n)
+              end;
               (out_scheme, it))
     in
     let out_scheme, item = Obs.span obs P.root_span (fun () -> run plan) in

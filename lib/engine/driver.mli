@@ -64,6 +64,22 @@ module type PLANE = sig
       attribute, and the step contributes one τ entry: its output
       cardinality. *)
 
+  val semijoin : ctx -> common:Attr.Set.t -> item -> item -> item
+  (** [semijoin ctx ~common outer inner] is [outer ⋉ inner]: the rows of
+      [outer] with at least one join partner in [inner].  Powers the
+      {!Physical.Semijoin_program} reduction sweeps; never contributes
+      to τ (a semijoin generates no tuples under the paper's measure). *)
+
+  val ranked :
+    ctx -> order:Attr.t list -> k:int -> (Scheme.t * item) list -> item
+  (** The [k] lexicographically least tuples (by
+      {!Mj_relation.Tuple.compare}; [order] is the sorted attributes of
+      the union scheme) of the natural join of the given — already
+      semijoin-reduced — items, enumerated without materializing the
+      full join.  Both planes must stream the identical rows (frame:
+      rank-space leapfrog {!Mj_relation.Frame.topk}; seed: the
+      reference backtracker with an emission budget). *)
+
   val cardinality : item -> int
   val note_step : ctx -> int -> unit
   (** Called with each join step's output cardinality (for plane

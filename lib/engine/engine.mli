@@ -73,7 +73,8 @@ module Config : sig
   (** The {e only} place in the library tree that reads the
       environment: [MJ_DATA_PLANE] (["frame"] selects the columnar
       plane), [MJ_DOMAINS] (worker count, clamped ≥ 1),
-      [MJ_ALGO_POLICY] (["hash"], ["cost"] or ["wcoj"]), [MJ_TELEMETRY] (a
+      [MJ_ALGO_POLICY] (["hash"], ["cost"], ["wcoj"] or ["yann"]),
+      [MJ_TELEMETRY] (a
       JSONL sidecar path for per-query telemetry), [MJ_FRAME_STORAGE]
       (["heap"] or ["bigarray"] row stores for the frame plane),
       [MJ_MORSEL] (probe-morsel rows for the parallel join), and

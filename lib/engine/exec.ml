@@ -243,25 +243,32 @@ module Seed_plane = struct
   let index_join ctx ~common ~outer ~inner =
     Some (index_join ctx.c ctx.cache ctx.db outer common inner)
 
-  (* The reference generic join: bind the attributes of [order] one at a
+  (* The reference backtracker shared by the generic join and the
+     ranked (top-k) enumerator: bind the attributes of [order] one at a
      time, intersecting the sorted distinct values each participating
      relation still allows under the partial assignment, and recurse
      under every common value.  Deliberately simple — tuple lists are
      re-filtered per binding — because this plane exists to certify the
-     frame plane's leapfrog kernel: both must produce the identical
-     canonical relation. *)
-  let generic_join ctx ~schemes ~order =
-    let rels =
-      List.map
-        (fun s ->
-          let tuples = Relation.tuples (base_relation ctx.db s) in
-          Obs.incr ctx.c.scanned (List.length tuples);
-          (s, tuples))
-        schemes
-    in
+     frame plane's kernels: both must produce the identical canonical
+     relation.  Values are visited in ascending [Value.compare] order at
+     every level, so emissions stream out in lexicographic order of
+     [order] — with [order] the sorted attributes of the union scheme,
+     that is exactly [Tuple.compare] order, and stopping after [limit]
+     emissions yields the top-k. *)
+  exception Budget_spent
+
+  let backtrack ctx ?limit rels order =
     let out = ref [] in
+    let emitted = ref 0 in
+    let emit t =
+      out := t :: !out;
+      incr emitted;
+      match limit with
+      | Some k when !emitted >= k -> raise Budget_spent
+      | _ -> ()
+    in
     let rec go bound rels = function
-      | [] -> out := Tuple.of_list (List.rev bound) :: !out
+      | [] -> emit (Tuple.of_list (List.rev bound))
       | a :: attrs ->
           let holders, others =
             List.partition (fun (s, _) -> Attr.Set.mem a s) rels
@@ -302,8 +309,33 @@ module Seed_plane = struct
               go ((a, v) :: bound) (holders' @ others) attrs)
             common
     in
-    go [] rels order;
+    (try go [] rels order with Budget_spent -> ());
     List.rev !out
+
+  let generic_join ctx ~schemes ~order =
+    let rels =
+      List.map
+        (fun s ->
+          let tuples = Relation.tuples (base_relation ctx.db s) in
+          Obs.incr ctx.c.scanned (List.length tuples);
+          (s, tuples))
+        schemes
+    in
+    backtrack ctx rels order
+
+  let semijoin ctx ~common left right =
+    let key = key_extractor common in
+    let table = Hashtbl.create (max 16 (List.length right)) in
+    List.iter (fun t -> Hashtbl.replace table (key t) ()) right;
+    note_materialized ctx.c (List.length right);
+    List.filter
+      (fun t ->
+        Obs.incr ctx.c.probed 1;
+        Hashtbl.mem table (key t))
+      left
+
+  let ranked ctx ~order ~k rels =
+    if k <= 0 then [] else backtrack ctx ~limit:k rels order
 
   let cardinality = List.length
 

@@ -75,6 +75,28 @@ module Frame_plane = struct
 
   let index_join _ctx ~common:_ ~outer:_ ~inner:_ = None
 
+  let semijoin ctx ~common:_ f1 f2 =
+    let sj = Frame.semijoin ~stats:ctx.fstats f1 f2 in
+    if
+      Frame.cardinality sj > 0
+      && Mj_failpoint.Failpoint.fire Yann_lossy_semijoin
+    then begin
+      (* The acyclic-path twin of [frame.lossy_join]: silently drop the
+         last row of the semijoin output — a lossy reducer loses result
+         tuples downstream, exactly what the yann differential leg must
+         surface.  Never active outside an explicit failpoint
+         activation. *)
+      let r = Frame.to_relation sj in
+      let n = Relation.cardinality r in
+      let keep = List.filteri (fun i _ -> i < n - 1) (Relation.tuples r) in
+      Frame.of_relation (Frame.dict sj)
+        (Relation.make (Relation.scheme r) keep)
+    end
+    else sj
+
+  let ranked ctx ~order ~k items =
+    Frame.topk ~stats:ctx.fstats ~order ~k (List.map snd items)
+
   let generic_join ctx ~schemes ~order =
     Frame.Db.generic_join ~stats:ctx.fstats ctx.fdb ~order
       (Scheme.Set.of_list schemes)

@@ -1,4 +1,5 @@
 open Mj_relation
+open Mj_hypergraph
 open Multijoin
 
 type algorithm =
@@ -12,6 +13,8 @@ type t =
   | Scan of Scheme.t
   | Join of algorithm * t * t
   | Generic_join of Scheme.t list * Attr.t list
+  | Semijoin_program of Jointree.rooted
+  | Ranked_enumerate of Jointree.rooted * int
 
 let rec of_strategy ?(algo = fun _ _ -> Hash_join) = function
   | Strategy.Leaf s -> Scan s
@@ -28,6 +31,11 @@ let rec strategy_of = function
          shadow is the left-deep chain over its relations — the τ
          comparisons in the planner read costs off this shadow. *)
       Strategy.left_deep ss
+  | Semijoin_program rt | Ranked_enumerate (rt, _) ->
+      (* The join phase is a left-deep chain in root-outward order; the
+         semijoin sweeps generate no tuples under the paper's measure,
+         so the shadow prices exactly the plan's τ contribution. *)
+      Strategy.left_deep (Jointree.join_order rt)
 
 let schemes p = Strategy.schemes (strategy_of p)
 
@@ -35,7 +43,7 @@ let algorithms p =
   let rec go acc = function
     | Scan _ -> acc
     | Join (a, l, r) -> go (go (a :: acc) l) r
-    | Generic_join _ -> acc
+    | Generic_join _ | Semijoin_program _ | Ranked_enumerate _ -> acc
   in
   List.rev (go [] p)
 
@@ -55,5 +63,16 @@ let rec pp fmt = function
       List.iter (fun s -> Format.fprintf fmt " %a" Scheme.pp s) ss;
       Format.fprintf fmt " | %s)"
         (String.concat "," (List.map Attr.to_string order))
+  | Semijoin_program rt -> pp_yann fmt "yann" rt
+  | Ranked_enumerate (rt, k) ->
+      pp_yann fmt (Printf.sprintf "topk %d" k) rt
+
+and pp_yann fmt label rt =
+  Format.fprintf fmt "(%s root=%a" label Scheme.pp rt.Jointree.root;
+  List.iter
+    (fun (ear, parent) ->
+      Format.fprintf fmt " %a->%a" Scheme.pp ear Scheme.pp parent)
+    rt.Jointree.elims;
+  Format.fprintf fmt ")"
 
 let to_string p = Format.asprintf "%a" pp p

@@ -29,9 +29,18 @@
     [Generic_join] node: the worst-case-optimal join of a (typically
     cyclic) sub-hypergraph, evaluated attribute-by-attribute in a fixed
     elimination order with no binary intermediates — see
-    {!Mj_relation.Frame.generic_join} and [Planner.Wcoj]. *)
+    {!Mj_relation.Frame.generic_join} and [Planner.Wcoj].
+
+    α-acyclic queries get their own pair of nodes: [Semijoin_program]
+    runs Yannakakis's algorithm over a rooted join tree (full semijoin
+    reduction, then the joins in root-outward order — τ is exactly the
+    join phase's output, semijoins generate nothing under the paper's
+    measure), and [Ranked_enumerate] streams only the [k]
+    lexicographically least result tuples out of the reduced tree — see
+    [Planner.Yannakakis] and {!Mj_relation.Frame.topk}. *)
 
 open Mj_relation
+open Mj_hypergraph
 open Multijoin
 
 type algorithm =
@@ -49,6 +58,15 @@ type t =
           of the listed base relations, binding attributes in the given
           order.  The order is a permutation of the relations' attribute
           union, fixed at plan time so execution is deterministic. *)
+  | Semijoin_program of Jointree.rooted
+      (** Yannakakis over the rooted join tree: leaf-to-root then
+          root-to-leaf semijoin sweeps over the tree's base relations,
+          then the left-deep join in root-outward ({!Jointree.join_order})
+          order.  Only the join phase contributes τ entries. *)
+  | Ranked_enumerate of Jointree.rooted * int
+      (** The same reduction, then the [k] lexicographically least
+          tuples (by {!Mj_relation.Tuple.compare}) of the result,
+          enumerated without materializing the full join. *)
 
 val of_strategy : ?algo:(Scheme.Set.t -> Scheme.Set.t -> algorithm) -> Strategy.t -> t
 (** Annotate every step; [algo] receives the children's scheme sets and
@@ -57,7 +75,9 @@ val of_strategy : ?algo:(Scheme.Set.t -> Scheme.Set.t -> algorithm) -> Strategy.
 val strategy_of : t -> Strategy.t
 (** Forget the annotations.  A [Generic_join] has no binary structure to
     forget; it maps to the left-deep chain over its relations (the
-    strategy shadow the planner's τ comparisons are made against).
+    strategy shadow the planner's τ comparisons are made against), and a
+    [Semijoin_program]/[Ranked_enumerate] to the left-deep chain over
+    its {!Jointree.join_order} — the exact join phase it executes.
     @raise Invalid_argument if the plan violates (S3). *)
 
 val schemes : t -> Scheme.Set.t

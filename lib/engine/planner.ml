@@ -8,12 +8,14 @@ type policy =
   | Hash_all
   | Cost_based
   | Wcoj
+  | Yannakakis
   | Forced of Physical.algorithm
 
 let policy_name = function
   | Hash_all -> "hash"
   | Cost_based -> "cost"
   | Wcoj -> "wcoj"
+  | Yannakakis -> "yann"
   | Forced a -> "forced-" ^ Physical.algorithm_name a
 
 let policy_of_string s =
@@ -21,6 +23,7 @@ let policy_of_string s =
   | "hash" -> Some Hash_all
   | "cost" -> Some Cost_based
   | "wcoj" -> Some Wcoj
+  | "yann" -> Some Yannakakis
   | _ -> None
 
 let block_size = 64
@@ -138,7 +141,7 @@ let choose env left_schemes right_schemes right_leaf =
    plan is already worst-case optimal (Yannakakis), so the node would
    only replace one optimal evaluation with another. *)
 let is_cyclic schemes =
-  Scheme.Set.cardinal schemes >= 3 && not (Gyo.is_alpha_acyclic schemes)
+  Scheme.Set.cardinal schemes >= 3 && not (Gyo.is_alpha_acyclic_bits schemes)
 
 (* The elimination order of a generic join, fixed at plan time: most
    shared attributes first (each level then intersects the most
@@ -160,10 +163,100 @@ let elimination_order schemes =
       | c -> c)
     attrs
 
+(* The cost-based side of the acyclic arm: among candidate join trees
+   and roots, pick the rooted orientation whose join phase — a
+   left-deep fold over [Jointree.join_order] — is cheapest under the
+   catalog estimates.  Semijoins are not priced: they generate no
+   tuples under the paper's measure, and after a full reduction the
+   join phase is what τ charges.  Candidates are enumerated in a fixed
+   deterministic order (trees as generated, roots sorted) and the first
+   strict minimum wins, so lowering stays a pure function of the
+   (database, strategy) pair. *)
+let best_rooted_tree ~oracle schemes trees =
+  let price rt =
+    match Jointree.join_order rt with
+    | [] | [ _ ] -> 0
+    | first :: rest ->
+        let _, cost =
+          List.fold_left
+            (fun (acc, c) s ->
+              let acc = Scheme.Set.add s acc in
+              (acc, c + max 1 (oracle acc)))
+            (Scheme.Set.singleton first, 0)
+            rest
+        in
+        cost
+  in
+  let candidates =
+    List.concat_map
+      (fun t ->
+        List.map (fun r -> Jointree.root_at t r) (Scheme.Set.elements schemes))
+      trees
+  in
+  match candidates with
+  | [] -> invalid_arg "Planner: no join tree candidates"
+  | rt0 :: rest ->
+      fst
+        (List.fold_left
+           (fun (best, bc) rt ->
+             let c = price rt in
+             if c < bc then (rt, c) else (best, bc))
+           (rt0, price rt0) rest)
+
+(* The cost-best rooted join tree of an α-acyclic scheme set, or [None]
+   when the set is cyclic (or empty).  Exhaustive tree search where it
+   is affordable, GYO's ear tree (always a join tree) beyond. *)
+let yann_tree ?oracle db schemes =
+  if Scheme.Set.is_empty schemes || not (Gyo.is_alpha_acyclic_bits schemes)
+  then None
+  else
+    match Gyo.ear_decomposition schemes with
+    | None -> None
+    | Some edges ->
+        let catalog = Catalog.of_database db in
+        let oracle =
+          match oracle with
+          | Some o -> o
+          | None -> Estimate.of_catalog catalog
+        in
+        (* Same robustness contract as the cost-based arm: oversized
+           estimates may change which root/orientation wins — never the
+           result or τ-is-the-join-phase. *)
+        let oracle d =
+          let v = oracle d in
+          if Mj_failpoint.Failpoint.fire Estimate_oversize then
+            if v > max_int / 1000 then max_int else v * 1000
+          else v
+        in
+        let trees =
+          if Scheme.Set.cardinal schemes <= 6 then
+            match Jointree.all_join_trees schemes with
+            | [] -> [ edges ]
+            | ts -> ts
+          else [ edges ]
+        in
+        Some (best_rooted_tree ~oracle schemes trees)
+
 let rec lower ?(policy = Hash_all) ?oracle ?indexes db strategy =
   match policy with
   | Hash_all -> Physical.of_strategy strategy
   | Forced a -> Physical.of_strategy ~algo:(fun _ _ -> a) strategy
+  | Yannakakis -> (
+      (* The asymptotically right algorithm for the α-acyclic regime:
+         Yannakakis's semijoin program is instance-optimal there (total
+         work O(input + output)), so every acyclic query lowers to a
+         [Semijoin_program] over a cost-picked rooted join tree, and
+         cyclic queries fall through to the wcoj arm — between them,
+         every query now routes to the algorithm whose worst case
+         matches its structure.  Single-relation strategies keep their
+         trivial binary lowering. *)
+      let schemes = Strategy.schemes strategy in
+      match
+        if Scheme.Set.cardinal schemes >= 2 then yann_tree ?oracle db schemes
+        else None
+      with
+      | Some rt -> Physical.Semijoin_program rt
+      | None -> lower ~policy:Wcoj ?oracle ?indexes db strategy)
   | Wcoj ->
       (* Priced by the AGM bound, by dominance rather than per-plan
          arithmetic: the generic join's worst case over the whole
@@ -223,3 +316,13 @@ let rec lower ?(policy = Hash_all) ?oracle ?indexes db strategy =
             Physical.Join (algo, l, r)
       in
       go strategy
+
+(* Ranked (top-k) lowering — the [mjoin topk] surface.  Only defined on
+   α-acyclic queries (the ranked enumerator streams out of a reduced
+   join tree); [None] tells the caller the query is cyclic and must be
+   answered by a full evaluation instead. *)
+let lower_ranked ?oracle db strategy ~k =
+  let schemes = Strategy.schemes strategy in
+  Option.map
+    (fun rt -> Physical.Ranked_enumerate (rt, k))
+    (yann_tree ?oracle db schemes)

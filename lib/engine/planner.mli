@@ -32,6 +32,7 @@
     suite certifies exactly that, on both data planes. *)
 
 open Mj_relation
+open Mj_hypergraph
 open Multijoin
 
 type policy =
@@ -41,15 +42,21 @@ type policy =
       (** worst-case-optimal: cyclic strategies collapse into one
           {!Physical.Generic_join} node over the whole scheme set;
           acyclic ones fall back to the [Cost_based] arm *)
+  | Yannakakis
+      (** acyclic-first: α-acyclic strategies (two or more relations)
+          lower to a {!Physical.Semijoin_program} over the cost-best
+          rooted join tree; cyclic ones fall through to the [Wcoj] arm —
+          every query routes to the algorithm whose worst case matches
+          its structure *)
   | Forced of Physical.algorithm  (** every step the given algorithm *)
 
 val policy_name : policy -> string
-(** ["hash"], ["cost"], ["wcoj"], or ["forced-<algo>"]. *)
+(** ["hash"], ["cost"], ["wcoj"], ["yann"], or ["forced-<algo>"]. *)
 
 val policy_of_string : string -> policy option
-(** Parses the [--policy] flag values ["hash"], ["cost"] and ["wcoj"]
-    (case-insensitive); forced policies are built programmatically
-    (e.g. from [mjoin explain --algo]). *)
+(** Parses the [--policy] flag values ["hash"], ["cost"], ["wcoj"] and
+    ["yann"] (case-insensitive); forced policies are built
+    programmatically (e.g. from [mjoin explain --algo]). *)
 
 val block_size : int
 (** Block size priced and emitted for [Block_nested_loop] (64). *)
@@ -71,6 +78,21 @@ val elimination_order : Scheme.Set.t -> Attr.t list
     function of the scheme set — plans are reproducible across runs,
     planes and domain counts. *)
 
+val yann_tree :
+  ?oracle:(Scheme.Set.t -> int) ->
+  Database.t ->
+  Scheme.Set.t ->
+  Jointree.rooted option
+(** The rooted join tree the [Yannakakis] policy would run: [None] when
+    the scheme set is cyclic (or empty); otherwise the cost-optimal
+    root/orientation — every join tree ([Jointree.all_join_trees]) when
+    the set has at most 6 relations, GYO's ear tree beyond, each rooted
+    at every scheme, priced as the sum of catalog-estimated
+    cardinalities of the join phase's left-deep prefixes (semijoins are
+    free under the paper's τ), first strict minimum in a fixed
+    enumeration order.  What [mjoin explain] prints as the chosen root
+    and semijoin order. *)
+
 val lower :
   ?policy:policy ->
   ?oracle:(Scheme.Set.t -> int) ->
@@ -87,7 +109,20 @@ val lower :
     {!is_cyclic} lowers to a single {!Physical.Generic_join} over the
     whole set (its join order is discarded — the node is n-ary) with
     {!elimination_order}; otherwise the [Cost_based] arm applies
-    unchanged.
+    unchanged.  Under [Yannakakis], an α-acyclic strategy over at least
+    two relations lowers to [Physical.Semijoin_program (yann_tree …)]
+    and anything else falls through to the [Wcoj] arm.
     @raise Not_found under [Cost_based] if the strategy mentions a
     scheme outside [db] (the estimator has no statistics for it);
     execution would reject such a plan anyway. *)
+
+val lower_ranked :
+  ?oracle:(Scheme.Set.t -> int) ->
+  Database.t ->
+  Strategy.t ->
+  k:int ->
+  Physical.t option
+(** The [mjoin topk] lowering: [Physical.Ranked_enumerate] over
+    {!yann_tree} when the strategy's scheme set is α-acyclic, [None]
+    when it is cyclic (ranked enumeration streams out of a reduced join
+    tree, which a cyclic query does not have). *)

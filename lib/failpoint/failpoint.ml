@@ -3,16 +3,25 @@ type t =
   | Cache_poison
   | Estimate_oversize
   | Frame_lossy_join
+  | Yann_lossy_semijoin
 
 exception Injected of string
 
-let all = [ Pool_worker_kill; Cache_poison; Estimate_oversize; Frame_lossy_join ]
+let all =
+  [
+    Pool_worker_kill;
+    Cache_poison;
+    Estimate_oversize;
+    Frame_lossy_join;
+    Yann_lossy_semijoin;
+  ]
 
 let name = function
   | Pool_worker_kill -> "pool.worker_kill"
   | Cache_poison -> "cost.cache_poison"
   | Estimate_oversize -> "estimate.oversize"
   | Frame_lossy_join -> "frame.lossy_join"
+  | Yann_lossy_semijoin -> "yann.lossy_semijoin"
 
 let of_name s =
   let s = String.lowercase_ascii (String.trim s) in
@@ -23,6 +32,7 @@ let index = function
   | Cache_poison -> 1
   | Estimate_oversize -> 2
   | Frame_lossy_join -> 3
+  | Yann_lossy_semijoin -> 4
 
 (* One atomic bitmask of active points, one atomic hit counter per
    point: consultation from pool workers running on other domains is

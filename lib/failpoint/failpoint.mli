@@ -36,6 +36,11 @@ type t =
   | Frame_lossy_join
       (** the frame plane drops the last row of every non-empty join
           output — the planted defect the self-test must catch *)
+  | Yann_lossy_semijoin
+      (** the frame plane's Yannakakis path drops the last row of every
+          non-empty semijoin output — the acyclic-path twin of
+          [frame.lossy_join], planted so the yann differential leg
+          proves it would catch a lossy reducer *)
 
 exception Injected of string
 (** Raised by {!trip}; carries the failpoint name. *)
@@ -44,7 +49,7 @@ val all : t list
 
 val name : t -> string
 (** ["pool.worker_kill"], ["cost.cache_poison"], ["estimate.oversize"],
-    ["frame.lossy_join"]. *)
+    ["frame.lossy_join"], ["yann.lossy_semijoin"]. *)
 
 val of_name : string -> t option
 

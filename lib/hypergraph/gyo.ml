@@ -36,6 +36,60 @@ let rec reduce d =
 
 let is_alpha_acyclic d = Scheme.Set.cardinal (reduce d) <= 1
 
+(* The bitmask twin of [reduce], in the style of the Bitdb kernel:
+   attributes of the universe are indexed once, every scheme becomes one
+   int mask, and the two reduction rules collapse into word operations —
+   an attribute is unique iff its bit is set in exactly one mask
+   (seen-once/seen-twice accumulators), containment is [m land m' = m].
+   The planner classifies every incoming query, so this path keeps the
+   per-query cost at O(n²) word ops instead of set surgery; universes
+   wider than a machine word fall back to the set implementation. *)
+let is_alpha_acyclic_bits d =
+  let universe = Scheme.Set.universe d in
+  if Attr.Set.cardinal universe > Sys.int_size - 2 then is_alpha_acyclic d
+  else begin
+    let index =
+      let m, _ =
+        Attr.Set.fold
+          (fun a (m, i) -> (Attr.Map.add a i m, i + 1))
+          universe (Attr.Map.empty, 0)
+      in
+      m
+    in
+    let mask_of s =
+      Attr.Set.fold (fun a acc -> acc lor (1 lsl Attr.Map.find a index)) s 0
+    in
+    let masks = List.map mask_of (Scheme.Set.elements d) in
+    (* Invariant: [masks] sorted and duplicate-free, mirroring the set
+       representation (equal schemes collapse there too). *)
+    let rec fixpoint masks =
+      (* Bits set in exactly one mask. *)
+      let seen_once = ref 0 and seen_many = ref 0 in
+      List.iter
+        (fun m ->
+          seen_many := !seen_many lor (!seen_once land m);
+          seen_once := !seen_once lor m)
+        masks;
+      let unique = !seen_once land lnot !seen_many in
+      let stripped =
+        List.filter_map
+          (fun m ->
+            let m' = m land lnot unique in
+            if m' = 0 then None else Some m')
+          masks
+      in
+      let distinct = List.sort_uniq compare stripped in
+      let kept =
+        List.filter
+          (fun m ->
+            not (List.exists (fun m' -> m' <> m && m land m' = m) distinct))
+          distinct
+      in
+      if kept = masks then masks else fixpoint kept
+    in
+    List.length (fixpoint (List.sort_uniq compare masks)) <= 1
+  end
+
 (* An ear of D is a scheme R whose attributes shared with the rest of D
    all lie inside a single other scheme R' (the witness/parent).  A scheme
    sharing nothing with the rest is an ear with any witness. *)

@@ -15,6 +15,13 @@ val reduce : Hypergraph.t -> Scheme.Set.t
 
 val is_alpha_acyclic : Hypergraph.t -> bool
 
+val is_alpha_acyclic_bits : Hypergraph.t -> bool
+(** Same verdict as {!is_alpha_acyclic}, computed on attribute bitmasks
+    (one int mask per scheme, both reduction rules as word operations) —
+    the classifier the planner runs on every incoming query.  Falls back
+    to the set implementation when the attribute universe is wider than
+    a machine word. *)
+
 val ear_decomposition : Hypergraph.t -> (Scheme.t * Scheme.t) list option
 (** [ear_decomposition d] returns, for an α-acyclic connected [d] with at
     least two schemes, a list of [(ear, parent)] pairs in removal order —

@@ -173,6 +173,34 @@ let nonempty_subsets_of set =
   in
   List.filter (fun s -> not (Scheme.Set.is_empty s)) (build elems)
 
+(* ------------------------------------------------------------------ *)
+(* Rooted orientations                                                  *)
+
+type rooted = { root : Scheme.t; elims : (Scheme.t * Scheme.t) list }
+
+let root_at edges root =
+  let adj = adjacency edges in
+  (* BFS from the root in sorted-neighbour order: the visit sequence is
+     a deterministic function of (edges, root), so plans built from a
+     rooted tree are reproducible across runs and planes. *)
+  let rec bfs frontier seen acc =
+    match frontier with
+    | [] -> List.rev acc
+    | s :: rest ->
+        let fresh =
+          Scheme.Set.elements (Scheme.Set.diff (neighbours adj s) seen)
+        in
+        let seen = List.fold_left (fun m c -> Scheme.Set.add c m) seen fresh in
+        bfs
+          (rest @ fresh)
+          seen
+          (List.fold_left (fun acc c -> (c, s) :: acc) acc fresh)
+  in
+  let down = bfs [ root ] (Scheme.Set.singleton root) [] in
+  { root; elims = List.rev down }
+
+let join_order r = r.root :: List.rev_map fst r.elims
+
 let linked_in_join_tree_sense d e1 e2 =
   let subs1 = nonempty_subsets_of e1 in
   let subs2 = nonempty_subsets_of e2 in

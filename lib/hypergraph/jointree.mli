@@ -35,3 +35,31 @@ val linked_in_join_tree_sense : Hypergraph.t -> Scheme.Set.t -> Scheme.Set.t -> 
 
 val induces_subtree : tree -> Scheme.Set.t -> bool
 (** Does the node subset induce a connected subgraph of the tree? *)
+
+(** {1 Rooted orientations}
+
+    Yannakakis's algorithm runs over a join tree {e oriented} at a
+    chosen root: semijoins sweep leaf-to-root then root-to-leaf, and the
+    final joins accumulate root-outward.  A [rooted] value is that
+    orientation, in the representation the engine's physical plans
+    carry. *)
+
+type rooted = {
+  root : Scheme.t;
+  elims : (Scheme.t * Scheme.t) list;
+      (** [(node, parent)] edges in leaf-to-root elimination order:
+          every node appears after all its children, so a left fold is
+          the upward semijoin sweep and a right fold the downward one *)
+}
+
+val root_at : tree -> Scheme.t -> rooted
+(** Orient [edges] at [root] by BFS in sorted-neighbour order — a
+    deterministic function of the pair, so lowered plans are
+    reproducible.  The root must be a node of the tree (or the sole
+    scheme of a singleton database, with [edges = []]). *)
+
+val join_order : rooted -> Scheme.t list
+(** Root-outward node sequence (the reverse elimination order): each
+    scheme shares attributes with its parent, which precedes it, so the
+    left-deep join over this order never degenerates to a Cartesian
+    product. *)

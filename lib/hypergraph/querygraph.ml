@@ -8,6 +8,16 @@ let chain n =
       Attr.Set.of_list [ attr "c%d" i; attr "c%d" (i + 1) ])
   |> Scheme.Set.of_list
 
+let path n =
+  if n < 1 then invalid_arg "Querygraph.path: need n >= 1";
+  (* A chain whose relations carry a private payload attribute: wider
+     schemes than [chain], so semijoin reductions and projections have
+     attributes to drop — the α-acyclic workhorse of the yann fuzz
+     campaigns. *)
+  List.init n (fun i ->
+      Attr.Set.of_list [ attr "c%d" i; attr "c%d" (i + 1); attr "p%d" i ])
+  |> Scheme.Set.of_list
+
 let cycle n =
   if n < 3 then invalid_arg "Querygraph.cycle: need n >= 3";
   List.init n (fun i ->
@@ -22,6 +32,39 @@ let star n =
         Attr.Set.of_list [ attr "s%d" (i + 1); attr "t%d" (i + 1) ])
   in
   Scheme.Set.of_list (hub :: spokes)
+
+let snowflake ?(fanout = 2) n =
+  if n < 2 then invalid_arg "Querygraph.snowflake: need n >= 2";
+  if fanout < 1 then invalid_arg "Querygraph.snowflake: need fanout >= 1";
+  (* A two-level star: the hub joins [k] dimension relations on keys
+     [d_i]; each dimension fans out to up to [fanout] sub-dimension
+     relations on keys [d_i_j].  Dimensions (then sub-dimensions) are
+     added until [n] relations exist, so any requested size yields an
+     α-acyclic scheme set whose join tree is two levels deep. *)
+  let k = max 1 ((n - 1 + fanout) / (fanout + 1)) in
+  let k = min k (n - 1) in
+  let hub = Attr.Set.of_list (List.init k (fun i -> attr "d%d" (i + 1))) in
+  let subs = n - 1 - k in
+  let dims =
+    List.init k (fun i ->
+        let f =
+          (* Distribute the sub-dimension budget round-robin. *)
+          (subs / k) + if i < subs mod k then 1 else 0
+        in
+        Attr.Set.of_list
+          (attr "d%d" (i + 1)
+          :: attr "u%d" (i + 1)
+          :: List.init f (fun j -> attr "d%d_%d" (i + 1) (j + 1))))
+  in
+  let subdims =
+    List.concat
+      (List.init k (fun i ->
+           let f = (subs / k) + if i < subs mod k then 1 else 0 in
+           List.init f (fun j ->
+               Attr.Set.of_list
+                 [ attr "d%d_%d" (i + 1) (j + 1); attr "w%d_%d" (i + 1) (j + 1) ])))
+  in
+  Scheme.Set.of_list ((hub :: dims) @ subdims)
 
 let clique n =
   if n < 2 then invalid_arg "Querygraph.clique: need n >= 2";

@@ -14,6 +14,12 @@ val chain : int -> Hypergraph.t
     relation joins only with its neighbours.
     @raise Invalid_argument if [n < 1]. *)
 
+val path : int -> Hypergraph.t
+(** [path n]: a {!chain} whose relations each carry a private payload
+    attribute, [R_i = {c_i, c_i+1, p_i}] — α-acyclic with non-trivial
+    projections (semijoins must drop the payloads).
+    @raise Invalid_argument if [n < 1]. *)
+
 val cycle : int -> Hypergraph.t
 (** [cycle n]: a chain whose last relation also shares an attribute with
     the first.
@@ -23,6 +29,15 @@ val star : int -> Hypergraph.t
 (** [star n]: one hub relation over [{s_1, ..., s_n-1}] plus [n-1] spokes
     [R_i = {s_i, t_i}].
     @raise Invalid_argument if [n < 2]. *)
+
+val snowflake : ?fanout:int -> int -> Hypergraph.t
+(** [snowflake ~fanout n]: a two-level star of [n] relations — one hub
+    over dimension keys [{d_1, ..., d_k}], [k] dimension relations
+    [{d_i, u_i, d_i_1, ...}], and up to [fanout] (default 2)
+    sub-dimension relations [{d_i_j, w_i_j}] per dimension.  α-acyclic
+    with a join tree two levels deep; the classic warehouse shape whose
+    binary plans blow up intermediates.
+    @raise Invalid_argument if [n < 2] or [fanout < 1]. *)
 
 val clique : int -> Hypergraph.t
 (** [clique n]: every pair of relations shares a dedicated attribute

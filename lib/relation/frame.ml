@@ -1013,6 +1013,136 @@ let generic_join ?stats ~order frames =
         dict = f0.dict;
       }
 
+(* Ranked (top-k) enumeration.  The leapfrog DFS above enumerates
+   assignments in lexicographic *code* order, but codes are interned in
+   first-seen order, so code order says nothing about value order.  The
+   fix is the decode path's rank trick run forwards: sort the
+   dictionary's codes once by their values, remap every input frame
+   into rank space (a bijection, so canonical rows stay distinct), and
+   run the same DFS there — level keys now ascend in value order, hence
+   emissions stream out in exactly [Tuple.compare] order and the first
+   [k] of them are the top-k.  The DFS stops dead once the budget is
+   spent, so the work is bounded by the trie prefix the k results
+   touch, not by the size of the full join. *)
+let topk ?stats ~order ~k frames =
+  match frames with
+  | [] -> invalid_arg "Frame.topk: no frames"
+  | f0 :: rest ->
+      List.iter
+        (fun f ->
+          if f.dict != f0.dict then
+            invalid_arg "Frame.topk: frames use different dictionaries")
+        rest;
+      let stats = match stats with Some s -> s | None -> fresh_stats () in
+      let out_scheme =
+        List.fold_left
+          (fun acc f -> Attr.Set.union acc f.scheme)
+          Attr.Set.empty frames
+      in
+      let order_arr = Array.of_list order in
+      let nlv = Array.length order_arr in
+      if
+        nlv <> Attr.Set.cardinal out_scheme
+        || not (List.for_all (fun a -> Attr.Set.mem a out_scheme) order)
+      then
+        invalid_arg "Frame.topk: order is not a permutation of the attributes";
+      let out_attrs = Array.of_list (Attr.Set.elements out_scheme) in
+      let empty_result () =
+        {
+          scheme = out_scheme;
+          attrs = out_attrs;
+          width = nlv;
+          rows = 0;
+          data = Store.empty (Store.storage f0.data);
+          dict = f0.dict;
+        }
+      in
+      if k <= 0 || List.exists (fun f -> f.rows = 0) frames then empty_result ()
+      else begin
+        let dict = f0.dict in
+        let ncodes = Dict.size dict in
+        let by_value = Array.init ncodes Fun.id in
+        Array.sort
+          (fun a b -> Value.compare (Dict.value dict a) (Dict.value dict b))
+          by_value;
+        let rank = Array.make (max 1 ncodes) 0 in
+        Array.iteri (fun r c -> rank.(c) <- r) by_value;
+        let remap f =
+          let w = f.width in
+          let buf = Array.make (max 1 (f.rows * w)) 0 in
+          for i = 0 to (f.rows * w) - 1 do
+            buf.(i) <- rank.(Store.get f.data i)
+          done;
+          let rows, data = canonicalize w f.rows buf in
+          { f with rows; data = Store.of_heap Heap (rows * w) data }
+        in
+        let tries =
+          Array.of_list (List.map (fun f -> Trie.of_frame ~order (remap f)) frames)
+        in
+        let iters_at =
+          Array.map
+            (fun a ->
+              Array.of_list
+                (List.filter
+                   (fun t -> List.exists (Attr.equal a) (Trie.attrs t))
+                   (Array.to_list tries)))
+            order_arr
+        in
+        let lvl_of_col =
+          Array.map
+            (fun a ->
+              let rec go i =
+                if Attr.equal order_arr.(i) a then i else go (i + 1)
+              in
+              go 0)
+            out_attrs
+        in
+        let w = nlv in
+        let vals = Array.make (max 1 nlv) 0 in
+        let b = buf_make (w * (min k 64 + 1)) in
+        let remaining = ref k in
+        let emit () =
+          buf_reserve b w;
+          let d = b.bdata and o = b.blen in
+          for j = 0 to w - 1 do
+            (* Back from rank space to codes as the row is emitted. *)
+            Array.unsafe_set d (o + j)
+              by_value.(vals.(Array.unsafe_get lvl_of_col j))
+          done;
+          b.blen <- o + w;
+          decr remaining
+        in
+        let rec go lv =
+          let its = iters_at.(lv) in
+          Array.iter Trie.open_ its;
+          let ok = ref (leapfrog_align ~stats its) in
+          while !ok && !remaining > 0 do
+            stats.probe_hits <- stats.probe_hits + 1;
+            vals.(lv) <- Trie.key its.(0);
+            if lv = nlv - 1 then emit () else go (lv + 1);
+            if !remaining > 0 then begin
+              Trie.next its.(0);
+              ok := leapfrog_align ~stats its
+            end
+            else ok := false
+          done;
+          Array.iter Trie.up its
+        in
+        if nlv > 0 then go 0;
+        (* The k emitted rows are value-lexicographically least; one
+           counting sort in code space restores the frame's canonical
+           (code-sorted) row order. *)
+        let rows, data = canonicalize w (b.blen / w) b.bdata in
+        {
+          scheme = out_scheme;
+          attrs = out_attrs;
+          width = w;
+          rows;
+          data = Store.of_heap (Store.storage f0.data) (rows * w) data;
+          dict = f0.dict;
+        }
+      end
+
 (* ------------------------------------------------------------------ *)
 (* Databases of frames                                                 *)
 

@@ -229,6 +229,24 @@ val generic_join : ?stats:stats -> order:Attr.t list -> t list -> t
     different dictionaries, or [order] is not a permutation of the
     union of the schemes. *)
 
+val topk : ?stats:stats -> order:Attr.t list -> k:int -> t list -> t
+(** [topk ~order ~k frames] is the [k] lexicographically least tuples
+    (by {!Tuple.compare} over the output scheme) of the natural join of
+    [frames], computed without materializing the join: the dictionary's
+    codes are ranked by value once, the frames are remapped into rank
+    space (one counting sort each), and the leapfrog DFS of
+    {!generic_join} runs there with an emission budget — level keys
+    then ascend in {e value} order, so the first [k] emissions are the
+    answer and the DFS stops dead.  [order] must be the sorted
+    attributes of the union scheme for the ranking to equal
+    [Tuple.compare]; with [k] at least the full output size the result
+    equals [generic_join].  Work is bounded by the trie prefix the [k]
+    results touch ([stats.probes] certifies output-sensitivity).
+    [k ≤ 0] yields the empty frame.
+    @raise Invalid_argument if [frames] is empty, the frames use
+    different dictionaries, or [order] is not a permutation of the
+    union of the schemes. *)
+
 (** {1 Databases of frames} *)
 
 module Db : sig

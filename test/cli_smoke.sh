@@ -86,6 +86,24 @@ if "$MJOIN" bench-diff "$TMP/bench.json" --inject 50 --threshold 25 \
   --out "$TMP/diff.txt" > /dev/null
 grep -q '0 regression' "$TMP/diff.txt"
 
+# Yannakakis acyclic path: the yann policy, the acyclicity
+# classification on explain, and ranked (top-k) enumeration on both
+# planes.
+"$MJOIN" explain --shape star --size 4 --policy yann \
+  | grep -q 'classification: alpha-acyclic'
+"$MJOIN" explain --shape star --size 4 --policy yann \
+  | grep -q 'join tree root:'
+"$MJOIN" explain --shape star --size 4 --policy yann \
+  | grep -q 'semijoin order (leaf-to-root):'
+"$MJOIN" explain --shape cycle --size 4 --policy yann \
+  | grep -q 'classification: cyclic'
+"$MJOIN" verify --shape snowflake -n 4 --policy yann > /dev/null
+"$MJOIN" topk --shape star --size 4 --rows 20 --limit 5 | grep -q 'top-5'
+"$MJOIN" topk --shape path --size 4 --engine frame --limit 3 \
+  | grep -q 'tau=3'
+MJ_ALGO_POLICY=yann "$MJOIN" explain --shape chain --size 4 \
+  | grep -q 'lowered (yann'
+
 cat > "$TMP/db.txt" <<DB
 = users
 U,N
@@ -124,5 +142,8 @@ if "$MJOIN" optimize --shape chain -n 4 --policy bogus > /dev/null 2>&1; then ex
 if "$MJOIN" bench-diff "$TMP/db.txt" > /dev/null 2>&1; then exit 1; fi
 if "$MJOIN" bench-diff "$TMP/bench.json" > /dev/null 2>&1; then exit 1; fi
 if "$MJOIN" stats --from "$TMP/db.txt" > /dev/null 2>&1; then exit 1; fi
+if "$MJOIN" topk --shape cycle --size 4 > /dev/null 2>&1; then exit 1; fi
+"$MJOIN" topk --shape cycle --size 4 2>&1 | grep -q 'cyclic'
+if "$MJOIN" topk --shape star --size 4 --limit x > /dev/null 2>&1; then exit 1; fi
 
 echo cli-smoke-ok

@@ -254,7 +254,9 @@ let lowering_shape =
           let rec no_generic = function
             | Physical.Scan _ -> true
             | Physical.Join (_, l, r) -> no_generic l && no_generic r
-            | Physical.Generic_join _ -> false
+            | Physical.Generic_join _ | Physical.Semijoin_program _
+            | Physical.Ranked_enumerate _ ->
+                false
           in
           (not (Planner.is_cyclic d)) && no_generic plan)
 
