@@ -20,6 +20,7 @@ module Plan_bench = Mj_benchkit.Plan_bench
 module Par_bench = Mj_benchkit.Par_bench
 module Wcoj_bench = Mj_benchkit.Wcoj_bench
 module Yann_bench = Mj_benchkit.Yann_bench
+module Serve_bench = Mj_benchkit.Serve_bench
 module Engine = Mj_engine.Engine
 
 (* Set by the --quick flag: trims the KERNEL grid to CI-smoke scale. *)
@@ -1330,6 +1331,52 @@ let wcoj () =
   if Wcoj_bench.failures t <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* SERVE: the mjoin serve daemon under concurrent load                  *)
+(* ------------------------------------------------------------------ *)
+
+let serve () =
+  section "SERVE"
+    "mjoin serve under concurrent mixed load (every response certified \
+     against a cold Engine.run; plan-cache warm-over-cold gated)";
+  let t = Serve_bench.run ~quick:!quick () in
+  Printf.printf "  cores: %d%s\n" t.cores
+    (if !quick then " (quick grid)" else "");
+  let opt fmt = function Some v -> Printf.sprintf fmt v | None -> "-" in
+  Printf.printf
+    "  %-10s %-8s %-9s %-9s %-9s %-9s %-9s %-4s %-5s %-4s %-6s %-5s\n"
+    "workload" "clients" "requests" "p50 ms" "p95 ms" "p99 ms" "qps" "ok"
+    "shed" "err" "hits" "cert";
+  List.iter
+    (fun (r : Serve_bench.row) ->
+      Printf.printf
+        "  %-10s %-8d %-9d %-9s %-9s %-9s %-9s %-4d %-5d %-4d %-6d %s\n"
+        r.workload r.clients r.requests (opt "%.3f" r.p50_ms)
+        (opt "%.3f" r.p95_ms) (opt "%.3f" r.p99_ms) (opt "%.0f" r.qps) r.ok
+        r.overloaded r.errors r.cache_hits
+        (if r.certified then "OK" else "FAIL"))
+    t.rows;
+  List.iter
+    (fun (r : Serve_bench.row) ->
+      match (r.cold_ms, r.warm_ms, r.speedup) with
+      | Some cold, Some warm, Some s ->
+          Printf.printf
+            "  plan-cache gate: cold %.3f ms, warm %.3f ms, speedup %.2fx \
+             (floor %s)\n"
+            cold warm s
+            (opt "%.1fx" r.speedup_floor)
+      | _ -> ())
+    t.rows;
+  check "every served response is bit-identical to a cold Engine.run"
+    (List.for_all (fun (r : Serve_bench.row) -> r.certified) t.rows);
+  check "the warm plan-cache row meets its speedup floor"
+    (List.for_all Serve_bench.floor_ok t.rows);
+  Printf.printf "  BENCH_JSON %s\n"
+    (Mj_obs.Json.to_string (Serve_bench.bench_json t));
+  Serve_bench.write_file "BENCH_SERVE.json" t;
+  print_endline "  (full report written to BENCH_SERVE.json)";
+  if Serve_bench.failures t <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* PLAN: default-hash vs cost-based lowering                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1447,7 +1494,7 @@ let experiments =
     ("SK", sk); ("SPACE", space); ("GAMMA", gamma); ("MONO", mono);
     ("SETOP", setop); ("YANN", yann); ("EST", est); ("RAND", rand);
     ("PIPE", pipe); ("LEM", lem); ("COST", cost_models); ("C4JT", c4jt); ("CASE", case); ("MAKESPAN", makespan); ("LOSS", loss);
-    ("OBS", obs_metrics); ("KERNEL", kernel); ("FRAME", frame); ("PAR", par); ("WCOJ", wcoj); ("PLAN", plan);
+    ("OBS", obs_metrics); ("KERNEL", kernel); ("FRAME", frame); ("PAR", par); ("WCOJ", wcoj); ("SERVE", serve); ("PLAN", plan);
     ("PERF", perf);
   ]
 

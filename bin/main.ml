@@ -1400,6 +1400,118 @@ let fuzz_cmd =
       $ seed $ cases $ max_n $ out_dir $ replay $ self_test)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The MJ_SERVE_* environment is read here, in the binary — the
+   library keeps its invariant that [Engine.Config.of_env] is the only
+   env-reading site under lib/.  Precedence: flag > MJ_SERVE_* >
+   built-in default. *)
+let serve_env_int name =
+  match Sys.getenv_opt name with
+  | Some s -> int_of_string_opt (String.trim s)
+  | None -> None
+
+let run_serve listen queue_cap timeout_ms plan_cache config =
+  let pick flag env default =
+    match flag with
+    | Some v -> v
+    | None -> ( match serve_env_int env with Some v -> v | None -> default)
+  in
+  let queue_cap = pick queue_cap "MJ_SERVE_QUEUE_CAP" 64 in
+  let timeout_ms = pick timeout_ms "MJ_SERVE_TIMEOUT_MS" 10_000 in
+  let plan_cache = pick plan_cache "MJ_SERVE_PLAN_CACHE" 128 in
+  let listen =
+    match listen with
+    | Some _ -> listen
+    | None -> Sys.getenv_opt "MJ_SERVE_LISTEN"
+  in
+  let cfg = make_config config in
+  let t =
+    Mj_serve.Serve.create ~queue_cap ~timeout_ms ~plan_cache_cap:plan_cache
+      ~cfg ()
+  in
+  (* Clean drain: SIGTERM/SIGINT let the in-flight batch finish, then
+     the serve loop returns and the process exits 0. *)
+  let stop _ = Mj_serve.Serve.request_stop t in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  match listen with
+  | None ->
+      (* stdout is the response stream, so the banner goes to stderr. *)
+      Printf.eprintf
+        "mjoin serve: NDJSON on stdin (queue-cap %d, timeout %d ms, plan \
+         cache %d)\n\
+         %!"
+        queue_cap timeout_ms plan_cache;
+      Mj_serve.Serve.serve_fd t Unix.stdin Unix.stdout;
+      Printf.eprintf "mjoin serve: drained\n%!"
+  | Some spec -> (
+      match Mj_serve.Serve.sockaddr_of_listen spec with
+      | Error msg -> failwith msg
+      | Ok addr ->
+          Printf.eprintf
+            "mjoin serve: listening on %s (queue-cap %d, timeout %d ms)\n%!"
+            spec queue_cap timeout_ms;
+          Mj_serve.Serve.listen_and_serve t addr;
+          Printf.eprintf "mjoin serve: drained\n%!")
+
+let serve_cmd =
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Accept connections instead of serving stdin: 'unix:PATH' for \
+             a Unix-domain socket, 'HOST:PORT' or 'PORT' for TCP.  \
+             Default: $(b,MJ_SERVE_LISTEN), else stdin/stdout.")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission-control queue depth: requests beyond $(docv) \
+             in-flight queries are shed with an 'overloaded' response.  \
+             Default: $(b,MJ_SERVE_QUEUE_CAP), else 64.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline: a request that cannot start executing \
+             within $(docv) milliseconds answers with a structured \
+             'timeout' error.  Default: $(b,MJ_SERVE_TIMEOUT_MS), else \
+             10000.")
+  in
+  let plan_cache =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:
+            "Bounded LRU plan-cache capacity (lowered plans keyed on \
+             workload, strategy, policy, plane and stats epoch).  \
+             Default: $(b,MJ_SERVE_PLAN_CACHE), else 128.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running query daemon: newline-delimited JSON requests over \
+          stdin or a socket, warm dictionaries/indexes/plan cache across \
+          queries, admission control and graceful drain")
+    Term.(
+      const (fun listen qc tm pc cfg ->
+          graceful (fun () -> run_serve listen qc tm pc cfg) ())
+      $ listen $ queue_cap $ timeout_ms $ plan_cache $ config_term)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "strategies for multiple joins — reproduction toolbox" in
@@ -1419,4 +1531,5 @@ let () =
        (Cmd.group info
           [ examples_cmd; conditions_cmd; verify_cmd; enumerate_cmd;
             optimize_cmd; space_cmd; analyze_cmd; plan_cmd; query_cmd;
-            explain_cmd; topk_cmd; stats_cmd; bench_diff_cmd; fuzz_cmd ]))
+            explain_cmd; topk_cmd; stats_cmd; bench_diff_cmd; fuzz_cmd;
+            serve_cmd ]))

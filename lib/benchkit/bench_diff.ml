@@ -36,6 +36,11 @@ let is_derived_field = function
      depends on the machine's core count, and a row must still match
      its twin from a run on differently sized hardware. *)
   | "speedup" | "reps" | "speedup_floor" | "speedup_ok" | "clamped" -> true
+  (* Serve-bench outputs: throughput and the response/cache tallies of
+     a concurrent load run vary with scheduling, so they cannot key a
+     row either. *)
+  | "qps" | "ok" | "overloaded" | "errors" | "cache_hits" | "cache_misses"
+    -> true
   | name -> is_timing_field name
 
 let is_clamped row =

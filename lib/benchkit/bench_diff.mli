@@ -2,7 +2,9 @@
 
     Rows are matched on their identity fields (everything except
     ["*_ms"] timings and derived fields: ["speedup"], ["reps"],
-    ["speedup_floor"], ["speedup_ok"], ["clamped"]); every timing
+    ["speedup_floor"], ["speedup_ok"], ["clamped"], and the SERVE load
+    outputs ["qps"], ["ok"], ["overloaded"], ["errors"],
+    ["cache_hits"], ["cache_misses"]); every timing
     field present in both copies of a matched row is compared, and a
     comparison whose increase exceeds the percentage threshold is a
     regression.  Rows present on only one side (e.g. a [--quick] grid

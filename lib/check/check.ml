@@ -9,6 +9,8 @@ module Planner = Mj_engine.Planner
 module Physical = Mj_engine.Physical
 module Pool = Mj_pool.Pool
 module Failpoint = Mj_failpoint.Failpoint
+module Serve = Mj_serve.Serve
+module Protocol = Mj_serve.Protocol
 
 type failure = { check : string; detail : string }
 type outcome = Pass | Fail of failure
@@ -407,6 +409,109 @@ let yann_differential db s =
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the daemon's warm path against the cold engine.             *)
+(* ------------------------------------------------------------------ *)
+
+(* A second strategy over the same database whose per-step τ log
+   differs from the case's — the probe that makes a cross-strategy
+   plan-cache collision (the [serve.cache_stale_plan] bug) observable:
+   a stale plan executes the wrong step sequence, and the response's
+   τ log no longer matches the submitted strategy's cold run.  The two
+   left-deep rebuilds below differ from each other in their first step
+   whenever there are ≥ 3 leaves, so at most one of them can coincide
+   with the case's log; with 2 leaves every strategy has the same
+   one-step log and no probe exists. *)
+let alt_strategy db s =
+  match Strategy.leaves s with
+  | first :: (_ :: _ :: _ as tl) as leaves ->
+      let rotated = tl @ [ first ] in
+      let steps0 = Cost.step_costs db s in
+      List.find_opt
+        (fun c -> not (step_log_equal (Cost.step_costs db c) steps0))
+        [ Strategy.left_deep leaves; Strategy.left_deep rotated ]
+  | _ -> None
+
+let serve_steps_string steps = Json.to_string (Protocol.steps_json steps)
+
+let serve_response_field name line =
+  match Json.of_string_opt line with
+  | None -> None
+  | Some j -> Json.member name j
+
+(* One serve instance per plane: submit the case's strategy twice
+   (plan-cache miss then hit) plus the alternate-strategy probe, and
+   require every response to match a cold [Engine.run] of the same
+   request — rows, τ, result hash and the per-step τ log — with the τ
+   logs of hit and miss identical.  A [timeout]/[overloaded]/[error]
+   status is a failure here: the daemon under no injected fault must
+   answer every query. *)
+let serve_differential db s =
+  guard @@ fun () ->
+  let key = "check-case" in
+  List.iter
+    (fun plane ->
+      let cfg =
+        Engine.Config.make ~plane ~domains:1 ~policy:Planner.Hash_all
+          ~obs:Obs.noop ()
+      in
+      let t = Serve.create ~timeout_ms:5_000 ~cfg () in
+      let submit strat =
+        Serve.submit_query t ~plane ~strategy:strat ~key
+          ~db:(fun () -> db)
+          ()
+      in
+      let check_response where strat line =
+        let where = Printf.sprintf "%s/%s" (Engine.plane_name plane) where in
+        (match Protocol.status_of_response line with
+        | "ok" -> ()
+        | status ->
+            fail "serve:status" "%s: status %s (%s)" where status line);
+        let cold_cfg =
+          Engine.Config.make ~plane ~domains:1 ~policy:Planner.Hash_all
+            ~obs:Obs.noop ()
+        in
+        let r, stats = Engine.run cold_cfg db strat in
+        let expect name v =
+          match serve_response_field name line with
+          | Some got when got = v -> ()
+          | got ->
+              fail "serve:response"
+                "%s: field %s = %s, cold run has %s" where name
+                (match got with Some g -> Json.to_string g | None -> "absent")
+                (Json.to_string v)
+        in
+        expect "rows" (Json.int stats.Engine.result_rows);
+        expect "tau" (Json.int stats.Engine.tuples_generated);
+        expect "hash"
+          (Json.str (Protocol.hash_hex (Protocol.result_hash r)));
+        match serve_response_field "steps" line with
+        | Some steps
+          when Json.to_string steps
+               = serve_steps_string stats.Engine.per_step ->
+            ()
+        | Some steps ->
+            fail "serve:steps" "%s: served τ log %s ≠ cold %s" where
+              (Json.to_string steps)
+              (serve_steps_string stats.Engine.per_step)
+        | None -> fail "serve:steps" "%s: response carries no τ log" where
+      in
+      let miss = submit s in
+      check_response "miss" s miss;
+      let hit = submit s in
+      check_response "hit" s hit;
+      if
+        serve_response_field "steps" miss <> serve_response_field "steps" hit
+        || serve_response_field "tau" miss <> serve_response_field "tau" hit
+      then
+        fail "serve:determinism"
+          "%s: plan-cache hit and miss disagree on τ log"
+          (Engine.plane_name plane);
+      match alt_strategy db s with
+      | Some alt -> check_response "alt" alt (submit alt)
+      | None -> ())
+    planes
+
+(* ------------------------------------------------------------------ *)
 (* Metamorphic: rewrites that provably preserve result or cost.       *)
 (* ------------------------------------------------------------------ *)
 
@@ -683,7 +788,61 @@ let faults db s =
               (Relation.cardinality expected)
               st.Engine.tuples_generated)
         Frame.all_storages
-  | _ -> ())
+  | _ -> ());
+  (* Serve: a stalled worker must degrade to a structured timeout
+     error, never a crash or a wrong answer. *)
+  Failpoint.reset ();
+  let serve_cfg () =
+    Engine.Config.make ~plane:Engine.Seed ~domains:1 ~policy:Planner.Hash_all
+      ~obs:Obs.noop ()
+  in
+  Failpoint.enable Failpoint.Serve_worker_stall;
+  let stall_t = Serve.create ~timeout_ms:1 ~cfg:(serve_cfg ()) () in
+  let stalled =
+    Serve.submit_query stall_t ~strategy:s ~key:"fault-stall"
+      ~db:(fun () -> db)
+      ()
+  in
+  Failpoint.disable Failpoint.Serve_worker_stall;
+  if Failpoint.hits Failpoint.Serve_worker_stall = 0 then
+    fail "faults:worker_stall" "serve.worker_stall never fired";
+  if
+    Protocol.status_of_response stalled <> "error"
+    || serve_response_field "code" stalled <> Some (Json.Str "timeout")
+  then
+    fail "faults:worker_stall"
+      "stalled worker did not answer with a timeout error: %s" stalled;
+  (* Serve: the planted stale-plan cache collision must be visible in
+     the response τ log — the alternate strategy comes back with the
+     first strategy's step sequence.  Needs a probe strategy whose τ
+     log differs (≥ 3 relations); smaller cases have nothing to
+     collide. *)
+  Failpoint.reset ();
+  (match alt_strategy db s with
+  | None -> ()
+  | Some alt ->
+      Failpoint.enable Failpoint.Serve_stale_plan;
+      let t = Serve.create ~cfg:(serve_cfg ()) () in
+      let submit strat =
+        Serve.submit_query t ~strategy:strat ~key:"fault-stale"
+          ~db:(fun () -> db)
+          ()
+      in
+      let _first = submit s in
+      let collided = submit alt in
+      Failpoint.disable Failpoint.Serve_stale_plan;
+      if Failpoint.hits Failpoint.Serve_stale_plan = 0 then
+        fail "faults:stale_plan" "serve.cache_stale_plan never fired";
+      let alt_steps = serve_steps_string (Cost.step_costs db alt) in
+      (match serve_response_field "steps" collided with
+      | Some steps when Json.to_string steps <> alt_steps -> ()
+      | Some _ ->
+          fail "faults:stale_plan"
+            "planted stale-plan collision went undetected (τ log matches \
+             the submitted strategy)"
+      | None ->
+          fail "faults:stale_plan" "collided response carries no τ log: %s"
+            collided))
 
 (* ------------------------------------------------------------------ *)
 (* One case through every applicable check.                           *)
@@ -699,6 +858,8 @@ let run_case ?(faults = true) d =
   wcoj_differential db s
   >>> fun () ->
   yann_differential db s
+  >>> fun () ->
+  serve_differential db s
   >>> fun () ->
   metamorphic db s
   >>> fun () ->

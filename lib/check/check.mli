@@ -29,6 +29,16 @@
       ranked enumerator must stream exactly the k-prefix of the
       sorted full output for several k (cyclic strategies fall through
       to the wcoj arm and are priced like that leg).
+    - {!serve_differential}: the [mjoin serve] daemon's warm path.
+      Per plane, one {!Mj_serve.Serve} instance answers the case's
+      strategy twice (plan-cache miss then hit) plus an
+      alternate-strategy probe whose τ log provably differs; every
+      response must match a cold single-shot [Engine.run] of the same
+      request — rows, τ, result hash and the per-step τ log — and hit
+      must agree with miss.  This is the leg that catches the
+      [serve.cache_stale_plan] planted bug: a cross-strategy cache
+      collision hands the probe the wrong plan, and its served τ log
+      no longer matches its cold run.
     - {!metamorphic}: strategy rewrites that provably preserve the
       result or the cost — commuting every step leaves τ unchanged,
       {!Multijoin.Transform} surgeries and a left-deep rebuild leave
@@ -46,8 +56,12 @@
       estimates must not change execution results, and the planted
       frame-plane mutations must be {e visible} — [frame.lossy_join]
       in the τ log, [yann.lossy_semijoin] in the yann cells' result
-      (this is what the self-test leans on).  Failpoint state is saved
-      and restored around the pass.
+      (this is what the self-test leans on).  The serve failpoints are
+      exercised too: under [serve.worker_stall] the daemon must answer
+      with a structured [timeout] error (and the failpoint must fire),
+      and a planted [serve.cache_stale_plan] collision must surface in
+      the collided response's τ log.  Failpoint state is saved and
+      restored around the pass.
 
     All four return the first violated invariant as a {!failure}; the
     fuzz driver shrinks whatever case produced it. *)
@@ -67,6 +81,7 @@ val pp_failure : Format.formatter -> failure -> unit
 val differential : Database.t -> Strategy.t -> outcome
 val wcoj_differential : Database.t -> Strategy.t -> outcome
 val yann_differential : Database.t -> Strategy.t -> outcome
+val serve_differential : Database.t -> Strategy.t -> outcome
 val metamorphic : Database.t -> Strategy.t -> outcome
 
 val theorems : Database.t -> outcome
@@ -77,7 +92,8 @@ val faults : Database.t -> Strategy.t -> outcome
 
 val run_case : ?faults:bool -> Gen.descriptor -> outcome
 (** Materialize the descriptor and run every applicable check:
-    differential (binary, wcoj and yann legs) and metamorphic always,
+    differential (binary, wcoj, yann and serve legs) and metamorphic
+    always,
     theorem postconditions when
     the database has at most 5 relations, and the fault-injection pass
     when [faults] (default [true]) {e and} no failpoint is already

@@ -102,6 +102,48 @@ let planted_case =
       regime = Gen.Skewed;
     }
 
+(* Plant one named mutation into the fixed case and require the whole
+   detect → shrink → clean-re-run loop to work: the harness must catch
+   it, the minimizer must bring the repro down to ≤ 4 relations while
+   it still fails, and resetting the failpoint must make the shrunk
+   repro quiet again. *)
+let plant_and_verify spec =
+  Failpoint.reset ();
+  let d = planted_case in
+  (match Failpoint.set_spec spec with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  match Check.run_case d with
+  | Check.Pass -> Error (Printf.sprintf "planted %s mutation went undetected" spec)
+  | Check.Fail f -> (
+      let dm, fm = minimize d f in
+      if dm.Gen.n > 4 then
+        Error
+          (Format.asprintf "shrinking stalled at %d relations (%a), want ≤ 4"
+             dm.Gen.n Gen.pp dm)
+      else
+        match Check.run_case dm with
+        | Check.Pass ->
+            Error
+              (Format.asprintf
+                 "minimized repro %a no longer fails under the planted \
+                  mutation"
+                 Gen.pp dm)
+        | Check.Fail _ -> (
+            Failpoint.reset ();
+            match Check.run_case dm with
+            | Check.Fail f' ->
+                Error
+                  (Format.asprintf
+                     "minimized repro %a fails even without the mutation: %a"
+                     Gen.pp dm Check.pp_failure f')
+            | Check.Pass ->
+                Ok
+                  (Format.asprintf
+                     "planted %s caught (%a on %a), shrunk to %a, clean \
+                      re-run quiet"
+                     spec Check.pp_failure fm Gen.pp d Gen.pp dm)))
+
 let self_test () =
   with_failpoints_saved @@ fun () ->
   Failpoint.reset ();
@@ -112,39 +154,13 @@ let self_test () =
         (Format.asprintf "clean harness is not quiet on %a: %a" Gen.pp d
            Check.pp_failure f)
   | Check.Pass -> (
-      (match Failpoint.set_spec "frame.lossy_join" with
-      | Ok () -> ()
-      | Error msg -> failwith msg);
-      match Check.run_case d with
-      | Check.Pass ->
-          Error "planted frame.lossy_join mutation went undetected"
-      | Check.Fail f -> (
-          let dm, fm = minimize d f in
-          if dm.Gen.n > 4 then
-            Error
-              (Format.asprintf
-                 "shrinking stalled at %d relations (%a), want ≤ 4" dm.Gen.n
-                 Gen.pp dm)
-          else
-            match Check.run_case dm with
-            | Check.Pass ->
-                Error
-                  (Format.asprintf
-                     "minimized repro %a no longer fails under the planted \
-                      mutation"
-                     Gen.pp dm)
-            | Check.Fail _ -> (
-                Failpoint.reset ();
-                match Check.run_case dm with
-                | Check.Fail f' ->
-                    Error
-                      (Format.asprintf
-                         "minimized repro %a fails even without the \
-                          mutation: %a"
-                         Gen.pp dm Check.pp_failure f')
-                | Check.Pass ->
-                    Ok
-                      (Format.asprintf
-                         "planted frame.lossy_join caught (%a on %a), \
-                          shrunk to %a, clean re-run quiet"
-                         Check.pp_failure fm Gen.pp d Gen.pp dm))))
+      (* Two independent planted bugs, each through the full loop: the
+         frame-plane mutation (caught by the differential's τ log) and
+         the serve stale-plan cache collision (caught by the serve
+         leg's τ-log comparison). *)
+      match plant_and_verify "frame.lossy_join" with
+      | Error _ as e -> e
+      | Ok first -> (
+          match plant_and_verify "serve.cache_stale_plan" with
+          | Error _ as e -> e
+          | Ok second -> Ok (first ^ "; " ^ second)))

@@ -56,7 +56,10 @@ val campaign :
 
 val self_test : unit -> (string, string) result
 (** Certify the harness can actually catch bugs: a clean fixed case
-    must pass; with the [frame.lossy_join] mutation planted the same
-    case must fail; the failure must shrink to at most 4 relations;
-    the minimized repro must still fail planted and pass clean.
-    Returns a human-readable summary on success. *)
+    must pass; then, for each planted mutation in turn —
+    [frame.lossy_join] (caught by the differential τ log) and
+    [serve.cache_stale_plan] (caught by the serve leg's τ-log
+    comparison against a cold run) — the same case must fail, the
+    failure must shrink to at most 4 relations, and the minimized
+    repro must still fail planted and pass clean.  Returns a
+    human-readable summary on success. *)

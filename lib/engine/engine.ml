@@ -154,10 +154,10 @@ end
 module Frame_backend = struct
   let plane = Frame
 
-  let execute (cfg : Config.t) db plan =
+  let execute_warm ?fdb (cfg : Config.t) db plan =
     let r, (s : Frame_engine.stats) =
       Frame_engine.execute_plan ~obs:cfg.obs ~domains:cfg.domains
-        ?morsel:cfg.morsel ~storage:cfg.frame_storage db plan
+        ?morsel:cfg.morsel ~storage:cfg.frame_storage ?fdb db plan
     in
     ( r,
       {
@@ -168,6 +168,8 @@ module Frame_backend = struct
         seed = None;
         frame = Some s;
       } )
+
+  let execute cfg db plan = execute_warm cfg db plan
 end
 
 let backend = function
@@ -177,8 +179,14 @@ let backend = function
 let lower (cfg : Config.t) db strategy =
   Planner.lower ~policy:cfg.algo_policy ~indexes:cfg.index_cache db strategy
 
-let execute_plan (cfg : Config.t) db plan =
-  let (module B) = backend cfg.plane in
-  B.execute cfg db plan
+let execute_plan ?fdb (cfg : Config.t) db plan =
+  (* A warm frame dictionary only means something on the frame plane;
+     the seed plane ignores it (its warm state is the index cache the
+     config already carries). *)
+  match (cfg.plane, fdb) with
+  | Frame, Some _ -> Frame_backend.execute_warm ?fdb cfg db plan
+  | _ ->
+      let (module B) = backend cfg.plane in
+      B.execute cfg db plan
 
-let run cfg db strategy = execute_plan cfg db (lower cfg db strategy)
+let run ?fdb cfg db strategy = execute_plan ?fdb cfg db (lower cfg db strategy)

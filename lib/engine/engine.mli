@@ -136,10 +136,19 @@ val lower : Config.t -> Database.t -> Strategy.t -> Physical.t
 (** {!Planner.lower} under the config's policy, with the config's
     index cache as the warm-index set. *)
 
-val execute_plan : Config.t -> Database.t -> Physical.t -> Relation.t * stats
-(** Run an already-lowered plan on the config's plane. *)
+val execute_plan :
+  ?fdb:Mj_relation.Frame.Db.t ->
+  Config.t -> Database.t -> Physical.t -> Relation.t * stats
+(** Run an already-lowered plan on the config's plane.  [?fdb] is a
+    pre-encoded frame copy of the database ([Frame.Db.of_database]) —
+    the serve daemon's warm dictionary; it is consulted only on the
+    frame plane (seed executions keep their warm state in the config's
+    index cache) and is never mutated, so one encoding can back
+    concurrent executions. *)
 
-val run : Config.t -> Database.t -> Strategy.t -> Relation.t * stats
+val run :
+  ?fdb:Mj_relation.Frame.Db.t ->
+  Config.t -> Database.t -> Strategy.t -> Relation.t * stats
 (** [lower] then [execute_plan] — the whole
     Config → Planner → Engine path in one call.
     @raise Invalid_argument if the strategy mentions schemes outside

@@ -109,8 +109,8 @@ end
 
 module Drive = Driver.Make (Frame_plane)
 
-let execute_plan ?(obs = Obs.noop) ?domains ?par_threshold ?morsel ?storage db
-    plan =
+let execute_plan ?(obs = Obs.noop) ?domains ?par_threshold ?morsel ?storage
+    ?fdb db plan =
   (* Adaptive cutover: a tiny database is executed single-domain
      whatever the configured worker count — the non-partitioned join
      path, no pool, no fan-out. *)
@@ -122,7 +122,13 @@ let execute_plan ?(obs = Obs.noop) ?domains ?par_threshold ?morsel ?storage db
   let domains = if base_rows < tiny_rows then Some 1 else domains in
   let ctx =
     {
-      Frame_plane.fdb = Frame.Db.of_database ?storage db;
+      (* A caller-supplied [fdb] (the serve daemon's per-database warm
+         dictionary) skips the per-call re-encode; execution only reads
+         it, so one encoding can serve concurrent queries. *)
+      Frame_plane.fdb =
+        (match fdb with
+        | Some fdb -> fdb
+        | None -> Frame.Db.of_database ?storage db);
       fstats = Frame.fresh_stats ();
       domains;
       par_threshold;

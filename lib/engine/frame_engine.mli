@@ -48,7 +48,7 @@ val execute :
 
 val execute_plan :
   ?obs:Mj_obs.Obs.sink -> ?domains:int -> ?par_threshold:int ->
-  ?morsel:int -> ?storage:Frame.storage ->
+  ?morsel:int -> ?storage:Frame.storage -> ?fdb:Frame.Db.t ->
   Database.t -> Physical.t -> Relation.t * stats
 (** Execute an annotated physical plan on the columnar plane.  The
     frame plane has exactly one join kernel, so the per-step algorithm
@@ -58,4 +58,12 @@ val execute_plan :
     the same plan — τ is a property of the join {e order}, not the
     algorithm — which is what lets the planner equivalence suite force
     any policy on either plane.
+
+    [?fdb] supplies a pre-encoded copy of [db] (as built by
+    [Frame.Db.of_database]) and skips the per-call dictionary encode —
+    the warm-state hook the serve daemon uses to amortize encoding
+    across queries.  The caller guarantees it encodes exactly [db];
+    execution never mutates it, so one encoding may be shared by
+    concurrent executions.  When present, [?storage] is ignored (the
+    row store was chosen at encode time).
     @raise Invalid_argument if a scanned scheme is missing from [db]. *)

@@ -4,6 +4,8 @@ type t =
   | Estimate_oversize
   | Frame_lossy_join
   | Yann_lossy_semijoin
+  | Serve_worker_stall
+  | Serve_stale_plan
 
 exception Injected of string
 
@@ -14,6 +16,8 @@ let all =
     Estimate_oversize;
     Frame_lossy_join;
     Yann_lossy_semijoin;
+    Serve_worker_stall;
+    Serve_stale_plan;
   ]
 
 let name = function
@@ -22,6 +26,8 @@ let name = function
   | Estimate_oversize -> "estimate.oversize"
   | Frame_lossy_join -> "frame.lossy_join"
   | Yann_lossy_semijoin -> "yann.lossy_semijoin"
+  | Serve_worker_stall -> "serve.worker_stall"
+  | Serve_stale_plan -> "serve.cache_stale_plan"
 
 let of_name s =
   let s = String.lowercase_ascii (String.trim s) in
@@ -33,6 +39,8 @@ let index = function
   | Estimate_oversize -> 2
   | Frame_lossy_join -> 3
   | Yann_lossy_semijoin -> 4
+  | Serve_worker_stall -> 5
+  | Serve_stale_plan -> 6
 
 (* One atomic bitmask of active points, one atomic hit counter per
    point: consultation from pool workers running on other domains is

@@ -41,6 +41,15 @@ type t =
           non-empty semijoin output — the acyclic-path twin of
           [frame.lossy_join], planted so the yann differential leg
           proves it would catch a lossy reducer *)
+  | Serve_worker_stall
+      (** a serve worker sleeps past the per-request deadline before
+          executing — the daemon must answer with a structured timeout
+          error, never a hang or a partial result *)
+  | Serve_stale_plan
+      (** the serve plan cache ignores the strategy component of its
+          key, so a repeated query shape can be answered with a plan
+          lowered for a {e different} strategy — the planted serve bug
+          the self-test must detect via its τ step log *)
 
 exception Injected of string
 (** Raised by {!trip}; carries the failpoint name. *)
@@ -49,7 +58,8 @@ val all : t list
 
 val name : t -> string
 (** ["pool.worker_kill"], ["cost.cache_poison"], ["estimate.oversize"],
-    ["frame.lossy_join"], ["yann.lossy_semijoin"]. *)
+    ["frame.lossy_join"], ["yann.lossy_semijoin"],
+    ["serve.worker_stall"], ["serve.cache_stale_plan"]. *)
 
 val of_name : string -> t option
 

@@ -121,16 +121,31 @@ let run_traced ?(obs = Mj_obs.Obs.noop) ?domains ?chunk tasks =
        order then yields the same span tree at any domain count — only
        the lane attribute (which worker ran the task) varies. *)
     let children = Array.map (fun _ -> Mj_obs.Obs.fork obs) tasks in
-    let results =
-      run_w ?domains ?chunk
-        (Array.mapi
-           (fun i task ~worker ->
-             let child = children.(i) in
-             Mj_obs.Obs.set_lane child worker;
-             task child)
-           tasks)
+    (* Merge even when a task raises: [run_w] joins every spawned
+       domain before re-raising, so by the time the exception reaches
+       us no worker is still writing into a child sink.  Without the
+       protect, one failing task silently dropped the spans and lane
+       attrs of every task that had already completed — exactly the
+       trace a crash post-mortem needs.  Children of tasks that never
+       started are empty forks and merge as no-ops, so the merged
+       prefix stays deterministic at any domain count. *)
+    let merge () =
+      Array.iter (fun child -> Mj_obs.Obs.merge_child obs child) children
     in
-    Array.iter (fun child -> Mj_obs.Obs.merge_child obs child) children;
+    let results =
+      try
+        run_w ?domains ?chunk
+          (Array.mapi
+             (fun i task ~worker ->
+               let child = children.(i) in
+               Mj_obs.Obs.set_lane child worker;
+               task child)
+             tasks)
+      with e ->
+        merge ();
+        raise e
+    in
+    merge ();
     results
   end
 

@@ -69,7 +69,12 @@ val run_traced :
     spans once, on lane 0 — a killed worker dies before the task body
     starts.  When the requested worker count is clamped to the
     machine's core count, the sink counter [pool.domains_clamped] is
-    bumped so the trace itself says the parallelism was reduced. *)
+    bumped so the trace itself says the parallelism was reduced.
+
+    If a task raises, the children of every task that did complete are
+    still merged (in task-index order, lane attrs intact) before the
+    exception propagates — a failing request must not erase the trace
+    of its neighbours. *)
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

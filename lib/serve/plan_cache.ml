@@ -1,0 +1,72 @@
+(* Hashtbl plus a monotonically increasing recency stamp per entry.
+   Eviction scans for the minimum stamp — O(cap), and cap is tens of
+   plans, so a doubly-linked intrusive list would buy nothing but
+   bugs. *)
+
+type 'v entry = { value : 'v; mutable stamp : int }
+
+type 'v t = {
+  cap : int;
+  table : (string, 'v entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~cap =
+  let cap = max 1 cap in
+  { cap; table = Hashtbl.create cap; tick = 0; hits = 0; misses = 0;
+    evictions = 0 }
+
+let cap c = c.cap
+let length c = Hashtbl.length c.table
+
+let touch c e =
+  c.tick <- c.tick + 1;
+  e.stamp <- c.tick
+
+let find c key =
+  match Hashtbl.find_opt c.table key with
+  | Some e ->
+      touch c e;
+      c.hits <- c.hits + 1;
+      Some e.value
+  | None ->
+      c.misses <- c.misses + 1;
+      None
+
+let evict_lru c =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (key, e.stamp))
+      c.table None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove c.table key;
+      c.evictions <- c.evictions + 1
+  | None -> ()
+
+let add c key value =
+  (match Hashtbl.find_opt c.table key with
+  | Some _ -> Hashtbl.remove c.table key
+  | None -> if Hashtbl.length c.table >= c.cap then evict_lru c);
+  let e = { value; stamp = 0 } in
+  touch c e;
+  Hashtbl.add c.table key e
+
+let remove_where c pred =
+  let doomed =
+    Hashtbl.fold (fun key _ acc -> if pred key then key :: acc else acc)
+      c.table []
+  in
+  List.iter (Hashtbl.remove c.table) doomed;
+  List.length doomed
+
+let hits c = c.hits
+let misses c = c.misses
+let evictions c = c.evictions

@@ -146,4 +146,43 @@ if "$MJOIN" topk --shape cycle --size 4 > /dev/null 2>&1; then exit 1; fi
 "$MJOIN" topk --shape cycle --size 4 2>&1 | grep -q 'cyclic'
 if "$MJOIN" topk --shape star --size 4 --limit x > /dev/null 2>&1; then exit 1; fi
 
+# Serving: NDJSON over stdin.  Happy path — the repeated query arrives
+# in a later batch (the sleeps split the read loop's batches), so it
+# must hit the warm plan cache; stats rides along; shutdown drains.
+{
+  echo '{"id":1,"op":"query","shape":"chain","n":4,"rows":20,"domain":8,"policy":"cost"}'
+  sleep 0.3
+  echo '{"id":2,"op":"query","shape":"chain","n":4,"rows":20,"domain":8,"policy":"cost"}'
+  sleep 0.3
+  echo '{"id":3,"op":"stats"}'
+  echo '{"id":4,"op":"shutdown"}'
+} | "$MJOIN" serve --telemetry "$TMP/serve-tel.jsonl" \
+  > "$TMP/serve.out" 2> /dev/null
+test "$(wc -l < "$TMP/serve.out")" = 4
+test "$(grep -c '"status":"ok"' "$TMP/serve.out")" = 4
+grep -q '"cached_plan":true' "$TMP/serve.out"
+grep -q 'serve.plan_cache_hit' "$TMP/serve.out"
+grep -q '"draining":true' "$TMP/serve.out"
+# The telemetry sidecar recorded both queries and aggregates via
+# stats --from like any other command's records.
+test "$(wc -l < "$TMP/serve-tel.jsonl")" = 2
+grep -q '"cmd":"serve"' "$TMP/serve-tel.jsonl"
+grep -q '"plan_cache":"hit"' "$TMP/serve-tel.jsonl"
+"$MJOIN" stats --from "$TMP/serve-tel.jsonl" | grep -q 'telemetry.cmd.serve'
+# Error paths answer structured per-request errors; the daemon itself
+# exits 0 on EOF.
+echo '{not json' | "$MJOIN" serve 2> /dev/null \
+  | grep -q '"code":"bad_request"'
+echo '{"op":"query","policy":"greedy-banana"}' | "$MJOIN" serve 2> /dev/null \
+  | grep -q '"status":"error"'
+# Admission control: a zero queue cap sheds every query (flag and
+# MJ_SERVE_* spellings) while control ops still answer.
+echo '{"op":"query"}' | "$MJOIN" serve --queue-cap 0 2> /dev/null \
+  | grep -q '"status":"overloaded"'
+{ echo '{"op":"query"}'; echo '{"op":"ping"}'; } \
+  | MJ_SERVE_QUEUE_CAP=0 "$MJOIN" serve 2> /dev/null \
+  | grep -q '"pong":true'
+# A malformed --listen spec must die cleanly, non-zero.
+if "$MJOIN" serve --listen bogus:addr < /dev/null > /dev/null 2>&1; then exit 1; fi
+
 echo cli-smoke-ok

@@ -464,6 +464,50 @@ let test_traced_pool_lanes () =
     "spans span multiple chrome tids" true
     (List.length tids >= 2)
 
+(* Regression: a task that raises mid-run must not cost the other tasks
+   their spans and lane attributes — [run_traced] merges every child
+   sink before re-raising.  The raiser is the LAST task so the serial
+   one-domain path completes the same prefix as the parallel one,
+   making the merged trace identical at any domain count. *)
+exception Boom
+
+let traced_run_raising ~domains =
+  let obs = Obs.make ~gc:false () in
+  (try
+     Obs.span obs "root" (fun () ->
+         let tasks =
+           Array.init 8 (fun i child ->
+               Mj_obs.Obs.span child "task"
+                 ~attrs:[ ("i", Json.int i) ]
+                 (fun () ->
+                   Mj_obs.Obs.add child "work" (i + 1);
+                   if i = 7 then raise Boom;
+                   i * i))
+         in
+         ignore (Mj_pool.Pool.run_traced ~obs ~domains tasks))
+   with Boom -> ());
+  obs
+
+let test_traced_pool_raise_keeps_lanes () =
+  let a = traced_run_raising ~domains:1 and b = traced_run_raising ~domains:4 in
+  Alcotest.(check bool)
+    "same span skeleton at 1 and 4 domains" true
+    (List.map skeleton (Obs.trace a) = List.map skeleton (Obs.trace b));
+  Alcotest.(check (list (pair string int)))
+    "merged counters identical across domain counts" (semantic_counters a)
+    (semantic_counters b);
+  Alcotest.(check (option int))
+    "completed tasks' counters survive the raise" (Some 36)
+    (List.assoc_opt "work" (Obs.counters b));
+  match Obs.trace b with
+  | [ root ] ->
+      Alcotest.(check int)
+        "all eight task spans merged (raiser's closed by span safety)" 8
+        (List.length
+           (List.filter (fun (s : Obs.span_tree) -> s.Obs.name = "task")
+              root.Obs.children))
+  | _ -> Alcotest.fail "expected one root span"
+
 (* ------------------------------------------------------------------ *)
 (* GC accounting                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -717,6 +761,8 @@ let () =
             test_traced_pool_deterministic;
           Alcotest.test_case "worker lanes in chrome export" `Quick
             test_traced_pool_lanes;
+          Alcotest.test_case "raise mid-run keeps completed lanes" `Quick
+            test_traced_pool_raise_keeps_lanes;
         ] );
       ( "gc",
         [
